@@ -1,0 +1,83 @@
+// Command bixbench regenerates the tables and figures of the paper's
+// evaluation section as plain-text tables.
+//
+// Usage:
+//
+//	bixbench -list
+//	bixbench -run fig8
+//	bixbench -all [-rows 200000] [-quick] [-o report.txt]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"bitmapindex/internal/experiments"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list available experiments")
+		run   = flag.String("run", "", "run one experiment by id")
+		all   = flag.Bool("all", false, "run every experiment")
+		rows  = flag.Int("rows", experiments.Default().Rows, "relation cardinality for data-driven experiments")
+		seed  = flag.Int64("seed", experiments.Default().Seed, "random seed for synthetic data")
+		quick = flag.Bool("quick", false, "reduced parameter sweeps")
+		out   = flag.String("o", "", "write the report to a file instead of stdout")
+		csv   = flag.Bool("csv", false, "emit comma-separated rows (with #-comment headers) for plotting")
+	)
+	flag.Parse()
+	if err := realMain(*list, *run, *all, *rows, *seed, *quick, *csv, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "bixbench:", err)
+		os.Exit(1)
+	}
+}
+
+func realMain(list bool, run string, all bool, rows int, seed int64, quick, csv bool, out string) error {
+	if list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-16s %-12s %s\n", e.ID, e.Paper, e.Title)
+		}
+		return nil
+	}
+	var w io.Writer = os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	cfg := experiments.Config{Rows: rows, Seed: seed, Quick: quick, CSV: csv}
+	var todo []experiments.Experiment
+	switch {
+	case run != "":
+		e, ok := experiments.Find(run)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q; try -list", run)
+		}
+		todo = []experiments.Experiment{e}
+	case all:
+		todo = experiments.All()
+	default:
+		flag.Usage()
+		return fmt.Errorf("nothing to do: pass -list, -run <id> or -all")
+	}
+	ww := cfg.Writer(w)
+	for _, e := range todo {
+		t0 := time.Now()
+		if err := e.Run(cfg, ww); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		marker := "[%s: %s, %v]\n"
+		if csv {
+			marker = "# done %s: %s, %v\n"
+		}
+		fmt.Fprintf(w, marker, e.ID, e.Paper, time.Since(t0).Round(time.Millisecond))
+	}
+	return nil
+}

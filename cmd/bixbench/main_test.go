@@ -1,0 +1,37 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRealMainList(t *testing.T) {
+	if err := realMain(true, "", false, 1000, 1, true, false, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRealMainRunOne(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "r.txt")
+	if err := realMain(false, "table1", false, 1000, 1, true, false, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "RangeEval-Opt") {
+		t.Fatalf("report missing content:\n%s", data)
+	}
+}
+
+func TestRealMainErrors(t *testing.T) {
+	if err := realMain(false, "nope", false, 1000, 1, true, false, ""); err == nil {
+		t.Error("unknown experiment must fail")
+	}
+	if err := realMain(false, "", false, 1000, 1, true, false, ""); err == nil {
+		t.Error("no action must fail")
+	}
+}

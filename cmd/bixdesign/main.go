@@ -1,0 +1,160 @@
+// Command bixdesign is a physical-design advisor for bitmap indexes: given
+// an attribute cardinality (and optionally a disk-space budget and a
+// bitmap buffer size), it prints the paper's four interesting designs —
+// space-optimal (A), time-optimal under the space constraint (B), the knee
+// (C), and time-optimal (D) — plus the full space-optimal ladder.
+//
+// Usage:
+//
+//	bixdesign -C 1000
+//	bixdesign -C 1000 -M 50          # at most 50 stored bitmaps
+//	bixdesign -C 1000 -M 50 -exact   # exhaustive instead of heuristic
+//	bixdesign -C 1000 -m 4           # 4 bitmaps of buffer memory
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"bitmapindex"
+)
+
+func main() {
+	var (
+		card     = flag.Uint64("C", 0, "attribute cardinality (required)")
+		m        = flag.Int("M", 0, "disk-space budget in stored bitmaps (0 = unconstrained)")
+		buf      = flag.Int("m", 0, "bitmap buffer size in bitmaps")
+		exact    = flag.Bool("exact", false, "use the exhaustive TimeOptAlg for the constrained design")
+		workload = flag.String("workload", "", "comma-separated attribute cardinalities; with -M, divide the budget across them")
+	)
+	flag.Parse()
+	if *workload != "" {
+		if err := workloadMain(*workload, *m, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "bixdesign:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := realMain(*card, *m, *buf, *exact, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bixdesign:", err)
+		os.Exit(1)
+	}
+}
+
+func realMain(card uint64, m, buf int, exact bool, out io.Writer) error {
+	if card < 2 {
+		return fmt.Errorf("pass -C with the attribute cardinality (>= 2)")
+	}
+	fmt.Fprintf(out, "Bitmap index designs for attribute cardinality C = %d (range-encoded)\n\n", card)
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	defer w.Flush()
+
+	spaceOpt, err := bitmapindex.SpaceOptimalBase(card, bitmapindex.MaxComponents(card))
+	if err != nil {
+		return err
+	}
+	knee, err := bitmapindex.KneeBase(card)
+	if err != nil {
+		return err
+	}
+	timeOpt, err := bitmapindex.TimeOptimalBase(card, 1)
+	if err != nil {
+		return err
+	}
+	row := func(tag string, b bitmapindex.Base) {
+		fmt.Fprintf(w, "%s\t%v\t%d bitmaps\t%.3f scans/query\n",
+			tag, b, bitmapindex.NumBitmaps(b, bitmapindex.RangeEncoded),
+			bitmapindex.ExpectedScans(b, card))
+	}
+	row("(A) space-optimal", spaceOpt)
+	row("(C) knee", knee)
+	row("(D) time-optimal", timeOpt)
+	w.Flush()
+
+	fmt.Fprintf(out, "\nEncoding comparison at the knee design:\n")
+	for _, enc := range []bitmapindex.Encoding{
+		bitmapindex.RangeEncoded, bitmapindex.EqualityEncoded, bitmapindex.IntervalEncoded,
+	} {
+		fmt.Fprintf(w, "%s\t%s\n", enc, bitmapindex.Describe(knee, enc, card))
+	}
+	if m > 0 {
+		var constrained bitmapindex.Base
+		if exact {
+			constrained, err = bitmapindex.BestBaseUnderSpaceExact(card, m)
+		} else {
+			constrained, err = bitmapindex.BestBaseUnderSpace(card, m)
+		}
+		if err != nil {
+			return err
+		}
+		row(fmt.Sprintf("(B) best within M=%d", m), constrained)
+		if b, enc, err := bitmapindex.BestDesignUnderSpace(card, m); err == nil {
+			fmt.Fprintf(w, "(B') any encoding within M=%d\t%s\n", m,
+				bitmapindex.Describe(b, enc, card))
+		}
+	}
+	w.Flush()
+
+	fmt.Fprintf(out, "\nSpace-optimal ladder (one design per component count):\n")
+	for n := 1; n <= bitmapindex.MaxComponents(card); n++ {
+		b, err := bitmapindex.SpaceOptimalBase(card, n)
+		if err != nil {
+			return err
+		}
+		mark := ""
+		if b.Equal(knee) {
+			mark = "   <- knee"
+		}
+		fmt.Fprintf(w, "n=%d\t%v\t%d bitmaps\t%.3f scans/query%s\n",
+			n, b, bitmapindex.NumBitmaps(b, bitmapindex.RangeEncoded),
+			bitmapindex.ExpectedScans(b, card), mark)
+	}
+	w.Flush()
+
+	if buf > 0 {
+		base, a, err := bitmapindex.BufferedTimeOptimalBase(card, buf)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nWith %d buffered bitmaps (Theorem 10.2): base %v, assignment %v, %.3f scans/query\n",
+			buf, base, a, bitmapindex.ExpectedScansBuffered(base, card, a))
+		ak := bitmapindex.OptimalBuffer(knee, card, buf)
+		fmt.Fprintf(out, "Buffering the knee index instead: assignment %v, %.3f scans/query\n",
+			ak, bitmapindex.ExpectedScansBuffered(knee, card, ak))
+	}
+	return nil
+}
+
+// workloadMain divides the budget M across several attributes.
+func workloadMain(spec string, m int, out io.Writer) error {
+	if m <= 0 {
+		return fmt.Errorf("pass -M with the total bitmap budget")
+	}
+	var cards []uint64
+	for _, part := range strings.Split(spec, ",") {
+		c, err := strconv.ParseUint(strings.TrimSpace(part), 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad cardinality %q: %v", part, err)
+		}
+		cards = append(cards, c)
+	}
+	alloc, err := bitmapindex.AllocateBudget(cards, m)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "Budget M = %d bitmaps across %d attributes (range-encoded):\n\n", m, len(cards))
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	for i, c := range cards {
+		fmt.Fprintf(w, "C=%d\t%v\t%d bitmaps\t%.3f scans/query\n", c, alloc.Bases[i], alloc.Spaces[i], alloc.Times[i])
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\ntotal: %d bitmaps, %.3f summed scans/query\n", alloc.TotalSpace(), alloc.TotalTime())
+	return nil
+}

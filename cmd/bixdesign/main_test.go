@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRealMainFullOutput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := realMain(1000, 50, 4, false, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"(A) space-optimal", "(B) best within M=50", "(C) knee", "(D) time-optimal",
+		"<- knee", "Theorem 10.2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRealMainExact(t *testing.T) {
+	var buf bytes.Buffer
+	if err := realMain(100, 20, 0, true, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "best within M=20") {
+		t.Error("missing constrained design")
+	}
+}
+
+func TestRealMainErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := realMain(0, 0, 0, false, &buf); err == nil {
+		t.Error("C=0 must fail")
+	}
+	if err := realMain(1000, 3, 0, false, &buf); err == nil {
+		t.Error("infeasible M must fail")
+	}
+}
+
+func TestWorkloadMain(t *testing.T) {
+	var buf bytes.Buffer
+	if err := workloadMain("50,2406,100", 120, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "total:") || !strings.Contains(out, "C=2406") {
+		t.Fatalf("workload output incomplete:\n%s", out)
+	}
+}
+
+func TestWorkloadMainErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := workloadMain("50,x", 100, &buf); err == nil {
+		t.Error("bad spec must fail")
+	}
+	if err := workloadMain("50", 0, &buf); err == nil {
+		t.Error("missing budget must fail")
+	}
+	if err := workloadMain("1000,1000", 5, &buf); err == nil {
+		t.Error("infeasible budget must fail")
+	}
+}

@@ -1,0 +1,63 @@
+package bitmapindex_test
+
+import (
+	"fmt"
+
+	"bitmapindex"
+)
+
+// The paper's running example: a 10-record column over C = 9 (Figure 1).
+func ExampleNew() {
+	column := []uint64{3, 2, 1, 2, 8, 2, 2, 0, 7, 5}
+	ix, err := bitmapindex.New(column, 9)
+	if err != nil {
+		panic(err)
+	}
+	rows := ix.Eval(bitmapindex.Le, 4, nil)
+	fmt.Println(rows.OnesSlice())
+	// Output: [0 1 2 3 5 6 7]
+}
+
+func ExampleNew_withBase() {
+	base, _ := bitmapindex.ParseBase("<3,3>") // the paper's Figure 3 design
+	column := []uint64{3, 2, 1, 2, 8, 2, 2, 0, 7, 5}
+	ix, err := bitmapindex.New(column, 9,
+		bitmapindex.WithBase(base),
+		bitmapindex.WithEncoding(bitmapindex.EqualityEncoded))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(ix.NumBitmaps(), "bitmaps")
+	fmt.Println(ix.Eval(bitmapindex.Eq, 2, nil).OnesSlice())
+	// Output:
+	// 6 bitmaps
+	// [1 3 5 6]
+}
+
+func ExampleBestBaseUnderSpace() {
+	base, err := bitmapindex.BestBaseUnderSpace(1000, 50)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(bitmapindex.Describe(base, bitmapindex.RangeEncoded, 1000))
+	// Output: base <2,14,36>, range-encoded: 49 bitmaps, 4.153 expected scans/query
+}
+
+func ExampleKneeBase() {
+	base, err := bitmapindex.KneeBase(1000)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%v: %d bitmaps, %.3f scans/query\n", base,
+		bitmapindex.NumBitmaps(base, bitmapindex.RangeEncoded),
+		bitmapindex.ExpectedScans(base, 1000))
+	// Output: <28,36>: 62 bitmaps, 3.225 scans/query
+}
+
+func ExampleOptimalBuffer() {
+	base, _ := bitmapindex.ParseBase("<28,36>")
+	a := bitmapindex.OptimalBuffer(base, 1000, 5)
+	fmt.Printf("assignment %v, %.3f scans/query\n", a,
+		bitmapindex.ExpectedScansBuffered(base, 1000, a))
+	// Output: assignment [0 5], 2.867 scans/query
+}

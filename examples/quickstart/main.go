@@ -1,0 +1,54 @@
+// Quickstart: build a bitmap index over the paper's 10-record example
+// column (Figure 1) and evaluate selection predicates with it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bitmapindex"
+)
+
+func main() {
+	// The projection of the indexed attribute, duplicates preserved
+	// (paper Figure 1(a)); values are consecutive integers in [0, 9).
+	column := []uint64{3, 2, 1, 2, 8, 2, 2, 0, 7, 5}
+
+	// Default design: range-encoded knee index (best space-time tradeoff).
+	ix, err := bitmapindex.New(column, 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("index:", bitmapindex.Describe(ix.Base(), ix.Encoding(), ix.Cardinality()))
+
+	// Evaluate a few predicates; results are bitmaps over the rows.
+	for _, q := range []struct {
+		op bitmapindex.Op
+		v  uint64
+	}{
+		{bitmapindex.Le, 4},
+		{bitmapindex.Eq, 2},
+		{bitmapindex.Gt, 6},
+	} {
+		var st bitmapindex.Stats
+		res := ix.Eval(q.op, q.v, &bitmapindex.EvalOptions{Stats: &st})
+		fmt.Printf("A %s %d -> rows %v  (%d bitmap scans, %d bitmap ops)\n",
+			q.op, q.v, res.OnesSlice(), st.Scans, st.Ops())
+	}
+
+	// Conjunctions combine result bitmaps with AND.
+	a := ix.Eval(bitmapindex.Ge, 2, nil)
+	b := ix.Eval(bitmapindex.Le, 5, nil)
+	a.And(b)
+	fmt.Printf("2 <= A <= 5 -> rows %v\n", a.OnesSlice())
+
+	// Compare alternative designs for the same attribute without
+	// building them.
+	for n := 1; n <= bitmapindex.MaxComponents(9); n++ {
+		base, err := bitmapindex.SpaceOptimalBase(9, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("n=%d: %s\n", n, bitmapindex.Describe(base, bitmapindex.RangeEncoded, 9))
+	}
+}

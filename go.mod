@@ -1,0 +1,3 @@
+module bitmapindex
+
+go 1.23

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bitmapindex/internal/bitvec"
+)
+
+func TestSumSelectedAllEncodings(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for _, base := range []Base{{9}, {3, 3}, {2, 2, 2, 2}, {4, 3}, {5, 5}} {
+		card, _ := base.Product()
+		vals := make([]uint64, 300)
+		nulls := make([]bool, 300)
+		for i := range vals {
+			vals[i] = uint64(r.Intn(int(card)))
+			nulls[i] = r.Intn(9) == 0
+		}
+		// A selection bitmap over ~half the rows.
+		sel := bitvec.New(len(vals))
+		for i := range vals {
+			if r.Intn(2) == 0 {
+				sel.Set(i)
+			}
+		}
+		var wantSum uint64
+		wantN := 0
+		for i, v := range vals {
+			if !nulls[i] && sel.Get(i) {
+				wantSum += v
+				wantN++
+			}
+		}
+		for _, enc := range []Encoding{EqualityEncoded, RangeEncoded, IntervalEncoded} {
+			ix, err := Build(vals, card, base, enc, &BuildOptions{Nulls: nulls})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum, n, err := ix.SumSelected(sel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sum != wantSum || n != wantN {
+				t.Fatalf("base %v enc %v: Sum = %d over %d rows, want %d over %d",
+					base, enc, sum, n, wantSum, wantN)
+			}
+			avg, an, err := ix.AvgSelected(sel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if an != wantN || math.Abs(avg-float64(wantSum)/float64(wantN)) > 1e-12 {
+				t.Fatalf("base %v enc %v: Avg = %f over %d", base, enc, avg, an)
+			}
+		}
+	}
+}
+
+func TestSumSelectedNilSelection(t *testing.T) {
+	vals := []uint64{3, 2, 1, 2, 8, 2, 2, 0, 7, 5}
+	ix, err := Build(vals, 9, Base{3, 3}, RangeEncoded, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, n, err := ix.SumSelected(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 32 || n != 10 {
+		t.Fatalf("Sum = %d over %d, want 32 over 10", sum, n)
+	}
+}
+
+func TestSumSelectedEmptyAndErrors(t *testing.T) {
+	vals := []uint64{1, 2, 3}
+	ix, _ := Build(vals, 4, Base{4}, EqualityEncoded, nil)
+	sum, n, err := ix.SumSelected(bitvec.New(3))
+	if err != nil || sum != 0 || n != 0 {
+		t.Fatalf("empty selection: %d %d %v", sum, n, err)
+	}
+	avg, n, err := ix.AvgSelected(bitvec.New(3))
+	if err != nil || avg != 0 || n != 0 {
+		t.Fatalf("empty avg: %f %d %v", avg, n, err)
+	}
+	if _, _, err := ix.SumSelected(bitvec.New(5)); err == nil {
+		t.Fatal("length mismatch must fail")
+	}
+}
+
+// TestBitSlicedSum: on a base-2 equality-encoded index the computation is
+// the textbook bit-sliced sum; verify it on larger data.
+func TestBitSlicedSum(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	vals := make([]uint64, 5000)
+	var want uint64
+	for i := range vals {
+		vals[i] = uint64(r.Intn(1024))
+		want += vals[i]
+	}
+	ix, err := Build(vals, 1024, Uniform(2, 10), EqualityEncoded, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, n, err := ix.SumSelected(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want || n != len(vals) {
+		t.Fatalf("bit-sliced sum = %d, want %d", got, want)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	vals := []uint64{3, 2, 1, 2, 8, 2, 2, 0, 7, 5}
+	for _, enc := range []Encoding{EqualityEncoded, RangeEncoded, IntervalEncoded} {
+		ix, err := Build(vals, 9, Base{3, 3}, enc, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := ix.Histogram()
+		want := []int{1, 1, 4, 1, 0, 1, 0, 1, 1}
+		for v, c := range want {
+			if h[v] != c {
+				t.Fatalf("enc %v: histogram[%d] = %d, want %d", enc, v, h[v], c)
+			}
+		}
+	}
+}
+
+func TestHistogramSelectedAndTopK(t *testing.T) {
+	vals := []uint64{3, 2, 1, 2, 8, 2, 2, 0, 7, 5}
+	ix, err := Build(vals, 9, Base{3, 3}, RangeEncoded, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := bitvec.FromIndices(10, []int{0, 1, 2, 3, 4}) // first five rows
+	h, err := ix.HistogramSelected(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 1, 0, 0, 0, 0, 1}
+	for v, c := range want {
+		if h[v] != c {
+			t.Fatalf("histogram[%d] = %d, want %d", v, h[v], c)
+		}
+	}
+	top, err := ix.TopKSelected(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(top) != 2 || top[0] != (ValueCount{Value: 2, Count: 4}) {
+		t.Fatalf("top = %v", top)
+	}
+	// Ties break toward smaller values.
+	if top[1].Count != 1 || top[1].Value != 0 {
+		t.Fatalf("second = %v, want value 0 count 1", top[1])
+	}
+	if got, err := ix.TopKSelected(0, nil); err != nil || got != nil {
+		t.Fatal("k=0 must return nothing")
+	}
+	if _, err := ix.HistogramSelected(bitvec.New(3)); err == nil {
+		t.Fatal("length mismatch must fail")
+	}
+	if _, err := ix.TopKSelected(1, bitvec.New(3)); err == nil {
+		t.Fatal("length mismatch must propagate")
+	}
+	// Asking for more than exist returns all non-zero entries.
+	all, err := ix.TopKSelected(100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 7 {
+		t.Fatalf("distinct values = %d, want 7", len(all))
+	}
+}

@@ -1,0 +1,195 @@
+// Package core implements the paper's two-dimensional design space of
+// bitmap indexes for selection queries: attribute value decomposition
+// (Section 2(1)) crossed with bitmap encoding (Section 2(2)), the
+// multi-component bitmap index built from a column of values, and the
+// evaluation algorithms of Section 3 (RangeEval, RangeEval-Opt, and an
+// equality-encoded evaluator).
+package core
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Base is the base sequence <b_n, ..., b_1> of an index, stored
+// little-endian: Base[0] is b_1 (the least significant digit's base) and
+// Base[len-1] is b_n. A value v is decomposed into digits v_i with
+// 0 <= v_i < b_i such that v = sum_i v_i * prod_{j<i} b_j.
+type Base []uint64
+
+// Uniform returns a uniform base-b sequence with n components.
+func Uniform(b uint64, n int) Base {
+	s := make(Base, n)
+	for i := range s {
+		s[i] = b
+	}
+	return s
+}
+
+// UniformFor returns the uniform base-b sequence with the minimum number of
+// components whose product covers card, i.e. n = ceil(log_b card).
+func UniformFor(b, card uint64) Base {
+	if b < 2 {
+		panic("core: uniform base must be >= 2")
+	}
+	n := 0
+	p := uint64(1)
+	for p < card {
+		// Guard overflow: once p*b would overflow it certainly covers card.
+		if p > math.MaxUint64/b {
+			n++
+			break
+		}
+		p *= b
+		n++
+	}
+	if n == 0 {
+		n = 1
+	}
+	return Uniform(b, n)
+}
+
+// SingleComponent returns the base-<card> sequence of the classic
+// single-component index (Value-List when equality-encoded).
+func SingleComponent(card uint64) Base { return Base{card} }
+
+// N returns the number of components.
+func (b Base) N() int { return len(b) }
+
+// Validate reports whether the base is well-defined for attribute
+// cardinality card: at least one component, every base number >= 2, and the
+// product of base numbers >= card so every value is representable.
+func (b Base) Validate(card uint64) error {
+	if len(b) == 0 {
+		return fmt.Errorf("core: empty base")
+	}
+	for i, bi := range b {
+		if bi < 2 {
+			return fmt.Errorf("core: base component %d is %d; must be >= 2", i+1, bi)
+		}
+	}
+	if p, ok := b.Product(); !ok || p < card {
+		if !ok {
+			return nil // product overflows uint64, certainly covers card
+		}
+		return fmt.Errorf("core: base %v covers only %d values; cardinality is %d", b, p, card)
+	}
+	return nil
+}
+
+// Product returns the product of the base numbers and whether it fits in a
+// uint64 (ok=false means overflow, i.e. the product exceeds MaxUint64).
+func (b Base) Product() (p uint64, ok bool) {
+	p = 1
+	for _, bi := range b {
+		if bi != 0 && p > math.MaxUint64/bi {
+			return 0, false
+		}
+		p *= bi
+	}
+	return p, true
+}
+
+// Covers reports whether the base can represent all values in [0, card).
+func (b Base) Covers(card uint64) bool {
+	p, ok := b.Product()
+	return !ok || p >= card
+}
+
+// Decompose writes the digits of v into dst (which must have length N()) and
+// returns it; dst[i] is the digit for component i+1. If dst is nil a new
+// slice is allocated. Digits satisfy 0 <= dst[i] < b[i] provided v is less
+// than the base product.
+func (b Base) Decompose(v uint64, dst []uint64) []uint64 {
+	if dst == nil {
+		dst = make([]uint64, len(b))
+	}
+	rem := v
+	for i, bi := range b {
+		dst[i] = rem % bi
+		rem /= bi
+	}
+	return dst
+}
+
+// Compose is the inverse of Decompose.
+func (b Base) Compose(digits []uint64) uint64 {
+	var v, mult uint64 = 0, 1
+	for i, bi := range b {
+		v += digits[i] * mult
+		mult *= bi
+	}
+	return v
+}
+
+// Clone returns a copy of the base sequence.
+func (b Base) Clone() Base {
+	c := make(Base, len(b))
+	copy(c, b)
+	return c
+}
+
+// Equal reports whether two bases are identical component-wise.
+func (b Base) Equal(o Base) bool {
+	if len(b) != len(o) {
+		return false
+	}
+	for i := range b {
+		if b[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the base in the paper's big-endian notation, e.g. "<3,3>"
+// for a 2-component base where b_2 = b_1 = 3.
+func (b Base) String() string {
+	var sb strings.Builder
+	sb.WriteByte('<')
+	for i := len(b) - 1; i >= 0; i-- {
+		sb.WriteString(strconv.FormatUint(b[i], 10))
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+	}
+	sb.WriteByte('>')
+	return sb.String()
+}
+
+// ParseBase parses the String format (big-endian, with or without the angle
+// brackets), e.g. "<10,10,10>" or "4,3".
+func ParseBase(s string) (Base, error) {
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(s, "<")
+	s = strings.TrimSuffix(s, ">")
+	parts := strings.Split(s, ",")
+	if len(parts) == 0 || (len(parts) == 1 && strings.TrimSpace(parts[0]) == "") {
+		return nil, fmt.Errorf("core: empty base string %q", s)
+	}
+	b := make(Base, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseUint(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("core: bad base component %q: %v", p, err)
+		}
+		// Input is big-endian; store little-endian.
+		b[len(parts)-1-i] = v
+	}
+	return b, nil
+}
+
+// Log2Ceil returns ceil(log2(card)), the maximum useful number of
+// components for attribute cardinality card (every base number is then 2).
+// Log2Ceil(0) and Log2Ceil(1) return 1 by convention.
+func Log2Ceil(card uint64) int {
+	n := 1
+	p := uint64(2)
+	for p < card {
+		p *= 2
+		n++
+	}
+	return n
+}

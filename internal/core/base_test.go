@@ -1,0 +1,198 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUniform(t *testing.T) {
+	b := Uniform(3, 4)
+	if b.N() != 4 {
+		t.Fatalf("N = %d, want 4", b.N())
+	}
+	for i, bi := range b {
+		if bi != 3 {
+			t.Fatalf("component %d = %d, want 3", i, bi)
+		}
+	}
+}
+
+func TestUniformFor(t *testing.T) {
+	cases := []struct {
+		b, card uint64
+		wantN   int
+	}{
+		{2, 2, 1}, {2, 3, 2}, {2, 4, 2}, {2, 5, 3}, {2, 1024, 10}, {2, 1025, 11},
+		{10, 100, 2}, {10, 101, 3}, {10, 1000, 3}, {100, 100, 1},
+		{3, 1, 1}, {2, 0, 1},
+	}
+	for _, c := range cases {
+		got := UniformFor(c.b, c.card)
+		if got.N() != c.wantN {
+			t.Errorf("UniformFor(%d,%d) = %v, want %d components", c.b, c.card, got, c.wantN)
+		}
+		if !got.Covers(c.card) {
+			t.Errorf("UniformFor(%d,%d) = %v does not cover", c.b, c.card, got)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Base{3, 3}).Validate(9); err != nil {
+		t.Errorf("<3,3> should be valid for C=9: %v", err)
+	}
+	if err := (Base{3, 3}).Validate(10); err == nil {
+		t.Error("<3,3> must not validate for C=10")
+	}
+	if err := (Base{}).Validate(4); err == nil {
+		t.Error("empty base must not validate")
+	}
+	if err := (Base{1, 9}).Validate(9); err == nil {
+		t.Error("base component 1 must not validate")
+	}
+	if err := (Base{0, 9}).Validate(9); err == nil {
+		t.Error("base component 0 must not validate")
+	}
+}
+
+func TestProductOverflow(t *testing.T) {
+	b := Base{math.MaxUint64 / 2, 4}
+	if _, ok := b.Product(); ok {
+		t.Fatal("expected overflow")
+	}
+	if !b.Covers(math.MaxUint64) {
+		t.Fatal("overflowing product must cover everything")
+	}
+	if err := b.Validate(math.MaxUint64); err != nil {
+		t.Fatalf("overflowing base should validate: %v", err)
+	}
+}
+
+func TestDecomposeKnownValues(t *testing.T) {
+	// The paper's Figure 3: base <3,3>, value v decomposes as
+	// v = v_2*3 + v_1.
+	b := Base{3, 3} // little-endian: b_1 = 3, b_2 = 3
+	cases := []struct {
+		v    uint64
+		want []uint64 // digits[0] = v_1
+	}{
+		{0, []uint64{0, 0}}, {1, []uint64{1, 0}}, {2, []uint64{2, 0}},
+		{3, []uint64{0, 1}}, {4, []uint64{1, 1}}, {8, []uint64{2, 2}},
+	}
+	for _, c := range cases {
+		got := b.Decompose(c.v, nil)
+		if got[0] != c.want[0] || got[1] != c.want[1] {
+			t.Errorf("Decompose(%d) = %v, want %v", c.v, got, c.want)
+		}
+		if back := b.Compose(got); back != c.v {
+			t.Errorf("Compose(Decompose(%d)) = %d", c.v, back)
+		}
+	}
+}
+
+func TestDecomposeNonUniform(t *testing.T) {
+	// Mixed-radix base <2,5,3>: b_1 = 3, b_2 = 5, b_3 = 2; product 30.
+	b := Base{3, 5, 2}
+	for v := uint64(0); v < 30; v++ {
+		d := b.Decompose(v, nil)
+		for i, bi := range b {
+			if d[i] >= bi {
+				t.Fatalf("v=%d digit %d = %d out of range (base %d)", v, i, d[i], bi)
+			}
+		}
+		if back := b.Compose(d); back != v {
+			t.Fatalf("Compose(Decompose(%d)) = %d", v, back)
+		}
+	}
+}
+
+func TestDecomposeComposeProperty(t *testing.T) {
+	f := func(v uint64, b1, b2, b3 uint8) bool {
+		base := Base{uint64(b1%50) + 2, uint64(b2%50) + 2, uint64(b3%50) + 2}
+		p, _ := base.Product()
+		v %= p
+		return base.Compose(base.Decompose(v, nil)) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecomposeReuseDst(t *testing.T) {
+	b := Base{4, 4}
+	dst := make([]uint64, 2)
+	got := b.Decompose(7, dst)
+	if &got[0] != &dst[0] {
+		t.Fatal("Decompose did not reuse dst")
+	}
+	if got[0] != 3 || got[1] != 1 {
+		t.Fatalf("digits = %v, want [3 1]", got)
+	}
+}
+
+func TestStringAndParse(t *testing.T) {
+	cases := []struct {
+		b Base
+		s string
+	}{
+		{Base{3, 3}, "<3,3>"},
+		{Base{10}, "<10>"},
+		{Base{2, 5, 7}, "<7,5,2>"}, // big-endian display: b_3=7, b_2=5, b_1=2
+	}
+	for _, c := range cases {
+		if got := c.b.String(); got != c.s {
+			t.Errorf("String(%v) = %q, want %q", []uint64(c.b), got, c.s)
+		}
+		parsed, err := ParseBase(c.s)
+		if err != nil {
+			t.Fatalf("ParseBase(%q): %v", c.s, err)
+		}
+		if !parsed.Equal(c.b) {
+			t.Errorf("ParseBase(%q) = %v, want %v", c.s, parsed, c.b)
+		}
+	}
+	if _, err := ParseBase("<x,3>"); err == nil {
+		t.Error("expected parse error")
+	}
+	if _, err := ParseBase(""); err == nil {
+		t.Error("expected parse error on empty string")
+	}
+	if p, err := ParseBase("4,3"); err != nil || !p.Equal(Base{3, 4}) {
+		t.Errorf("ParseBase without brackets = %v, %v", p, err)
+	}
+}
+
+func TestEqualClone(t *testing.T) {
+	a := Base{2, 3, 4}
+	b := a.Clone()
+	if !a.Equal(b) {
+		t.Fatal("clone not equal")
+	}
+	b[0] = 9
+	if a.Equal(b) || a[0] == 9 {
+		t.Fatal("clone not independent")
+	}
+	if a.Equal(Base{2, 3}) {
+		t.Fatal("length mismatch must not be equal")
+	}
+}
+
+func TestLog2Ceil(t *testing.T) {
+	cases := []struct {
+		c    uint64
+		want int
+	}{{0, 1}, {1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {1000, 10}, {1024, 10}, {1025, 11}}
+	for _, c := range cases {
+		if got := Log2Ceil(c.c); got != c.want {
+			t.Errorf("Log2Ceil(%d) = %d, want %d", c.c, got, c.want)
+		}
+	}
+}
+
+func TestSingleComponent(t *testing.T) {
+	b := SingleComponent(42)
+	if b.N() != 1 || b[0] != 42 {
+		t.Fatalf("SingleComponent = %v", b)
+	}
+}

@@ -1,0 +1,67 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"bitmapindex/internal/bitvec"
+)
+
+// Query is one selection predicate for batch evaluation.
+type Query struct {
+	Op Op
+	V  uint64
+}
+
+// EvalBatch evaluates many predicates concurrently and returns the result
+// bitmaps in input order. The index is immutable, so queries share it
+// without locking; parallelism <= 0 selects GOMAXPROCS. Per-query
+// statistics are accumulated into stats[i] when stats is non-nil (it must
+// then have len(queries) entries).
+func (ix *Index) EvalBatch(queries []Query, parallelism int, stats []Stats) []*bitvec.Vector {
+	if stats != nil && len(stats) != len(queries) {
+		panic("core: stats length differs from queries")
+	}
+	out := make([]*bitvec.Vector, len(queries))
+	if len(queries) == 0 {
+		return out
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(queries) {
+		parallelism = len(queries)
+	}
+	if parallelism == 1 {
+		for i, q := range queries {
+			var opt *EvalOptions
+			if stats != nil {
+				opt = &EvalOptions{Stats: &stats[i]}
+			}
+			out[i] = ix.Eval(q.Op, q.V, opt)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				q := queries[i]
+				var opt *EvalOptions
+				if stats != nil {
+					opt = &EvalOptions{Stats: &stats[i]}
+				}
+				out[i] = ix.Eval(q.Op, q.V, opt)
+			}
+		}()
+	}
+	for i := range queries {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}

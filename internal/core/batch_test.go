@@ -1,0 +1,74 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEvalBatchMatchesSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(44))
+	vals := make([]uint64, 2000)
+	for i := range vals {
+		vals[i] = uint64(r.Intn(100))
+	}
+	ix, err := Build(vals, 100, Base{10, 10}, RangeEncoded, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var queries []Query
+	for _, op := range AllOps {
+		for v := uint64(0); v < 100; v += 3 {
+			queries = append(queries, Query{Op: op, V: v})
+		}
+	}
+	for _, par := range []int{0, 1, 2, 7, 64, len(queries) + 5} {
+		stats := make([]Stats, len(queries))
+		got := ix.EvalBatch(queries, par, stats)
+		if len(got) != len(queries) {
+			t.Fatalf("par=%d: got %d results", par, len(got))
+		}
+		for i, q := range queries {
+			var st Stats
+			want := ix.Eval(q.Op, q.V, &EvalOptions{Stats: &st})
+			if !got[i].Equal(want) {
+				t.Fatalf("par=%d query %d (A %s %d): result differs", par, i, q.Op, q.V)
+			}
+			if stats[i] != st {
+				t.Fatalf("par=%d query %d: stats %+v, want %+v", par, i, stats[i], st)
+			}
+		}
+	}
+}
+
+func TestEvalBatchEdgeCases(t *testing.T) {
+	ix, _ := Build([]uint64{0, 1}, 2, Base{2}, RangeEncoded, nil)
+	if out := ix.EvalBatch(nil, 4, nil); len(out) != 0 {
+		t.Fatal("empty batch must return empty slice")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched stats length must panic")
+		}
+	}()
+	ix.EvalBatch([]Query{{Op: Eq, V: 0}}, 1, make([]Stats, 2))
+}
+
+func BenchmarkEvalBatchParallel(b *testing.B) {
+	r := rand.New(rand.NewSource(45))
+	vals := make([]uint64, 1<<18)
+	for i := range vals {
+		vals[i] = uint64(r.Intn(1000))
+	}
+	ix, err := Build(vals, 1000, Base{32, 32}, RangeEncoded, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := make([]Query, 64)
+	for i := range queries {
+		queries[i] = Query{Op: AllOps[i%6], V: uint64(i * 15)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.EvalBatch(queries, 0, nil)
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import "fmt"
+
+// Builder accumulates a column row by row and builds the index in one
+// shot, for loaders that stream records (the paper's DSS environment is
+// read-mostly: indexes are rebuilt on batch loads rather than updated in
+// place). The zero value is not usable; call NewBuilder.
+type Builder struct {
+	card   uint64
+	base   Base
+	enc    Encoding
+	values []uint64
+	nulls  []bool
+	any    bool // any null seen
+	built  bool
+}
+
+// NewBuilder prepares an index build with the given design. The base and
+// encoding are validated immediately so configuration errors surface
+// before any data is loaded.
+func NewBuilder(card uint64, base Base, enc Encoding) (*Builder, error) {
+	if card < 1 {
+		return nil, fmt.Errorf("core: cardinality must be >= 1, got %d", card)
+	}
+	if err := base.Validate(card); err != nil {
+		return nil, err
+	}
+	switch enc {
+	case EqualityEncoded, RangeEncoded, IntervalEncoded:
+	default:
+		return nil, fmt.Errorf("core: unknown encoding %v", enc)
+	}
+	return &Builder{card: card, base: base.Clone(), enc: enc}, nil
+}
+
+// Add appends one value; it must be in [0, cardinality).
+func (b *Builder) Add(v uint64) error {
+	if b.built {
+		return fmt.Errorf("core: builder already built")
+	}
+	if v >= b.card {
+		return fmt.Errorf("%w: value %d at row %d, cardinality %d", ErrValueOutOfRange, v, len(b.values), b.card)
+	}
+	b.values = append(b.values, v)
+	b.nulls = append(b.nulls, false)
+	return nil
+}
+
+// AddNull appends one null row.
+func (b *Builder) AddNull() error {
+	if b.built {
+		return fmt.Errorf("core: builder already built")
+	}
+	b.values = append(b.values, 0)
+	b.nulls = append(b.nulls, true)
+	b.any = true
+	return nil
+}
+
+// Rows returns the number of rows accumulated so far.
+func (b *Builder) Rows() int { return len(b.values) }
+
+// Build constructs the index over everything added. The builder cannot be
+// reused afterwards.
+func (b *Builder) Build() (*Index, error) {
+	if b.built {
+		return nil, fmt.Errorf("core: builder already built")
+	}
+	b.built = true
+	var opts *BuildOptions
+	if b.any {
+		opts = &BuildOptions{Nulls: b.nulls}
+	}
+	return Build(b.values, b.card, b.base, b.enc, opts)
+}

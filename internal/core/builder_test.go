@@ -1,0 +1,136 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestBuilderMatchesBuild(t *testing.T) {
+	vals := []uint64{3, 2, 1, 2, 8, 2, 2, 0, 7, 5}
+	nulls := []bool{false, false, true, false, false, false, true, false, false, false}
+	for _, enc := range []Encoding{EqualityEncoded, RangeEncoded, IntervalEncoded} {
+		b, err := NewBuilder(9, Base{3, 3}, enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range vals {
+			if nulls[i] {
+				err = b.AddNull()
+			} else {
+				err = b.Add(v)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if b.Rows() != len(vals) {
+			t.Fatalf("Rows = %d", b.Rows())
+		}
+		got, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Build(vals, 9, Base{3, 3}, enc, &BuildOptions{Nulls: nulls})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, op := range AllOps {
+			for v := uint64(0); v < 9; v++ {
+				if !got.Eval(op, v, nil).Equal(want.Eval(op, v, nil)) {
+					t.Fatalf("enc %v: builder index differs for A %s %d", enc, op, v)
+				}
+			}
+		}
+	}
+}
+
+func TestBuilderNoNullsPath(t *testing.T) {
+	b, err := NewBuilder(4, Base{4}, RangeEncoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []uint64{0, 1, 2, 3} {
+		if err := b.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ix, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.HasNulls() {
+		t.Fatal("no nulls were added")
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	if _, err := NewBuilder(0, Base{2}, RangeEncoded); err == nil {
+		t.Error("card 0 must fail")
+	}
+	if _, err := NewBuilder(9, Base{2}, RangeEncoded); err == nil {
+		t.Error("non-covering base must fail")
+	}
+	if _, err := NewBuilder(9, Base{9}, Encoding(42)); err == nil {
+		t.Error("bad encoding must fail")
+	}
+	b, err := NewBuilder(4, Base{4}, RangeEncoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(4); !errors.Is(err, ErrValueOutOfRange) {
+		t.Errorf("Add(4) err = %v", err)
+	}
+	if err := b.Add(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(1); err == nil {
+		t.Error("Add after Build must fail")
+	}
+	if err := b.AddNull(); err == nil {
+		t.Error("AddNull after Build must fail")
+	}
+	if _, err := b.Build(); err == nil {
+		t.Error("double Build must fail")
+	}
+}
+
+// TestConcurrentEval: an Index is immutable after Build; concurrent
+// readers must be safe (run under -race to verify).
+func TestConcurrentEval(t *testing.T) {
+	vals := make([]uint64, 4000)
+	for i := range vals {
+		vals[i] = uint64(i % 100)
+	}
+	for _, enc := range []Encoding{EqualityEncoded, RangeEncoded, IntervalEncoded} {
+		ix, err := Build(vals, 100, Base{10, 10}, enc, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ix.Eval(Le, 42, nil)
+		var wg sync.WaitGroup
+		errs := make(chan string, 16)
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for k := 0; k < 50; k++ {
+					var st Stats
+					got := ix.Eval(Le, 42, &EvalOptions{Stats: &st})
+					if !got.Equal(want) {
+						errs <- "result mismatch"
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		close(errs)
+		for e := range errs {
+			t.Fatal(e)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package core
+
+import "bitmapindex/internal/bitvec"
+
+// EvalEquality evaluates (A op v) on an equality-encoded index. The paper
+// uses (but does not print) an equality-encoding evaluator; this one follows
+// the paper's stated cost behaviour: an equality predicate reads one bitmap
+// per component, while a range predicate reads between two and half the
+// bitmaps of each component, choosing per component whichever of the two
+// directions (OR of low digit bitmaps vs complement of the OR of high digit
+// bitmaps) needs fewer bitmap scans.
+func (ix *Index) EvalEquality(op Op, v uint64, opt *EvalOptions) *bitvec.Vector {
+	ix.mustBe(EqualityEncoded)
+	qc := newQctx(ix, opt)
+	if r, ok := qc.trivialResult(op, v); ok {
+		return r
+	}
+	switch op {
+	case Eq:
+		return qc.eqEQ(v)
+	case Ne:
+		B := qc.eqEQ(v)
+		qc.not(B)
+		return qc.maskNN(B)
+	case Lt:
+		if v == 0 {
+			return qc.zeros()
+		}
+		return qc.eqLT(v)
+	case Ge:
+		if v == 0 {
+			return qc.nonNull()
+		}
+		B := qc.eqLT(v)
+		qc.not(B)
+		return qc.maskNN(B)
+	case Le:
+		if v >= ix.card-1 {
+			return qc.nonNull()
+		}
+		return qc.eqLT(v + 1)
+	default: // Gt
+		if v >= ix.card-1 {
+			return qc.zeros()
+		}
+		B := qc.eqLT(v + 1)
+		qc.not(B)
+		return qc.maskNN(B)
+	}
+}
+
+// eqBitmap returns the digit-equality bitmap E_i^j. For base-2 components
+// only E_i^1 is stored; E_i^0 is derived as B_nn AND NOT E_i^1 (one scan).
+// The returned vector may be shared storage; callers must not mutate it
+// unless derived is true.
+func (qc *qctx) eqBitmap(i int, j uint64) (v *bitvec.Vector, derived bool) {
+	if qc.ix.base[i] == 2 {
+		stored := qc.fetch(i, 0) // E_i^1
+		if j == 1 {
+			return stored, false
+		}
+		t := qc.nonNull()
+		qc.andNot(t, stored)
+		return t, true
+	}
+	return qc.fetch(i, int(j)), false
+}
+
+// eqEQ computes the equality bitmap (A = v): the AND over components of
+// E_i^{v_i}, one scan per component.
+func (qc *qctx) eqEQ(v uint64) *bitvec.Vector {
+	digits := qc.ix.base.Decompose(v, nil)
+	var B *bitvec.Vector
+	for i := range qc.ix.base {
+		e, derived := qc.eqBitmap(i, digits[i])
+		if B == nil {
+			if derived {
+				B = e
+			} else {
+				B = e.Clone()
+			}
+			continue
+		}
+		qc.and(B, e)
+	}
+	return B
+}
+
+// eqLT computes (A < v) for 1 <= v <= C using the standard most-significant
+// first expansion: A < v iff for some component i, the digits above i equal
+// v's and digit_i < v_i. The prefix-equality bitmap P starts from B_nn so
+// null records never qualify even when a per-digit comparison is computed
+// by complement.
+func (qc *qctx) eqLT(v uint64) *bitvec.Vector {
+	ix := qc.ix
+	digits := ix.base.Decompose(v, nil)
+	R := qc.zeros()
+	P := qc.nonNull()
+	for i := len(ix.base) - 1; i >= 0; i-- {
+		di := digits[i]
+		if di > 0 {
+			lt := qc.eqLTDigit(i, di)
+			qc.and(lt, P)
+			qc.or(R, lt)
+		}
+		if i > 0 {
+			e, _ := qc.eqBitmap(i, di)
+			qc.and(P, e)
+		}
+	}
+	return R
+}
+
+// eqLTDigit returns a fresh bitmap of records whose i-th digit is < d,
+// 1 <= d <= b_i - 1. It reads min(d, b_i - d) stored bitmaps: either the OR
+// of E_i^0..E_i^{d-1}, or the complement of the OR of E_i^d..E_i^{b_i-1}.
+// The complement direction may include null rows; callers AND the result
+// with a null-free prefix bitmap.
+func (qc *qctx) eqLTDigit(i int, d uint64) *bitvec.Vector {
+	bi := qc.ix.base[i]
+	if bi == 2 {
+		// Only d = 1 is possible: digit < 1 means digit = 0.
+		e, derived := qc.eqBitmap(i, 0)
+		if derived {
+			return e
+		}
+		return e.Clone()
+	}
+	if d <= bi-d {
+		// Forward: OR of the d low digit bitmaps.
+		acc := qc.fetch(i, 0).Clone()
+		for j := uint64(1); j < d; j++ {
+			qc.or(acc, qc.fetch(i, int(j)))
+		}
+		return acc
+	}
+	// Backward: complement of the OR of the b_i - d high digit bitmaps.
+	acc := qc.fetch(i, int(d)).Clone()
+	for j := d + 1; j < bi; j++ {
+		qc.or(acc, qc.fetch(i, int(j)))
+	}
+	qc.not(acc)
+	return acc
+}

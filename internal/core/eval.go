@@ -1,0 +1,274 @@
+package core
+
+import (
+	"fmt"
+
+	"bitmapindex/internal/bitvec"
+)
+
+// Op is a selection predicate comparison operator. The paper's query class
+// is Q = {A op v : op in {<, <=, >, >=, =, !=}, 0 <= v < C}.
+type Op uint8
+
+const (
+	Lt Op = iota // A < v
+	Le           // A <= v
+	Gt           // A > v
+	Ge           // A >= v
+	Eq           // A = v
+	Ne           // A != v
+)
+
+// AllOps lists every operator, in a fixed order, for exhaustive sweeps.
+var AllOps = []Op{Lt, Le, Gt, Ge, Eq, Ne}
+
+// String returns the SQL-ish spelling of the operator.
+func (op Op) String() string {
+	switch op {
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Gt:
+		return ">"
+	case Ge:
+		return ">="
+	case Eq:
+		return "="
+	case Ne:
+		return "!="
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(op))
+	}
+}
+
+// IsRange reports whether the operator is a range operator (<, <=, >, >=)
+// as opposed to an equality operator (=, !=).
+func (op Op) IsRange() bool { return op <= Ge }
+
+// ParseOp parses an operator spelling ("<", "<=", ">", ">=", "=", "==",
+// "!=", "<>").
+func ParseOp(s string) (Op, error) {
+	switch s {
+	case "<":
+		return Lt, nil
+	case "<=":
+		return Le, nil
+	case ">":
+		return Gt, nil
+	case ">=":
+		return Ge, nil
+	case "=", "==":
+		return Eq, nil
+	case "!=", "<>":
+		return Ne, nil
+	}
+	return 0, fmt.Errorf("core: unknown operator %q", s)
+}
+
+// Matches reports whether value a satisfies the predicate (a op v). It is
+// the scalar reference semantics every evaluator must agree with.
+func (op Op) Matches(a, v uint64) bool {
+	switch op {
+	case Lt:
+		return a < v
+	case Le:
+		return a <= v
+	case Gt:
+		return a > v
+	case Ge:
+		return a >= v
+	case Eq:
+		return a == v
+	case Ne:
+		return a != v
+	default:
+		panic("core: invalid op")
+	}
+}
+
+// Stats accumulates the paper's two cost measures while evaluating queries:
+// the number of bitmap scans (distinct stored bitmaps read, the I/O metric)
+// and the number of bitmap operations by kind (the CPU metric). A single
+// Stats may be reused across queries; the counters only ever accumulate.
+type Stats struct {
+	Scans int // distinct stored bitmaps read
+	Ands  int
+	Ors   int
+	Xors  int
+	Nots  int
+}
+
+// Ops returns the total number of bitmap operations.
+func (s *Stats) Ops() int { return s.Ands + s.Ors + s.Xors + s.Nots }
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.Scans += o.Scans
+	s.Ands += o.Ands
+	s.Ors += o.Ors
+	s.Xors += o.Xors
+	s.Nots += o.Nots
+}
+
+// EvalOptions tunes a single evaluation.
+type EvalOptions struct {
+	// Stats, when non-nil, accumulates scan and operation counts.
+	Stats *Stats
+	// Buffered, when non-nil, reports whether stored bitmap slot j of
+	// component i is resident in the bitmap buffer; reads of buffered
+	// bitmaps do not count as scans (paper Section 10).
+	Buffered func(comp, slot int) bool
+	// Fetch, when non-nil, overrides in-memory bitmap access: the
+	// evaluator obtains stored bitmap slot j of component i by calling
+	// Fetch(i, j). Required for shell indexes (NewShell); the returned
+	// vector must have Rows() bits and must not be retained or mutated by
+	// Fetch after returning.
+	Fetch func(comp, slot int) *bitvec.Vector
+}
+
+// qctx is the per-query evaluation context: instrumentation plus the
+// per-query fetch cache that makes "scans" mean distinct bitmaps read.
+type qctx struct {
+	ix      *Index
+	st      *Stats
+	buf     func(comp, slot int) bool
+	fetchFn func(comp, slot int) *bitvec.Vector
+	seen    map[uint64]bool
+}
+
+func newQctx(ix *Index, opt *EvalOptions) *qctx {
+	qc := &qctx{ix: ix}
+	if opt != nil {
+		qc.st = opt.Stats
+		qc.buf = opt.Buffered
+		qc.fetchFn = opt.Fetch
+	}
+	return qc
+}
+
+// fetch returns stored bitmap slot j of component i, counting a scan the
+// first time each bitmap is read within this query (unless buffered).
+func (qc *qctx) fetch(i, j int) *bitvec.Vector {
+	if qc.st != nil {
+		key := uint64(i)<<32 | uint64(uint32(j))
+		if qc.seen == nil {
+			qc.seen = make(map[uint64]bool, 8)
+		}
+		if !qc.seen[key] {
+			qc.seen[key] = true
+			if qc.buf == nil || !qc.buf(i, j) {
+				qc.st.Scans++
+			}
+		}
+	}
+	if qc.fetchFn != nil {
+		return qc.fetchFn(i, j)
+	}
+	return qc.ix.comps[i][j]
+}
+
+func (qc *qctx) and(dst, src *bitvec.Vector) {
+	dst.And(src)
+	if qc.st != nil {
+		qc.st.Ands++
+	}
+}
+
+func (qc *qctx) or(dst, src *bitvec.Vector) {
+	dst.Or(src)
+	if qc.st != nil {
+		qc.st.Ors++
+	}
+}
+
+func (qc *qctx) xor(dst, src *bitvec.Vector) {
+	dst.Xor(src)
+	if qc.st != nil {
+		qc.st.Xors++
+	}
+}
+
+func (qc *qctx) not(dst *bitvec.Vector) {
+	dst.Not()
+	if qc.st != nil {
+		qc.st.Nots++
+	}
+}
+
+// andNot counts as one AND plus one NOT, matching the paper's operation
+// inventory (AND, OR, XOR, NOT).
+func (qc *qctx) andNot(dst, src *bitvec.Vector) {
+	dst.AndNot(src)
+	if qc.st != nil {
+		qc.st.Ands++
+		qc.st.Nots++
+	}
+}
+
+func (qc *qctx) zeros() *bitvec.Vector { return bitvec.New(qc.ix.rows) }
+func (qc *qctx) ones() *bitvec.Vector  { return bitvec.NewOnes(qc.ix.rows) }
+
+// nonNull returns a fresh copy of B_nn (reading B_nn is not counted as a
+// scan: the paper's scan counts are over the value bitmaps).
+func (qc *qctx) nonNull() *bitvec.Vector { return qc.ix.nn.Clone() }
+
+// finishPositive AND-masks a result that was built only from stored value
+// bitmaps ORed together; such results can only contain non-null rows
+// already, except when they started from the implicit all-ones bitmap.
+func (qc *qctx) maskNN(b *bitvec.Vector) *bitvec.Vector {
+	if qc.ix.hasNulls {
+		qc.and(b, qc.ix.nn)
+	}
+	return b
+}
+
+// Eval evaluates the selection predicate (A op v) and returns the bitmap of
+// qualifying records. For range-encoded indexes it uses RangeEval-Opt; for
+// equality-encoded indexes it uses the equality evaluator. v may be any
+// uint64; values >= Cardinality are handled by their natural semantics.
+func (ix *Index) Eval(op Op, v uint64, opt *EvalOptions) *bitvec.Vector {
+	switch ix.enc {
+	case RangeEncoded:
+		return ix.EvalRangeOpt(op, v, opt)
+	case EqualityEncoded:
+		return ix.EvalEquality(op, v, opt)
+	case IntervalEncoded:
+		return ix.EvalInterval(op, v, opt)
+	default:
+		panic("core: unknown encoding")
+	}
+}
+
+// trivialResult handles predicate constants outside [0, C): for those, the
+// answer does not depend on any bitmap. ok is false when the predicate
+// needs real evaluation.
+func (qc *qctx) trivialResult(op Op, v uint64) (*bitvec.Vector, bool) {
+	c := qc.ix.card
+	if v < c {
+		return nil, false
+	}
+	switch op {
+	case Lt, Le, Ne:
+		return qc.nonNull(), true
+	default: // Gt, Ge, Eq
+		return qc.zeros(), true
+	}
+}
+
+// EvalBetween evaluates the two-sided range predicate (lo <= A <= hi) as
+// LE(hi) AND NOT LE(lo-1), two one-sided evaluations regardless of
+// encoding (at most 2(2n-1) scans on a range-encoded index). An empty
+// interval (lo > hi) matches nothing.
+func (ix *Index) EvalBetween(lo, hi uint64, opt *EvalOptions) *bitvec.Vector {
+	if lo > hi {
+		return bitvec.New(ix.rows)
+	}
+	upper := ix.Eval(Le, hi, opt)
+	if lo == 0 {
+		return upper
+	}
+	lower := ix.Eval(Le, lo-1, opt)
+	upper.AndNot(lower)
+	return upper
+}

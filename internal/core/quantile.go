@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+
+	"bitmapindex/internal/bitvec"
+)
+
+// Order statistics over the index: minimum, maximum, and quantiles of the
+// indexed values within a selection, each answered with O(log C) range
+// predicate evaluations (binary search over cumulative counts). With a
+// range-encoded index every probe touches at most 2n-1 bitmaps, so a
+// median costs ~ (2n-1) * log2(C) bitmap scans regardless of the relation
+// size — another workload where the paper's encoding pays off.
+
+// selAndCount prepares the non-null selection and its cardinality.
+func (ix *Index) selAndCount(sel *bitvec.Vector) (*bitvec.Vector, int, error) {
+	s := ix.nn.Clone()
+	if sel != nil {
+		if sel.Len() != ix.rows {
+			return nil, 0, fmt.Errorf("core: selection has %d bits, index has %d rows", sel.Len(), ix.rows)
+		}
+		s.And(sel)
+	}
+	return s, s.Count(), nil
+}
+
+// countLe returns the number of selected non-null rows with value <= v.
+func (ix *Index) countLe(v uint64, selNN *bitvec.Vector) int {
+	return bitvec.AndCount(ix.Eval(Le, v, nil), selNN)
+}
+
+// MinSelected returns the smallest indexed value among the selected rows;
+// ok is false when the selection is empty. sel may be nil (all rows).
+func (ix *Index) MinSelected(sel *bitvec.Vector) (v uint64, ok bool, err error) {
+	selNN, n, err := ix.selAndCount(sel)
+	if err != nil || n == 0 {
+		return 0, false, err
+	}
+	// Smallest v with count(A <= v) >= 1.
+	return ix.searchCount(1, selNN), true, nil
+}
+
+// MaxSelected returns the largest indexed value among the selected rows.
+func (ix *Index) MaxSelected(sel *bitvec.Vector) (v uint64, ok bool, err error) {
+	selNN, n, err := ix.selAndCount(sel)
+	if err != nil || n == 0 {
+		return 0, false, err
+	}
+	// Largest v present: smallest v with count(A <= v) == n.
+	return ix.searchCount(n, selNN), true, nil
+}
+
+// QuantileSelected returns the q-quantile (0 <= q <= 1) of the indexed
+// values among the selected rows, defined as the smallest value v such
+// that at least ceil(q * n) selected rows have value <= v (q = 0.5 is the
+// lower median; q = 0 the minimum; q = 1 the maximum).
+func (ix *Index) QuantileSelected(q float64, sel *bitvec.Vector) (v uint64, ok bool, err error) {
+	if q < 0 || q > 1 {
+		return 0, false, fmt.Errorf("core: quantile %v out of [0,1]", q)
+	}
+	selNN, n, err := ix.selAndCount(sel)
+	if err != nil || n == 0 {
+		return 0, false, err
+	}
+	k := int(q*float64(n) + 0.9999999999)
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return ix.searchCount(k, selNN), true, nil
+}
+
+// searchCount returns the smallest v with countLe(v) >= k, for 1 <= k <=
+// |selection|. Binary search over [0, C).
+func (ix *Index) searchCount(k int, selNN *bitvec.Vector) uint64 {
+	lo, hi := uint64(0), ix.card-1
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if ix.countLe(mid, selNN) >= k {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// MedianSelected is QuantileSelected(0.5, sel): the lower median.
+func (ix *Index) MedianSelected(sel *bitvec.Vector) (uint64, bool, error) {
+	return ix.QuantileSelected(0.5, sel)
+}

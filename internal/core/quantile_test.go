@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"bitmapindex/internal/bitvec"
+)
+
+// refQuantile computes the same definition directly: smallest value with
+// at least ceil(q*n) selected values <= it.
+func refQuantile(vals []uint64, sel []bool, q float64) (uint64, bool) {
+	var xs []uint64
+	for i, v := range vals {
+		if sel == nil || sel[i] {
+			xs = append(xs, v)
+		}
+	}
+	if len(xs) == 0 {
+		return 0, false
+	}
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+	k := int(q*float64(len(xs)) + 0.9999999999)
+	if k < 1 {
+		k = 1
+	}
+	if k > len(xs) {
+		k = len(xs)
+	}
+	return xs[k-1], true
+}
+
+func TestOrderStatisticsAllEncodings(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	for _, base := range []Base{{30}, {6, 5}, {2, 3, 5}} {
+		card, _ := base.Product()
+		vals := make([]uint64, 400)
+		selMask := make([]bool, 400)
+		sel := bitvec.New(400)
+		for i := range vals {
+			vals[i] = uint64(r.Intn(int(card)))
+			if r.Intn(3) != 0 {
+				selMask[i] = true
+				sel.Set(i)
+			}
+		}
+		for _, enc := range []Encoding{EqualityEncoded, RangeEncoded, IntervalEncoded} {
+			ix, err := Build(vals, card, base, enc, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 1} {
+				got, ok, err := ix.QuantileSelected(q, sel)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, wok := refQuantile(vals, selMask, q)
+				if ok != wok || got != want {
+					t.Fatalf("base %v enc %v q=%.2f: got %d,%v want %d,%v", base, enc, q, got, ok, want, wok)
+				}
+			}
+			min, ok, err := ix.MinSelected(sel)
+			if err != nil || !ok {
+				t.Fatal(err)
+			}
+			wantMin, _ := refQuantile(vals, selMask, 0)
+			if min != wantMin {
+				t.Fatalf("min = %d, want %d", min, wantMin)
+			}
+			max, ok, err := ix.MaxSelected(sel)
+			if err != nil || !ok {
+				t.Fatal(err)
+			}
+			wantMax, _ := refQuantile(vals, selMask, 1)
+			if max != wantMax {
+				t.Fatalf("max = %d, want %d", max, wantMax)
+			}
+			med, ok, err := ix.MedianSelected(nil)
+			if err != nil || !ok {
+				t.Fatal(err)
+			}
+			wantMed, _ := refQuantile(vals, nil, 0.5)
+			if med != wantMed {
+				t.Fatalf("median = %d, want %d", med, wantMed)
+			}
+		}
+	}
+}
+
+func TestOrderStatisticsWithNulls(t *testing.T) {
+	vals := []uint64{5, 1, 9, 3, 7}
+	nulls := []bool{false, true, false, true, false}
+	ix, err := Build(vals, 10, Base{10}, RangeEncoded, &BuildOptions{Nulls: nulls})
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, ok, _ := ix.MinSelected(nil)
+	if !ok || min != 5 {
+		t.Fatalf("min = %d,%v; nulls must not count", min, ok)
+	}
+	max, ok, _ := ix.MaxSelected(nil)
+	if !ok || max != 9 {
+		t.Fatalf("max = %d,%v", max, ok)
+	}
+}
+
+func TestOrderStatisticsEmptyAndErrors(t *testing.T) {
+	vals := []uint64{1, 2, 3}
+	ix, _ := Build(vals, 4, Base{4}, RangeEncoded, nil)
+	if _, ok, err := ix.MinSelected(bitvec.New(3)); ok || err != nil {
+		t.Fatal("empty selection must give ok=false")
+	}
+	if _, ok, err := ix.MaxSelected(bitvec.New(3)); ok || err != nil {
+		t.Fatal("empty selection must give ok=false")
+	}
+	if _, _, err := ix.QuantileSelected(0.5, bitvec.New(7)); err == nil {
+		t.Fatal("length mismatch must fail")
+	}
+	if _, _, err := ix.QuantileSelected(1.5, nil); err == nil {
+		t.Fatal("q out of range must fail")
+	}
+	if _, _, err := ix.QuantileSelected(-0.1, nil); err == nil {
+		t.Fatal("negative q must fail")
+	}
+}

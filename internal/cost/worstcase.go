@@ -1,0 +1,53 @@
+package cost
+
+import "bitmapindex/internal/core"
+
+// OpCounts tallies bitmap operations by kind plus bitmap scans; it is the
+// row type of the paper's Table 1 (worst-case analysis of the evaluation
+// algorithms). Counts follow this implementation's convention: the final
+// AND with B_nn is performed (and counted) only when the index contains
+// null values; worst-case rows below assume a null-free index.
+type OpCounts struct {
+	Ands, Ors, Xors, Nots int
+	Scans                 int
+}
+
+// Total returns the total number of bitmap operations.
+func (c OpCounts) Total() int { return c.Ands + c.Ors + c.Xors + c.Nots }
+
+// WorstCaseOpt returns the worst-case operation and scan counts of
+// Algorithm RangeEval-Opt for an n-component range-encoded index. The worst
+// case occurs when every digit of the (adjusted) predicate constant is
+// interior, i.e. 0 < v_i < b_i - 1, which is also the most probable case.
+func WorstCaseOpt(op core.Op, n int) OpCounts {
+	switch op {
+	case core.Lt, core.Le:
+		return OpCounts{Ands: n - 1, Ors: n - 1, Scans: 2*n - 1}
+	case core.Gt, core.Ge:
+		return OpCounts{Ands: n - 1, Ors: n - 1, Nots: 1, Scans: 2*n - 1}
+	case core.Eq:
+		return OpCounts{Ands: n, Xors: n, Scans: 2 * n}
+	default: // Ne
+		return OpCounts{Ands: n, Xors: n, Nots: 1, Scans: 2 * n}
+	}
+}
+
+// WorstCaseNaive returns the worst-case operation and scan counts of
+// Algorithm RangeEval (the O'Neil-Quass strategy) for an n-component
+// range-encoded index.
+func WorstCaseNaive(op core.Op, n int) OpCounts {
+	switch op {
+	case core.Lt:
+		return OpCounts{Ands: 2 * n, Ors: n, Xors: n, Scans: 2 * n}
+	case core.Le:
+		return OpCounts{Ands: 2 * n, Ors: n + 1, Xors: n, Scans: 2 * n}
+	case core.Gt:
+		return OpCounts{Ands: 2 * n, Ors: n, Xors: n, Nots: n, Scans: 2 * n}
+	case core.Ge:
+		return OpCounts{Ands: 2 * n, Ors: n + 1, Xors: n, Nots: n, Scans: 2 * n}
+	case core.Eq:
+		return OpCounts{Ands: n, Xors: n, Scans: 2 * n}
+	default: // Ne
+		return OpCounts{Ands: n, Xors: n, Nots: 1, Scans: 2 * n}
+	}
+}

@@ -1,0 +1,118 @@
+// Package data provides deterministic synthetic workload generators. They
+// stand in for the TPC-D benchmark data the paper's Section 9 experiments
+// used (see DESIGN.md): the generators match the attribute cardinalities
+// and value distributions of the paper's two data sets, with the relation
+// cardinality as a configurable scale factor.
+package data
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Column is a generated attribute column: Values[i] in [0, Card) for every
+// row. Attribute values are already rank-mapped to consecutive integers,
+// the form the bitmap index consumes.
+type Column struct {
+	Name   string
+	Values []uint64
+	Card   uint64
+}
+
+// Rows returns the relation cardinality.
+func (c Column) Rows() int { return len(c.Values) }
+
+// String summarizes the column.
+func (c Column) String() string {
+	return fmt.Sprintf("%s[N=%d C=%d]", c.Name, len(c.Values), c.Card)
+}
+
+// LineitemQuantityCard is the attribute cardinality of TPC-D
+// Lineitem.Quantity: integer quantities 1..50.
+const LineitemQuantityCard = 50
+
+// OrderDateCard is the attribute cardinality of TPC-D Order.OrderDate:
+// order dates are uniform over the 2,406 days from 1992-01-01 through
+// 1998-08-02.
+const OrderDateCard = 2406
+
+// LineitemQuantity generates the paper's data set 1: n rows of
+// Lineitem.Quantity, uniform over its 50 distinct values.
+func LineitemQuantity(n int, seed int64) Column {
+	c := Uniform(n, LineitemQuantityCard, seed)
+	c.Name = "lineitem.quantity"
+	return c
+}
+
+// OrderDate generates the paper's data set 2: n rows of Order.OrderDate,
+// uniform over its 2,406 distinct day values.
+func OrderDate(n int, seed int64) Column {
+	c := Uniform(n, OrderDateCard, seed)
+	c.Name = "order.orderdate"
+	return c
+}
+
+// Uniform generates n values uniform over [0, card).
+func Uniform(n int, card uint64, seed int64) Column {
+	r := rand.New(rand.NewSource(seed))
+	vals := make([]uint64, n)
+	for i := range vals {
+		vals[i] = uint64(r.Int63n(int64(card)))
+	}
+	return Column{Name: fmt.Sprintf("uniform(%d)", card), Values: vals, Card: card}
+}
+
+// Zipf generates n values over [0, card) with a Zipf(s) frequency skew:
+// value 0 is the most frequent. s must be > 1.
+func Zipf(n int, card uint64, s float64, seed int64) Column {
+	r := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(r, s, 1, card-1)
+	vals := make([]uint64, n)
+	for i := range vals {
+		vals[i] = z.Uint64()
+	}
+	return Column{Name: fmt.Sprintf("zipf(%d,s=%.2f)", card, s), Values: vals, Card: card}
+}
+
+// Clustered generates n values over [0, card) in runs of geometrically
+// distributed length with mean runLen, modelling physically clustered data
+// (e.g. a relation loaded in date order). Run-length compression thrives
+// on it.
+func Clustered(n int, card uint64, runLen int, seed int64) Column {
+	if runLen < 1 {
+		runLen = 1
+	}
+	r := rand.New(rand.NewSource(seed))
+	vals := make([]uint64, n)
+	cur := uint64(r.Int63n(int64(card)))
+	for i := range vals {
+		if r.Float64() < 1/float64(runLen) {
+			cur = uint64(r.Int63n(int64(card)))
+		}
+		vals[i] = cur
+	}
+	return Column{Name: fmt.Sprintf("clustered(%d,run=%d)", card, runLen), Values: vals, Card: card}
+}
+
+// Sorted generates n values over [0, card) in non-decreasing order with
+// near-equal frequency per value — the best case for range-encoded bitmap
+// compressibility.
+func Sorted(n int, card uint64) Column {
+	vals := make([]uint64, n)
+	for i := range vals {
+		vals[i] = uint64(i) * card / uint64(n)
+	}
+	return Column{Name: fmt.Sprintf("sorted(%d)", card), Values: vals, Card: card}
+}
+
+// WithNulls returns a copy of the column plus a null mask with the given
+// null fraction, deterministically from seed.
+func WithNulls(c Column, frac float64, seed int64) (Column, []bool) {
+	r := rand.New(rand.NewSource(seed))
+	nulls := make([]bool, len(c.Values))
+	for i := range nulls {
+		nulls[i] = r.Float64() < frac
+	}
+	out := Column{Name: c.Name + "+nulls", Values: append([]uint64(nil), c.Values...), Card: c.Card}
+	return out, nulls
+}

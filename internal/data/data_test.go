@@ -1,0 +1,150 @@
+package data
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	gens := map[string]func() Column{
+		"quantity":  func() Column { return LineitemQuantity(1000, 7) },
+		"orderdate": func() Column { return OrderDate(1000, 7) },
+		"uniform":   func() Column { return Uniform(1000, 123, 7) },
+		"zipf":      func() Column { return Zipf(1000, 123, 1.5, 7) },
+		"clustered": func() Column { return Clustered(1000, 123, 16, 7) },
+	}
+	for name, gen := range gens {
+		a, b := gen(), gen()
+		if len(a.Values) != len(b.Values) {
+			t.Fatalf("%s: lengths differ", name)
+		}
+		for i := range a.Values {
+			if a.Values[i] != b.Values[i] {
+				t.Fatalf("%s: not deterministic at row %d", name, i)
+			}
+		}
+	}
+}
+
+func TestRangesAndCardinalities(t *testing.T) {
+	cols := []Column{
+		LineitemQuantity(5000, 1),
+		OrderDate(5000, 1),
+		Uniform(5000, 77, 1),
+		Zipf(5000, 77, 1.3, 1),
+		Clustered(5000, 77, 8, 1),
+		Sorted(5000, 77),
+	}
+	for _, c := range cols {
+		if c.Rows() != 5000 {
+			t.Fatalf("%s: Rows = %d", c, c.Rows())
+		}
+		for i, v := range c.Values {
+			if v >= c.Card {
+				t.Fatalf("%s: value %d at row %d out of range [0,%d)", c, v, i, c.Card)
+			}
+		}
+	}
+	if LineitemQuantity(10, 1).Card != 50 {
+		t.Fatal("quantity cardinality must be 50")
+	}
+	if OrderDate(10, 1).Card != 2406 {
+		t.Fatal("orderdate cardinality must be 2406")
+	}
+}
+
+func TestUniformIsRoughlyUniform(t *testing.T) {
+	c := Uniform(100000, 10, 2)
+	counts := make([]int, 10)
+	for _, v := range c.Values {
+		counts[v]++
+	}
+	for v, n := range counts {
+		if math.Abs(float64(n)-10000) > 600 {
+			t.Errorf("value %d occurs %d times, expected ~10000", v, n)
+		}
+	}
+}
+
+func TestZipfIsSkewed(t *testing.T) {
+	c := Zipf(100000, 100, 1.5, 3)
+	counts := make([]int, 100)
+	for _, v := range c.Values {
+		counts[v]++
+	}
+	if counts[0] < 10*counts[50] {
+		t.Errorf("zipf not skewed: counts[0]=%d counts[50]=%d", counts[0], counts[50])
+	}
+}
+
+func TestClusteredHasRuns(t *testing.T) {
+	c := Clustered(100000, 1000, 32, 4)
+	runs := 1
+	for i := 1; i < len(c.Values); i++ {
+		if c.Values[i] != c.Values[i-1] {
+			runs++
+		}
+	}
+	avgRun := float64(len(c.Values)) / float64(runs)
+	if avgRun < 8 {
+		t.Errorf("average run length %.1f too short for runLen=32", avgRun)
+	}
+	u := Uniform(100000, 1000, 4)
+	uruns := 1
+	for i := 1; i < len(u.Values); i++ {
+		if u.Values[i] != u.Values[i-1] {
+			uruns++
+		}
+	}
+	if runs >= uruns {
+		t.Errorf("clustered data has no fewer runs (%d) than uniform (%d)", runs, uruns)
+	}
+}
+
+func TestSortedIsSorted(t *testing.T) {
+	c := Sorted(10000, 64)
+	seen := map[uint64]bool{}
+	for i := 1; i < len(c.Values); i++ {
+		if c.Values[i] < c.Values[i-1] {
+			t.Fatalf("not sorted at row %d", i)
+		}
+	}
+	for _, v := range c.Values {
+		seen[v] = true
+	}
+	if len(seen) != 64 {
+		t.Errorf("sorted column uses %d distinct values, want 64", len(seen))
+	}
+}
+
+func TestWithNulls(t *testing.T) {
+	c := Uniform(10000, 10, 5)
+	c2, nulls := WithNulls(c, 0.1, 6)
+	if len(nulls) != c.Rows() {
+		t.Fatal("null mask length mismatch")
+	}
+	count := 0
+	for _, b := range nulls {
+		if b {
+			count++
+		}
+	}
+	if count < 800 || count > 1200 {
+		t.Errorf("null count %d, expected ~1000", count)
+	}
+	// Copy independence.
+	c2.Values[0] = 99
+	if c.Values[0] == 99 && c.Values[1] == 99 {
+		t.Error("WithNulls did not copy values")
+	}
+	if c.Rows() != c2.Rows() {
+		t.Error("row count changed")
+	}
+}
+
+func TestColumnString(t *testing.T) {
+	c := Uniform(10, 5, 1)
+	if s := c.String(); s == "" {
+		t.Fatal("empty String")
+	}
+}

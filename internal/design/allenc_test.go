@@ -1,0 +1,96 @@
+package design
+
+import (
+	"errors"
+	"testing"
+
+	"bitmapindex/internal/core"
+	"bitmapindex/internal/cost"
+)
+
+func TestFrontierAllEncodingsPareto(t *testing.T) {
+	for _, card := range []uint64{25, 100} {
+		front := FrontierAllEncodings(card)
+		if len(front) < 3 {
+			t.Fatalf("C=%d: combined frontier too small (%d)", card, len(front))
+		}
+		encSeen := map[core.Encoding]bool{}
+		for i, p := range front {
+			if !p.Base.Covers(card) {
+				t.Fatalf("C=%d: %v does not cover", card, p.Base)
+			}
+			if p.Space != cost.Space(p.Base, p.Encoding) {
+				t.Fatalf("C=%d: space mismatch at %v/%v", card, p.Base, p.Encoding)
+			}
+			if i > 0 {
+				if p.Space <= front[i-1].Space || p.Time >= front[i-1].Time {
+					t.Fatalf("C=%d: frontier not strictly improving at %d", card, i)
+				}
+			}
+			encSeen[p.Encoding] = true
+		}
+		// The combined frontier must dominate each per-encoding frontier.
+		for _, enc := range []core.Encoding{core.RangeEncoded, core.EqualityEncoded, core.IntervalEncoded} {
+			for _, q := range Frontier(card, enc) {
+				dominated := false
+				for _, p := range front {
+					if p.Space <= q.Space && p.Time <= q.Time+1e-9 {
+						dominated = true
+						break
+					}
+				}
+				if !dominated {
+					t.Fatalf("C=%d: %v/%v (s=%d t=%.3f) not dominated by combined frontier",
+						card, q.Base, enc, q.Space, q.Time)
+				}
+			}
+		}
+		// Interval encoding must contribute somewhere: it owns the
+		// mid-space region for typical C.
+		if !encSeen[core.IntervalEncoded] {
+			t.Errorf("C=%d: interval encoding absent from combined frontier", card)
+		}
+		if !encSeen[core.RangeEncoded] {
+			t.Errorf("C=%d: range encoding absent from combined frontier", card)
+		}
+	}
+}
+
+func TestBestDesignUnderSpace(t *testing.T) {
+	base, enc, err := BestDesignUnderSpace(100, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.Space(base, enc) > 15 {
+		t.Fatalf("budget violated: %v/%v", base, enc)
+	}
+	// With a generous budget the time-optimal single-component
+	// range-encoded index wins.
+	base, enc, err = BestDesignUnderSpace(100, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc != core.RangeEncoded || base.N() != 1 {
+		t.Fatalf("unconstrained best = %v/%v, want single-component range", base, enc)
+	}
+	if _, _, err := BestDesignUnderSpace(100, 1); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("tiny budget: %v", err)
+	}
+}
+
+func TestEncodingComparison(t *testing.T) {
+	pts := EncodingComparison(core.Base{10, 10}, 100)
+	if len(pts) != 3 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	byEnc := map[core.Encoding]EncodedPoint{}
+	for _, p := range pts {
+		byEnc[p.Encoding] = p
+	}
+	if byEnc[core.IntervalEncoded].Space >= byEnc[core.RangeEncoded].Space {
+		t.Error("interval should store fewer bitmaps than range at base <10,10>")
+	}
+	if byEnc[core.RangeEncoded].Time >= byEnc[core.EqualityEncoded].Time {
+		t.Error("range should be faster than equality at base <10,10>")
+	}
+}

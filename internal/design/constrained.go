@@ -1,0 +1,296 @@
+package design
+
+import (
+	"fmt"
+	"math"
+
+	"bitmapindex/internal/core"
+	"bitmapindex/internal/cost"
+)
+
+// feasible reports whether any index fits in M bitmaps: the smallest
+// possible index is the base-2 index with ceil(log2 C) bitmaps.
+func feasible(card uint64, m int) bool { return m >= MaxComponents(card) }
+
+// ComponentBounds returns the bounds [n, n'] on the number of components of
+// the time-optimal index under space constraint M (Figure 13): n is the
+// smallest k whose k-component space-optimal index fits in M, and n' the
+// smallest k >= n whose k-component time-optimal index fits in M. By
+// Theorem 6.1(2,4) the solution has between n and n' components.
+func ComponentBounds(card uint64, m int) (n, nprime int, err error) {
+	if !feasible(card, m) {
+		return 0, 0, fmt.Errorf("%w: M = %d < %d", ErrInfeasible, m, MaxComponents(card))
+	}
+	maxN := MaxComponents(card)
+	for n = 1; n <= maxN; n++ {
+		s, err := MinSpace(card, n)
+		if err != nil {
+			return 0, 0, err
+		}
+		if s <= m {
+			break
+		}
+	}
+	for nprime = n; nprime <= maxN; nprime++ {
+		b, err := TimeOptimal(card, nprime)
+		if err != nil {
+			return 0, 0, err
+		}
+		if cost.SpaceRange(b) <= m {
+			break
+		}
+	}
+	return n, nprime, nil
+}
+
+// TimeOptUnderSpace implements Algorithm TimeOptAlg (Figure 12): the
+// exactly time-optimal index with at most M stored bitmaps. It prunes the
+// search to k-component indexes with k in [n, n') plus the n'-component
+// time-optimal index, then exhaustively enumerates decrement-minimal bases
+// per k (a non-minimal base is strictly dominated, so the optimum is
+// minimal).
+func TimeOptUnderSpace(card uint64, m int) (core.Base, error) {
+	n, nprime, err := ComponentBounds(card, m)
+	if err != nil {
+		return nil, err
+	}
+	best, err := TimeOptimal(card, nprime)
+	if err != nil {
+		return nil, err
+	}
+	if cost.SpaceRange(best) > m {
+		return nil, fmt.Errorf("design: internal: n'-component time-optimal index exceeds M")
+	}
+	bestTime := cost.TimeRange(best, card)
+	for k := n; k < nprime; k++ {
+		enumerateMinimalK(card, k, m, func(b core.Base) {
+			if t := cost.TimeRange(b, card); t < bestTime {
+				bestTime = t
+				best = b.Clone()
+			}
+		})
+	}
+	return best, nil
+}
+
+// enumerateMinimalK visits every decrement-minimal k-component base
+// covering card with at most maxSpace stored bitmaps, in canonical
+// arrangement.
+func enumerateMinimalK(card uint64, k, maxSpace int, visit func(core.Base)) {
+	ms := make([]uint64, 0, k)
+	var rec func(minB uint64, prod uint64, space int)
+	rec = func(minB uint64, prod uint64, space int) {
+		remaining := k - len(ms)
+		if remaining == 1 {
+			need := (card + prod - 1) / prod
+			if need >= minB && need >= 2 && space+int(need-1) <= maxSpace {
+				ms = append(ms, need)
+				if isMinimal(ms, card) {
+					visit(arrange(ms))
+				}
+				ms = ms[:len(ms)-1]
+			}
+			return
+		}
+		for b := minB; satMul(prod, b) < card; b++ {
+			ns := space + int(b-1)
+			// Every remaining component needs at least b-1 more bitmaps.
+			if ns+(remaining-1)*int(b-1) > maxSpace {
+				break
+			}
+			ms = append(ms, b)
+			rec(b, prod*b, ns)
+			ms = ms[:len(ms)-1]
+		}
+	}
+	rec(2, 1, 0)
+}
+
+// CandidateCount returns |I|, the size of the candidate set Algorithm
+// TimeOptAlg enumerates (Figure 14): all k-component bases (as multisets of
+// base numbers) with product >= C and at most M bitmaps, for k in [n, n'),
+// plus one for the n'-component time-optimal index.
+func CandidateCount(card uint64, m int) (int, error) {
+	n, nprime, err := ComponentBounds(card, m)
+	if err != nil {
+		return 0, err
+	}
+	total := 1 // the n'-component time-optimal index
+	for k := n; k < nprime; k++ {
+		total += countK(card, k, m)
+	}
+	return total, nil
+}
+
+// countK counts non-decreasing multisets of k base numbers, each >= 2,
+// with product >= card and sum of (b_i - 1) <= maxSpace.
+func countK(card uint64, k, maxSpace int) int {
+	var rec func(minB, prod uint64, space, remaining int) int
+	rec = func(minB, prod uint64, space, remaining int) int {
+		if remaining == 1 {
+			// Final component: any b in [lo, hi] where lo makes the product
+			// cover card and hi exhausts the space budget.
+			lo := (card + prod - 1) / prod
+			if lo < minB {
+				lo = minB
+			}
+			if lo < 2 {
+				lo = 2
+			}
+			hi := uint64(maxSpace-space) + 1
+			if hi < lo {
+				return 0
+			}
+			return int(hi - lo + 1)
+		}
+		total := 0
+		for b := minB; ; b++ {
+			ns := space + int(b-1)
+			if ns+(remaining-1)*int(b-1) > maxSpace {
+				break
+			}
+			total += rec(b, satMul(prod, b), ns, remaining-1)
+		}
+		return total
+	}
+	return rec(2, 1, 0, k)
+}
+
+// FindSmallestN implements Algorithm FindSmallestN (Figure 15): the least
+// number of components n such that the n-component space-optimal index
+// fits in M bitmaps, together with a seed n-component index that uses
+// exactly M bitmaps: with b = floor((M+n)/n) and r = (M+n) mod n, the base
+// has r components of b+1 and n-r of b.
+func FindSmallestN(card uint64, m int) (int, core.Base, error) {
+	if !feasible(card, m) {
+		return 0, nil, fmt.Errorf("%w: M = %d < %d", ErrInfeasible, m, MaxComponents(card))
+	}
+	for n := 1; ; n++ {
+		b := uint64(m+n) / uint64(n)
+		r := (m + n) % n
+		if b < 2 {
+			return 0, nil, fmt.Errorf("design: internal: FindSmallestN ran past M = %d, C = %d", m, card)
+		}
+		if mixedPowAtLeast(b+1, r, b, n-r, card) {
+			base := make(core.Base, n)
+			for i := 0; i < r; i++ {
+				base[i] = b + 1
+			}
+			for i := r; i < n; i++ {
+				base[i] = b
+			}
+			return n, base, nil
+		}
+	}
+}
+
+// RefineIndex implements Algorithm RefineIndex (Figure 15, justified by
+// Theorem 8.1): it improves the time-efficiency of a base without
+// increasing its space by repeatedly transferring delta from the smallest
+// base number b_p to the next smallest b_q — which increases 1/b_p + 1/b_q
+// while keeping the product at least C — choosing the largest delta that
+// preserves coverage, then recomputing b_1 as the exact remainder
+// ceil(C / prod(b_2..b_n)).
+//
+// The returned base covers card, has Space <= Space(base) and
+// Time <= Time(base).
+func RefineIndex(base core.Base, card uint64) core.Base {
+	n := len(base)
+	out := make(core.Base, n)
+	if n == 1 {
+		out[0] = card
+		if out[0] < 2 {
+			out[0] = 2
+		}
+		return out
+	}
+	seq := append([]uint64(nil), base...)
+	prod := uint64(1)
+	for _, b := range seq {
+		prod = satMul(prod, b)
+	}
+	// out is filled from position n down to 2 (indexes n-1 .. 1).
+	for i := n - 1; i >= 1; i-- {
+		p := argMin(seq)
+		bp := seq[p]
+		seq = append(seq[:p], seq[p+1:]...)
+		if bp > 2 {
+			q := argMin(seq)
+			bq := seq[q]
+			delta := maxDelta(bp, bq, prod, card)
+			if delta > bp-2 {
+				delta = bp - 2
+			}
+			if delta > 0 {
+				prod = prod / (bp * bq) * (bp - delta) * (bq + delta)
+				bp -= delta
+				seq[q] = bq + delta
+			}
+		}
+		out[i] = bp
+	}
+	// Component 1 takes exactly what is still needed.
+	rest := uint64(1)
+	for i := 1; i < n; i++ {
+		rest = satMul(rest, out[i])
+	}
+	b1 := (card + rest - 1) / rest
+	if b1 < 2 {
+		b1 = 2
+	}
+	out[0] = b1
+	return out
+}
+
+func argMin(s []uint64) int {
+	m := 0
+	for i, v := range s {
+		if v < s[m] {
+			m = i
+		}
+	}
+	return m
+}
+
+// maxDelta returns the largest integer delta >= 0 such that
+// (bp-delta)*(bq+delta) >= bp*bq*card/prod, i.e. such that shrinking bp and
+// growing bq by delta keeps the full base product at least card. Solving
+// the quadratic gives delta <= (bp - bq + sqrt((bp+bq)^2 - 4K))/2 with
+// K = bp*bq*card/prod.
+func maxDelta(bp, bq, prod, card uint64) uint64 {
+	k := float64(bp) * float64(bq) * float64(card) / float64(prod)
+	disc := float64(bp+bq)*float64(bp+bq) - 4*k
+	if disc < 0 {
+		return 0
+	}
+	d := math.Floor((float64(bp) - float64(bq) + math.Sqrt(disc)) / 2)
+	if d < 0 {
+		return 0
+	}
+	delta := uint64(d)
+	// Float rounding can overshoot by one; verify exactly and back off.
+	rest := prod / (bp * bq)
+	for delta > 0 && satMul(rest, satMul(bp-delta, bq+delta)) < card {
+		delta--
+	}
+	return delta
+}
+
+// TimeOptHeuristic implements Algorithm TimeOptHeur (Figure 12): seed with
+// FindSmallestN, return the n-component time-optimal index when it fits,
+// otherwise refine the seed. Section 8.2 reports it selects the true
+// optimum at least 97% of the time.
+func TimeOptHeuristic(card uint64, m int) (core.Base, error) {
+	n, seed, err := FindSmallestN(card, m)
+	if err != nil {
+		return nil, err
+	}
+	topt, err := TimeOptimal(card, n)
+	if err != nil {
+		return nil, err
+	}
+	if cost.SpaceRange(topt) <= m {
+		return topt, nil
+	}
+	return RefineIndex(seed, card), nil
+}

@@ -1,0 +1,588 @@
+package design
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"bitmapindex/internal/core"
+	"bitmapindex/internal/cost"
+)
+
+// bruteMinSpace finds the true minimal space of an n-component covering
+// base by enumeration.
+func bruteMinSpace(card uint64, n int) int {
+	best := math.MaxInt
+	enumerateMinimalK(card, n, math.MaxInt32, func(b core.Base) {
+		if s := cost.SpaceRange(b); s < best {
+			best = s
+		}
+	})
+	return best
+}
+
+// bruteBestTime finds the minimal time of an n-component covering base.
+func bruteBestTime(card uint64, n int) float64 {
+	best := math.Inf(1)
+	enumerateMinimalK(card, n, math.MaxInt32, func(b core.Base) {
+		if t := cost.TimeRange(b, card); t < best {
+			best = t
+		}
+	})
+	return best
+}
+
+func TestSpaceOptimalMatchesBruteForce(t *testing.T) {
+	for _, card := range []uint64{2, 5, 9, 10, 25, 100, 1000} {
+		for n := 1; n <= MaxComponents(card); n++ {
+			base, err := SpaceOptimal(card, n)
+			if err != nil {
+				t.Fatalf("SpaceOptimal(%d,%d): %v", card, n, err)
+			}
+			if !base.Covers(card) {
+				t.Fatalf("SpaceOptimal(%d,%d) = %v does not cover", card, n, base)
+			}
+			if base.N() != n {
+				t.Fatalf("SpaceOptimal(%d,%d) has %d components", card, n, base.N())
+			}
+			got := cost.SpaceRange(base)
+			want := bruteMinSpace(card, n)
+			if got != want {
+				t.Errorf("SpaceOptimal(%d,%d) = %v uses %d bitmaps, brute force found %d",
+					card, n, base, got, want)
+			}
+		}
+	}
+}
+
+func TestSpaceOptimalKnownValues(t *testing.T) {
+	// Paper Section 6: for C = 1000, <32,32> and related bases; for C = 100,
+	// the 2-component space-optimal index is base <10,10> (18 bitmaps).
+	b, err := SpaceOptimal(100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.SpaceRange(b) != 18 {
+		t.Errorf("C=100 n=2: space %d, want 18 (%v)", cost.SpaceRange(b), b)
+	}
+	// C = 1000, n = 2: b = ceil(sqrt(1000)) = 32; r=1: 32*31=992 < 1000, so
+	// r=2: <32,32>, space 62.
+	b, err = SpaceOptimal(1000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Equal(core.Base{32, 32}) {
+		t.Errorf("C=1000 n=2: base %v, want <32,32>", b)
+	}
+	// The space-optimal index overall is the base-2 index (Theorem 6.1).
+	n := MaxComponents(1000)
+	b, err = SpaceOptimal(1000, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost.SpaceRange(b) != n {
+		t.Errorf("base-2 index space = %d, want %d", cost.SpaceRange(b), n)
+	}
+}
+
+// TestTheorem61Monotonicity: space-optimal space is non-increasing in n
+// (result 2) and time-optimal time is non-decreasing in n (result 4).
+func TestTheorem61Monotonicity(t *testing.T) {
+	for _, card := range []uint64{10, 100, 1000, 2406} {
+		prevSpace := math.MaxInt
+		prevTime := -1.0
+		for n := 1; n <= MaxComponents(card); n++ {
+			s, err := MinSpace(card, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s > prevSpace {
+				t.Errorf("C=%d: space-optimal space increased at n=%d (%d > %d)", card, n, s, prevSpace)
+			}
+			prevSpace = s
+			b, err := TimeOptimal(card, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tm := cost.TimeRange(b, card)
+			if tm < prevTime-1e-12 {
+				t.Errorf("C=%d: time-optimal time decreased at n=%d (%f < %f)", card, n, tm, prevTime)
+			}
+			prevTime = tm
+		}
+	}
+}
+
+func TestTimeOptimalMatchesBruteForce(t *testing.T) {
+	for _, card := range []uint64{5, 9, 30, 100, 250} {
+		for n := 1; n <= MaxComponents(card) && n <= 5; n++ {
+			base, err := TimeOptimal(card, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !base.Covers(card) || base.N() != n {
+				t.Fatalf("TimeOptimal(%d,%d) = %v malformed", card, n, base)
+			}
+			got := cost.TimeRange(base, card)
+			want := bruteBestTime(card, n)
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("TimeOptimal(%d,%d) = %v has time %f, brute force found %f",
+					card, n, base, got, want)
+			}
+		}
+	}
+}
+
+func TestTimeOptimalOverallIsSingleComponent(t *testing.T) {
+	// Point (D) of Figure 2: the overall time-optimal index has one
+	// component.
+	for _, card := range []uint64{10, 100, 1000} {
+		single, _ := TimeOptimal(card, 1)
+		t1 := cost.TimeRange(single, card)
+		for n := 2; n <= MaxComponents(card); n++ {
+			b, _ := TimeOptimal(card, n)
+			if cost.TimeRange(b, card) < t1 {
+				t.Errorf("C=%d: %d-component index beats single component", card, n)
+			}
+		}
+	}
+}
+
+func TestBadArguments(t *testing.T) {
+	if _, err := SpaceOptimal(1, 1); err == nil {
+		t.Error("C=1 must fail")
+	}
+	if _, err := SpaceOptimal(100, 0); err == nil {
+		t.Error("n=0 must fail")
+	}
+	if _, err := SpaceOptimal(100, 8); err == nil {
+		t.Error("n beyond ceil(log2 C) must fail")
+	}
+	if _, err := TimeOptimal(100, 99); err == nil {
+		t.Error("n beyond ceil(log2 C) must fail")
+	}
+	if _, err := SpaceOptimalBest(100, 0); err == nil {
+		t.Error("SpaceOptimalBest n=0 must fail")
+	}
+}
+
+func TestEnumerateMinimalProperties(t *testing.T) {
+	for _, card := range []uint64{9, 10, 30, 100} {
+		seen := map[string]bool{}
+		EnumerateMinimal(card, MaxComponents(card), func(b core.Base) {
+			if !b.Covers(card) {
+				t.Fatalf("C=%d: enumerated base %v does not cover", card, b)
+			}
+			// Canonical arrangement: non-increasing.
+			for i := 1; i < b.N(); i++ {
+				if b[i] > b[i-1] {
+					t.Fatalf("C=%d: base %v not in canonical arrangement", card, b)
+				}
+			}
+			// Decrement-minimal.
+			if !isMinimal(b, card) {
+				t.Fatalf("C=%d: base %v not minimal", card, b)
+			}
+			if seen[b.String()] {
+				t.Fatalf("C=%d: base %v enumerated twice", card, b)
+			}
+			seen[b.String()] = true
+		})
+		if len(seen) == 0 {
+			t.Fatalf("C=%d: nothing enumerated", card)
+		}
+		if !seen[core.SingleComponent(card).String()] {
+			t.Fatalf("C=%d: single-component base missing", card)
+		}
+	}
+}
+
+func TestFrontierIsPareto(t *testing.T) {
+	for _, enc := range []core.Encoding{core.RangeEncoded, core.EqualityEncoded} {
+		front := Frontier(100, enc)
+		if len(front) < 3 {
+			t.Fatalf("enc %v: frontier too small: %d", enc, len(front))
+		}
+		for i := 1; i < len(front); i++ {
+			if front[i].Space <= front[i-1].Space {
+				t.Fatalf("enc %v: frontier spaces not increasing", enc)
+			}
+			if front[i].Time >= front[i-1].Time {
+				t.Fatalf("enc %v: frontier times not decreasing", enc)
+			}
+		}
+	}
+}
+
+// TestRangeDominatesEquality reproduces Section 5's conclusion on the
+// frontier level: for every point on the equality frontier there is a
+// range-encoded index at most as large and at least as fast.
+func TestRangeDominatesEquality(t *testing.T) {
+	for _, card := range []uint64{25, 100} {
+		rf := Frontier(card, core.RangeEncoded)
+		ef := Frontier(card, core.EqualityEncoded)
+		for _, e := range ef {
+			// At the all-base-2 extreme the two encodings store the very
+			// same bitmaps, so allow a small bookkeeping tolerance there.
+			dominated := false
+			for _, r := range rf {
+				if r.Space <= e.Space && r.Time <= e.Time+0.15 {
+					dominated = true
+					break
+				}
+			}
+			if !dominated {
+				t.Errorf("C=%d: equality point %v (s=%d t=%.3f) not dominated",
+					card, e.Base, e.Space, e.Time)
+			}
+		}
+	}
+}
+
+// TestKneeMatchesDefinition reproduces the paper's Section 7 finding: the
+// approximate characterization (most time-efficient 2-component
+// space-optimal index) coincides with the definitional knee.
+func TestKneeMatchesDefinition(t *testing.T) {
+	for _, card := range []uint64{10, 16, 25, 64, 100, 250, 500, 1000, 2406} {
+		approx, err := Knee(card)
+		if err != nil {
+			t.Fatal(err)
+		}
+		def, err := KneeByDefinition(card)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !approx.Equal(def.Base) {
+			t.Errorf("C=%d: approximate knee %v != definitional knee %v (s=%d t=%.3f)",
+				card, approx, def.Base, def.Space, def.Time)
+		}
+	}
+}
+
+// TestKneeKnownDivergence pins the one cardinality in our sweep where the
+// paper's approximate characterization misses: at C = 50 the definitional
+// knee is the 3-component <2,5,5>, not a 2-component index. The
+// approximation is still close (it returns the 2-component <5,10>).
+func TestKneeKnownDivergence(t *testing.T) {
+	def, err := KneeByDefinition(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !def.Base.Equal(core.Base{5, 5, 2}) {
+		t.Errorf("C=50 definitional knee = %v; the documented divergence changed", def.Base)
+	}
+	approx, err := Knee(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if approx.N() != 2 {
+		t.Errorf("C=50 approximate knee = %v, want a 2-component base", approx)
+	}
+}
+
+func TestKneeIsTwoComponents(t *testing.T) {
+	for _, card := range []uint64{10, 100, 1000, 2406} {
+		b, err := Knee(card)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.N() != 2 {
+			t.Errorf("C=%d: knee %v has %d components, want 2", card, b, b.N())
+		}
+		s, _ := MinSpace(card, 2)
+		if cost.SpaceRange(b) != s {
+			t.Errorf("C=%d: knee %v not space-optimal (%d vs %d)", card, b, cost.SpaceRange(b), s)
+		}
+	}
+}
+
+func TestComponentBounds(t *testing.T) {
+	if _, _, err := ComponentBounds(1000, 5); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("expected ErrInfeasible, got %v", err)
+	}
+	n, np, err := ComponentBounds(1000, 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || np != 1 {
+		t.Errorf("M=C-1: bounds (%d,%d), want (1,1)", n, np)
+	}
+	n, np, err = ComponentBounds(1000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n > np {
+		t.Errorf("n=%d > n'=%d", n, np)
+	}
+	// n must be the smallest k whose space-optimal fits.
+	if s, _ := MinSpace(1000, n); s > 100 {
+		t.Errorf("space-optimal at n=%d does not fit", n)
+	}
+	if n > 1 {
+		if s, _ := MinSpace(1000, n-1); s <= 100 {
+			t.Errorf("n=%d not minimal", n)
+		}
+	}
+}
+
+// bruteTimeOptUnderSpace searches every minimal base of any number of
+// components with space <= m.
+func bruteTimeOptUnderSpace(card uint64, m int) (core.Base, float64) {
+	var best core.Base
+	bestTime := math.Inf(1)
+	EnumerateMinimal(card, MaxComponents(card), func(b core.Base) {
+		if cost.SpaceRange(b) > m {
+			return
+		}
+		if t := cost.TimeRange(b, card); t < bestTime {
+			bestTime = t
+			best = b.Clone()
+		}
+	})
+	return best, bestTime
+}
+
+func TestTimeOptUnderSpaceMatchesBruteForce(t *testing.T) {
+	for _, card := range []uint64{25, 60, 100} {
+		minM := MaxComponents(card)
+		for m := minM; m <= int(card); m += 3 {
+			got, err := TimeOptUnderSpace(card, m)
+			if err != nil {
+				t.Fatalf("C=%d M=%d: %v", card, m, err)
+			}
+			if cost.SpaceRange(got) > m {
+				t.Fatalf("C=%d M=%d: solution %v violates constraint", card, m, got)
+			}
+			_, wantTime := bruteTimeOptUnderSpace(card, m)
+			if gotTime := cost.TimeRange(got, card); math.Abs(gotTime-wantTime) > 1e-9 {
+				t.Errorf("C=%d M=%d: TimeOptAlg found %v (%.4f), brute force %.4f",
+					card, m, got, gotTime, wantTime)
+			}
+		}
+	}
+}
+
+func TestTimeOptUnderSpaceInfeasible(t *testing.T) {
+	if _, err := TimeOptUnderSpace(1000, 3); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("expected ErrInfeasible, got %v", err)
+	}
+}
+
+func TestFindSmallestN(t *testing.T) {
+	for _, card := range []uint64{25, 100, 1000} {
+		for m := MaxComponents(card); m <= int(card); m += 7 {
+			n, seed, err := FindSmallestN(card, m)
+			if err != nil {
+				t.Fatalf("C=%d M=%d: %v", card, m, err)
+			}
+			if !seed.Covers(card) {
+				t.Fatalf("C=%d M=%d: seed %v does not cover", card, m, seed)
+			}
+			if cost.SpaceRange(seed) != m {
+				t.Fatalf("C=%d M=%d: seed %v has space %d, want exactly M", card, m, seed, cost.SpaceRange(seed))
+			}
+			// n agrees with the smallest k whose space-optimal index fits.
+			wantN, _, err := ComponentBounds(card, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n != wantN {
+				t.Errorf("C=%d M=%d: FindSmallestN n=%d, ComponentBounds n=%d", card, m, n, wantN)
+			}
+		}
+	}
+	if _, _, err := FindSmallestN(1000, 4); !errors.Is(err, ErrInfeasible) {
+		t.Fatal("expected ErrInfeasible")
+	}
+}
+
+// TestRefineIndexTheorem81 verifies the Theorem 8.1 contract on random
+// seeds: the refined base covers C, never uses more space, and is never
+// slower.
+func TestRefineIndexTheorem81(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 300; trial++ {
+		card := uint64(r.Intn(5000) + 4)
+		n := r.Intn(4) + 1
+		base := make(core.Base, n)
+		prod := uint64(1)
+		for i := range base {
+			base[i] = uint64(r.Intn(30) + 2)
+			prod = satMul(prod, base[i])
+		}
+		if prod < card {
+			continue
+		}
+		refined := RefineIndex(base, card)
+		if !refined.Covers(card) {
+			t.Fatalf("C=%d: RefineIndex(%v) = %v does not cover", card, base, refined)
+		}
+		if cost.SpaceRange(refined) > cost.SpaceRange(base) {
+			t.Fatalf("C=%d: RefineIndex(%v) = %v increased space", card, base, refined)
+		}
+		if cost.TimeRange(refined, card) > cost.TimeRange(base, card)+1e-9 {
+			t.Fatalf("C=%d: RefineIndex(%v) = %v increased time (%.4f > %.4f)",
+				card, base, refined, cost.TimeRange(refined, card), cost.TimeRange(base, card))
+		}
+	}
+}
+
+func TestRefineIndexSingleComponent(t *testing.T) {
+	got := RefineIndex(core.Base{500}, 100)
+	if !got.Equal(core.Base{100}) {
+		t.Fatalf("RefineIndex(<500>, 100) = %v, want <100>", got)
+	}
+}
+
+// TestHeuristicNearOptimal reproduces Table 2: the heuristic picks the true
+// optimum for the overwhelming majority of space constraints, and when it
+// differs the expected-scan gap is small.
+func TestHeuristicNearOptimal(t *testing.T) {
+	for _, card := range []uint64{25, 100} {
+		total, optimal := 0, 0
+		maxDiff := 0.0
+		for m := MaxComponents(card); m <= int(card)-1; m++ {
+			heur, err := TimeOptHeuristic(card, m)
+			if err != nil {
+				t.Fatalf("C=%d M=%d: %v", card, m, err)
+			}
+			if cost.SpaceRange(heur) > m {
+				t.Fatalf("C=%d M=%d: heuristic %v violates constraint", card, m, heur)
+			}
+			opt, err := TimeOptUnderSpace(card, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total++
+			ht, ot := cost.TimeRange(heur, card), cost.TimeRange(opt, card)
+			if ht-ot < 1e-9 {
+				optimal++
+			} else if d := ht - ot; d > maxDiff {
+				maxDiff = d
+			}
+		}
+		frac := float64(optimal) / float64(total)
+		if frac < 0.95 {
+			t.Errorf("C=%d: heuristic optimal only %.1f%% of the time", card, 100*frac)
+		}
+		if maxDiff > 0.5 {
+			t.Errorf("C=%d: heuristic max scan gap %.3f too large", card, maxDiff)
+		}
+	}
+}
+
+func TestHeuristicInfeasible(t *testing.T) {
+	if _, err := TimeOptHeuristic(1000, 2); !errors.Is(err, ErrInfeasible) {
+		t.Fatal("expected ErrInfeasible")
+	}
+}
+
+func TestCandidateCountSmallCase(t *testing.T) {
+	// C = 16, M = 9: n = smallest k with space-opt <= 9: n=2 (<4,4>: 6).
+	// Count by hand-checkable enumeration against countK.
+	n, np, err := ComponentBounds(16, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := CandidateCount(16, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Independent recount via explicit multiset enumeration.
+	want := 1
+	for k := n; k < np; k++ {
+		count := 0
+		var rec func(min uint64, prod uint64, space, rem int)
+		rec = func(min uint64, prod uint64, space, rem int) {
+			if rem == 0 {
+				if prod >= 16 && space <= 9 {
+					count++
+				}
+				return
+			}
+			for b := min; int(b-1)+space <= 9; b++ {
+				rec(b, prod*b, space+int(b-1), rem-1)
+			}
+		}
+		rec(2, 1, 0, k)
+		want += count
+	}
+	if got != want {
+		t.Errorf("CandidateCount(16,9) = %d, want %d", got, want)
+	}
+	if _, err := CandidateCount(16, 2); !errors.Is(err, ErrInfeasible) {
+		t.Error("expected ErrInfeasible")
+	}
+}
+
+func TestCandidateCountGrowth(t *testing.T) {
+	// |I| grows sharply in the mid-range of M (Figure 14's shape).
+	c10, err := CandidateCount(1000, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c100, err := CandidateCount(1000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c100 <= c10 {
+		t.Errorf("candidate count did not grow: %d at M=30, %d at M=100", c10, c100)
+	}
+	// At M >= C-1 the single-component index is time-optimal outright and
+	// the candidate set collapses.
+	cBig, err := CandidateCount(1000, 999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cBig != 1 {
+		t.Errorf("CandidateCount(1000, 999) = %d, want 1", cBig)
+	}
+}
+
+// TestTheoremsWideSweep validates the closed-form constructions across a
+// wide cardinality range against brute force (sampled n to bound runtime).
+func TestTheoremsWideSweep(t *testing.T) {
+	for _, card := range []uint64{7, 33, 129, 511, 2048, 4096, 10007} {
+		maxN := MaxComponents(card)
+		for _, n := range []int{1, 2, 3, maxN - 1, maxN} {
+			if n < 1 || n > maxN {
+				continue
+			}
+			so, err := SpaceOptimal(card, n)
+			if err != nil {
+				t.Fatalf("C=%d n=%d: %v", card, n, err)
+			}
+			if !so.Covers(card) || so.N() != n {
+				t.Fatalf("C=%d n=%d: bad space-optimal %v", card, n, so)
+			}
+			// Theorem 6.1(1)'s space expression n(b-2)+r.
+			if n >= 2 {
+				if s := cost.SpaceRange(so); s != bruteMinSpace(card, n) {
+					t.Fatalf("C=%d n=%d: space %d not minimal", card, n, s)
+				}
+			}
+			to, err := TimeOptimal(card, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !to.Covers(card) {
+				t.Fatalf("C=%d n=%d: time-optimal does not cover", card, n)
+			}
+			// Construction shape: all base 2 except b_1.
+			for i := 1; i < to.N(); i++ {
+				if to[i] != 2 {
+					t.Fatalf("C=%d n=%d: time-optimal %v not <2..2,b1>", card, n, to)
+				}
+			}
+		}
+		// The knee remains 2-component and space-optimal at every C.
+		k, err := Knee(card)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if card > 4 && k.N() != 2 {
+			t.Fatalf("C=%d: knee %v", card, k)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package design
+
+import (
+	"fmt"
+	"math"
+
+	"bitmapindex/internal/core"
+)
+
+// Allocation is the result of dividing a disk budget across the bitmap
+// indexes of a multi-attribute workload.
+type Allocation struct {
+	// Bases[i] is the chosen design for attribute i.
+	Bases []core.Base
+	// Spaces[i] is its stored-bitmap count; Times[i] its expected scans.
+	Spaces []int
+	Times  []float64
+}
+
+// TotalSpace returns the summed stored bitmaps.
+func (a Allocation) TotalSpace() int {
+	t := 0
+	for _, s := range a.Spaces {
+		t += s
+	}
+	return t
+}
+
+// TotalTime returns the summed expected scans per query, the workload cost
+// under the model that each attribute is queried equally often.
+func (a Allocation) TotalTime() float64 {
+	t := 0.0
+	for _, s := range a.Times {
+		t += s
+	}
+	return t
+}
+
+// AllocateBudget divides a total disk budget of M stored bitmaps across
+// one range-encoded index per attribute so that the summed expected scans
+// per query is minimal, assuming each attribute is queried equally often.
+// It is the paper's physical-design question lifted from one attribute to
+// a workload: per attribute the optimal frontier gives the best achievable
+// time at every space, and a dynamic program picks one point per frontier
+// under the shared budget.
+//
+// The budget must cover at least the base-2 index of every attribute
+// (sum of ceil(log2 C_i)); otherwise ErrInfeasible is returned.
+func AllocateBudget(cards []uint64, m int) (Allocation, error) {
+	if len(cards) == 0 {
+		return Allocation{}, fmt.Errorf("design: no attributes")
+	}
+	minTotal := 0
+	for _, c := range cards {
+		if c < 2 {
+			return Allocation{}, fmt.Errorf("design: cardinality must be >= 2, got %d", c)
+		}
+		minTotal += MaxComponents(c)
+	}
+	if m < minTotal {
+		return Allocation{}, fmt.Errorf("%w: M = %d < %d (sum of base-2 index sizes)", ErrInfeasible, m, minTotal)
+	}
+	// Per attribute: frontier of (space, best time at that space), as a
+	// step function over 0..m.
+	type frontier struct {
+		points []Point // increasing space, decreasing time
+	}
+	fronts := make([]frontier, len(cards))
+	for i, c := range cards {
+		f := Frontier(c, core.RangeEncoded)
+		// Clip to the budget; at least the first point fits by the check
+		// above.
+		for len(f) > 0 && f[len(f)-1].Space > m {
+			f = f[:len(f)-1]
+		}
+		if len(f) == 0 {
+			return Allocation{}, fmt.Errorf("design: internal: empty clipped frontier for C=%d", c)
+		}
+		fronts[i].points = f
+	}
+	// DP over attributes: best[j] = minimal total time using exactly the
+	// first k attributes within budget j, plus choice tracking.
+	const inf = math.MaxFloat64
+	best := make([]float64, m+1)
+	choice := make([][]int, len(cards)) // choice[k][j] = index into fronts[k].points
+	for j := range best {
+		best[j] = 0
+	}
+	prev := append([]float64(nil), best...)
+	for k := range fronts {
+		choice[k] = make([]int, m+1)
+		for j := range best {
+			best[j] = inf
+			choice[k][j] = -1
+		}
+		for j := 0; j <= m; j++ {
+			if prev[j] == inf {
+				continue
+			}
+			for pi, p := range fronts[k].points {
+				nj := j + p.Space
+				if nj > m {
+					break
+				}
+				if t := prev[j] + p.Time; t < best[nj] {
+					best[nj] = t
+					choice[k][nj] = pi
+				}
+			}
+		}
+		// best[j] should be monotone non-increasing in j for backtracking
+		// convenience: propagate prefix minima while keeping choices.
+		for j := 1; j <= m; j++ {
+			if best[j-1] < best[j] {
+				best[j] = best[j-1]
+				choice[k][j] = -2 // marker: take budget j-1's solution
+			}
+		}
+		copy(prev, best)
+	}
+	// Backtrack.
+	alloc := Allocation{
+		Bases:  make([]core.Base, len(cards)),
+		Spaces: make([]int, len(cards)),
+		Times:  make([]float64, len(cards)),
+	}
+	j := m
+	for k := len(cards) - 1; k >= 0; k-- {
+		for choice[k][j] == -2 {
+			j--
+		}
+		pi := choice[k][j]
+		if pi < 0 {
+			return Allocation{}, fmt.Errorf("design: internal: broken DP backtrack")
+		}
+		p := fronts[k].points[pi]
+		alloc.Bases[k] = p.Base.Clone()
+		alloc.Spaces[k] = p.Space
+		alloc.Times[k] = p.Time
+		j -= p.Space
+	}
+	return alloc, nil
+}
+
+// GreedyAllocate is the simple alternative: start every attribute at its
+// base-2 index and repeatedly spend budget on the attribute frontier step
+// with the best time-saved-per-bitmap ratio. It is near-optimal in
+// practice and O((m + sum |frontier|) log n); the test suite compares it
+// against AllocateBudget.
+func GreedyAllocate(cards []uint64, m int) (Allocation, error) {
+	if len(cards) == 0 {
+		return Allocation{}, fmt.Errorf("design: no attributes")
+	}
+	type state struct {
+		front []Point
+		idx   int
+	}
+	states := make([]state, len(cards))
+	used := 0
+	for i, c := range cards {
+		if c < 2 {
+			return Allocation{}, fmt.Errorf("design: cardinality must be >= 2, got %d", c)
+		}
+		states[i].front = Frontier(c, core.RangeEncoded)
+		used += states[i].front[0].Space
+	}
+	if used > m {
+		return Allocation{}, fmt.Errorf("%w: M = %d < %d (sum of base-2 index sizes)", ErrInfeasible, m, used)
+	}
+	for {
+		bestI, bestRatio := -1, 0.0
+		for i := range states {
+			s := &states[i]
+			if s.idx+1 >= len(s.front) {
+				continue
+			}
+			cur, nxt := s.front[s.idx], s.front[s.idx+1]
+			extra := nxt.Space - cur.Space
+			if used+extra > m {
+				continue
+			}
+			if ratio := (cur.Time - nxt.Time) / float64(extra); ratio > bestRatio {
+				bestRatio = ratio
+				bestI = i
+			}
+		}
+		if bestI < 0 {
+			break
+		}
+		s := &states[bestI]
+		used += s.front[s.idx+1].Space - s.front[s.idx].Space
+		s.idx++
+	}
+	alloc := Allocation{
+		Bases:  make([]core.Base, len(cards)),
+		Spaces: make([]int, len(cards)),
+		Times:  make([]float64, len(cards)),
+	}
+	for i := range states {
+		p := states[i].front[states[i].idx]
+		alloc.Bases[i] = p.Base.Clone()
+		alloc.Spaces[i] = p.Space
+		alloc.Times[i] = p.Time
+	}
+	return alloc, nil
+}

@@ -1,0 +1,162 @@
+package design
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"bitmapindex/internal/cost"
+)
+
+func TestAllocateBudgetBasics(t *testing.T) {
+	cards := []uint64{50, 2406, 100}
+	alloc, err := AllocateBudget(cards, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alloc.Bases) != 3 {
+		t.Fatalf("got %d bases", len(alloc.Bases))
+	}
+	if alloc.TotalSpace() > 120 {
+		t.Fatalf("budget exceeded: %d", alloc.TotalSpace())
+	}
+	for i, b := range alloc.Bases {
+		if !b.Covers(cards[i]) {
+			t.Fatalf("attribute %d: base %v does not cover %d", i, b, cards[i])
+		}
+		if alloc.Spaces[i] != cost.SpaceRange(b) {
+			t.Fatalf("attribute %d: space mismatch", i)
+		}
+		if math.Abs(alloc.Times[i]-cost.TimeRange(b, cards[i])) > 1e-9 {
+			t.Fatalf("attribute %d: time mismatch", i)
+		}
+	}
+	// Every attribute must do at least as well as its smallest (base-2)
+	// design: the allocator never wastes the per-attribute minimum.
+	for i, c := range cards {
+		b2, err := SpaceOptimal(c, MaxComponents(c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if alloc.Times[i] > cost.TimeRange(b2, c)+1e-9 {
+			t.Errorf("attribute %d slower than its base-2 index", i)
+		}
+	}
+}
+
+// bruteAllocate exhaustively tries all per-attribute frontier choices.
+func bruteAllocate(cards []uint64, m int) float64 {
+	fronts := make([][]Point, len(cards))
+	for i, c := range cards {
+		fronts[i] = Frontier(c, 1) // core.RangeEncoded == 1
+	}
+	best := math.Inf(1)
+	var rec func(k, space int, time float64)
+	rec = func(k, space int, time float64) {
+		if space > m {
+			return
+		}
+		if k == len(cards) {
+			if time < best {
+				best = time
+			}
+			return
+		}
+		for _, p := range fronts[k] {
+			rec(k+1, space+p.Space, time+p.Time)
+		}
+	}
+	rec(0, 0, 0)
+	return best
+}
+
+func TestAllocateBudgetMatchesBruteForce(t *testing.T) {
+	cases := []struct {
+		cards []uint64
+		m     int
+	}{
+		{[]uint64{10, 20}, 12},
+		{[]uint64{10, 20}, 25},
+		{[]uint64{25, 25, 25}, 30},
+		{[]uint64{50, 100}, 40},
+		{[]uint64{16, 64, 256}, 50},
+	}
+	for _, c := range cases {
+		alloc, err := AllocateBudget(c.cards, c.m)
+		if err != nil {
+			t.Fatalf("%v M=%d: %v", c.cards, c.m, err)
+		}
+		want := bruteAllocate(c.cards, c.m)
+		if math.Abs(alloc.TotalTime()-want) > 1e-9 {
+			t.Errorf("%v M=%d: DP found %.4f, brute force %.4f (alloc %v)",
+				c.cards, c.m, alloc.TotalTime(), want, alloc.Bases)
+		}
+	}
+}
+
+func TestGreedyAllocateNearOptimal(t *testing.T) {
+	cases := []struct {
+		cards []uint64
+		m     int
+	}{
+		{[]uint64{50, 2406}, 60},
+		{[]uint64{50, 2406, 100}, 120},
+		{[]uint64{10, 20, 30, 40}, 45},
+	}
+	for _, c := range cases {
+		g, err := GreedyAllocate(c.cards, c.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.TotalSpace() > c.m {
+			t.Fatalf("%v: greedy exceeded budget", c.cards)
+		}
+		opt, err := AllocateBudget(c.cards, c.m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.TotalTime() < opt.TotalTime()-1e-9 {
+			t.Fatalf("greedy beat the optimum?! %.4f < %.4f", g.TotalTime(), opt.TotalTime())
+		}
+		if g.TotalTime() > opt.TotalTime()*1.15+1e-9 {
+			t.Errorf("%v M=%d: greedy %.4f more than 15%% off optimum %.4f",
+				c.cards, c.m, g.TotalTime(), opt.TotalTime())
+		}
+	}
+}
+
+func TestAllocateBudgetMonotone(t *testing.T) {
+	cards := []uint64{50, 100}
+	prev := math.Inf(1)
+	for m := 13; m <= 150; m += 7 {
+		alloc, err := AllocateBudget(cards, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if alloc.TotalTime() > prev+1e-9 {
+			t.Fatalf("M=%d: more budget made the workload slower (%.4f > %.4f)", m, alloc.TotalTime(), prev)
+		}
+		prev = alloc.TotalTime()
+	}
+}
+
+func TestAllocateErrors(t *testing.T) {
+	if _, err := AllocateBudget(nil, 10); err == nil {
+		t.Error("empty workload must fail")
+	}
+	if _, err := AllocateBudget([]uint64{1}, 10); err == nil {
+		t.Error("C=1 must fail")
+	}
+	if _, err := AllocateBudget([]uint64{1000, 1000}, 10); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("tiny budget: err = %v", err)
+	}
+	if _, err := GreedyAllocate(nil, 10); err == nil {
+		t.Error("greedy empty workload must fail")
+	}
+	if _, err := GreedyAllocate([]uint64{1}, 10); err == nil {
+		t.Error("greedy C=1 must fail")
+	}
+	if _, err := GreedyAllocate([]uint64{1000, 1000}, 10); !errors.Is(err, ErrInfeasible) {
+		t.Error("greedy tiny budget must be infeasible")
+	}
+}

@@ -1,0 +1,282 @@
+// Package engine is a miniature in-memory column-store: relations with
+// integer columns, a value dictionary mapping arbitrary attribute values to
+// the consecutive ranks the bitmap index requires, RID-list indexes, and
+// the three query plans of the paper's introduction (P1 full scan, P2
+// index-filter, P3 index-merge via RID lists or bitmaps) with byte-level
+// I/O accounting. It is the substrate for reproducing the paper's Section 1
+// cost analysis — bitmap merges beat RID-list merges once the query
+// selects more than about 1/32 of the relation (with 4-byte RIDs) — and
+// for the runnable examples.
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"bitmapindex/internal/core"
+)
+
+// RIDBytes is the assumed width of a record identifier, matching the
+// paper's 4-byte RIDs.
+const RIDBytes = 4
+
+// ColBytes is the assumed stored width of one column value in a relation
+// row, for scan cost accounting.
+const ColBytes = 8
+
+// Dict maps arbitrary int64 attribute values to consecutive ranks
+// 0..Card-1, the domain bitmap indexes operate on (paper Section 2: "by
+// mapping each actual attribute value to its rank via a lookup table").
+type Dict struct {
+	sorted []int64 // rank -> value
+}
+
+// NewDict builds a dictionary over the distinct values in raw and returns
+// it along with the rank-mapped column.
+func NewDict(raw []int64) (*Dict, []uint64) {
+	uniq := make(map[int64]struct{}, len(raw))
+	for _, v := range raw {
+		uniq[v] = struct{}{}
+	}
+	d := &Dict{sorted: make([]int64, 0, len(uniq))}
+	for v := range uniq {
+		d.sorted = append(d.sorted, v)
+	}
+	sort.Slice(d.sorted, func(i, j int) bool { return d.sorted[i] < d.sorted[j] })
+	ranks := make([]uint64, len(raw))
+	for i, v := range raw {
+		r, _ := d.Rank(v)
+		ranks[i] = r
+	}
+	return d, ranks
+}
+
+// Card returns the number of distinct values (the attribute cardinality).
+func (d *Dict) Card() uint64 { return uint64(len(d.sorted)) }
+
+// Value returns the attribute value with the given rank.
+func (d *Dict) Value(rank uint64) int64 { return d.sorted[rank] }
+
+// Rank returns the rank of v and whether v is present.
+func (d *Dict) Rank(v int64) (uint64, bool) {
+	i := sort.Search(len(d.sorted), func(i int) bool { return d.sorted[i] >= v })
+	if i < len(d.sorted) && d.sorted[i] == v {
+		return uint64(i), true
+	}
+	return 0, false
+}
+
+// Translate rewrites the predicate (A op c) over raw attribute values into
+// an equivalent predicate over ranks. The returned trivial flags handle
+// constants outside or between dictionary values: when trivialAll is true
+// every (non-null) record matches; when trivialNone is true none does.
+//
+// Because ranks preserve order, range predicates translate exactly even
+// when c itself never occurs in the column.
+func (d *Dict) Translate(op core.Op, c int64) (rop core.Op, rank uint64, trivialAll, trivialNone bool) {
+	n := len(d.sorted)
+	// lb = number of values < c; ub = number of values <= c.
+	lb := sort.Search(n, func(i int) bool { return d.sorted[i] >= c })
+	ub := sort.Search(n, func(i int) bool { return d.sorted[i] > c })
+	present := lb < ub
+	switch op {
+	case core.Eq:
+		if !present {
+			return 0, 0, false, true
+		}
+		return core.Eq, uint64(lb), false, false
+	case core.Ne:
+		if !present {
+			return 0, 0, true, false
+		}
+		return core.Ne, uint64(lb), false, false
+	case core.Lt:
+		if lb == 0 {
+			return 0, 0, false, true
+		}
+		return core.Le, uint64(lb - 1), false, false
+	case core.Le:
+		if ub == 0 {
+			return 0, 0, false, true
+		}
+		return core.Le, uint64(ub - 1), false, false
+	case core.Gt:
+		if ub == n {
+			return 0, 0, false, true
+		}
+		return core.Ge, uint64(ub), false, false
+	case core.Ge:
+		if lb == n {
+			return 0, 0, false, true
+		}
+		return core.Ge, uint64(lb), false, false
+	}
+	panic("engine: invalid op")
+}
+
+// Column is one attribute of a relation: rank values plus the dictionary,
+// and optionally a bitmap index and/or a RID-list index.
+type Column struct {
+	Name  string
+	dict  *Dict
+	ranks []uint64
+
+	bitmap *core.Index
+	rids   map[uint64][]uint32
+}
+
+// Card returns the attribute cardinality.
+func (c *Column) Card() uint64 { return c.dict.Card() }
+
+// Dict returns the column's value dictionary.
+func (c *Column) Dict() *Dict { return c.dict }
+
+// Ranks exposes the rank-mapped values; callers must not mutate them.
+func (c *Column) Ranks() []uint64 { return c.ranks }
+
+// BitmapIndex returns the column's bitmap index, or nil.
+func (c *Column) BitmapIndex() *core.Index { return c.bitmap }
+
+// BuildBitmapIndex builds (or replaces) the column's bitmap index with the
+// given base and encoding. A nil base selects the single-component base.
+func (c *Column) BuildBitmapIndex(base core.Base, enc core.Encoding) error {
+	if base == nil {
+		base = core.SingleComponent(c.Card())
+	}
+	ix, err := core.Build(c.ranks, c.Card(), base, enc, nil)
+	if err != nil {
+		return err
+	}
+	c.bitmap = ix
+	return nil
+}
+
+// BuildRIDIndex builds the column's RID-list index: for every rank, the
+// sorted list of record ids holding it.
+func (c *Column) BuildRIDIndex() {
+	c.rids = make(map[uint64][]uint32, c.Card())
+	for r, v := range c.ranks {
+		c.rids[v] = append(c.rids[v], uint32(r))
+	}
+}
+
+// Relation is a fixed-cardinality collection of columns.
+type Relation struct {
+	Name string
+	rows int
+	cols map[string]*Column
+	// order preserves column addition order for row-width accounting.
+	order []string
+}
+
+// NewRelation creates an empty relation.
+func NewRelation(name string) *Relation {
+	return &Relation{Name: name, rows: -1, cols: make(map[string]*Column)}
+}
+
+// AddInt64 adds a raw int64 column, dictionary-encoding it.
+func (r *Relation) AddInt64(name string, raw []int64) (*Column, error) {
+	d, ranks := NewDict(raw)
+	return r.addColumn(name, d, ranks)
+}
+
+// AddRanked adds a column whose values are already consecutive ranks in
+// [0, card); the dictionary is the identity.
+func (r *Relation) AddRanked(name string, ranks []uint64, card uint64) (*Column, error) {
+	d := &Dict{sorted: make([]int64, card)}
+	for i := range d.sorted {
+		d.sorted[i] = int64(i)
+	}
+	for i, v := range ranks {
+		if v >= card {
+			return nil, fmt.Errorf("engine: column %s row %d: rank %d out of range [0,%d)", name, i, v, card)
+		}
+	}
+	return r.addColumn(name, d, append([]uint64(nil), ranks...))
+}
+
+func (r *Relation) addColumn(name string, d *Dict, ranks []uint64) (*Column, error) {
+	if _, dup := r.cols[name]; dup {
+		return nil, fmt.Errorf("engine: duplicate column %q", name)
+	}
+	if r.rows >= 0 && len(ranks) != r.rows {
+		return nil, fmt.Errorf("engine: column %q has %d rows, relation has %d", name, len(ranks), r.rows)
+	}
+	r.rows = len(ranks)
+	c := &Column{Name: name, dict: d, ranks: ranks}
+	r.cols[name] = c
+	r.order = append(r.order, name)
+	return c, nil
+}
+
+// Rows returns the relation cardinality.
+func (r *Relation) Rows() int {
+	if r.rows < 0 {
+		return 0
+	}
+	return r.rows
+}
+
+// Column returns the named column, or an error.
+func (r *Relation) Column(name string) (*Column, error) {
+	c, ok := r.cols[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: relation %s has no column %q", r.Name, name)
+	}
+	return c, nil
+}
+
+// RowBytes returns the assumed width of one stored record.
+func (r *Relation) RowBytes() int { return ColBytes * len(r.order) }
+
+// Pred is a selection predicate over raw attribute values.
+type Pred struct {
+	Col string
+	Op  core.Op
+	Val int64
+}
+
+// String renders "col op val".
+func (p Pred) String() string { return fmt.Sprintf("%s %s %d", p.Col, p.Op, p.Val) }
+
+// matches evaluates the predicate against the raw value at row i.
+func (p Pred) matches(c *Column, i int) bool {
+	raw := c.dict.Value(c.ranks[i])
+	// Compare in raw space: translate both sides to int64 comparison.
+	switch p.Op {
+	case core.Lt:
+		return raw < p.Val
+	case core.Le:
+		return raw <= p.Val
+	case core.Gt:
+		return raw > p.Val
+	case core.Ge:
+		return raw >= p.Val
+	case core.Eq:
+		return raw == p.Val
+	default:
+		return raw != p.Val
+	}
+}
+
+// Values returns a copy of the dictionary's sorted distinct values
+// (rank order), for serialization.
+func (d *Dict) Values() []int64 {
+	return append([]int64(nil), d.sorted...)
+}
+
+// DictFromValues reconstructs a dictionary from its sorted distinct
+// values (the Values output).
+func DictFromValues(sorted []int64) (*Dict, error) {
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] <= sorted[i-1] {
+			return nil, fmt.Errorf("engine: dictionary values not strictly increasing at %d", i)
+		}
+	}
+	return &Dict{sorted: append([]int64(nil), sorted...)}, nil
+}
+
+// ColumnNames returns the column names in addition order.
+func (r *Relation) ColumnNames() []string {
+	return append([]string(nil), r.order...)
+}

@@ -1,0 +1,434 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"bitmapindex/internal/bitvec"
+	"bitmapindex/internal/core"
+	"bitmapindex/internal/cost"
+)
+
+// Method selects a query evaluation plan for a conjunctive selection.
+type Method uint8
+
+const (
+	// FullScan is plan P1: read every record and test all predicates.
+	FullScan Method = iota
+	// IndexFilter is plan P2: probe one index for the most selective
+	// predicate, then fetch the matching records and test the rest.
+	IndexFilter
+	// RIDMerge is plan P3 with RID-list indexes: probe one RID index per
+	// predicate and intersect the sorted RID lists.
+	RIDMerge
+	// BitmapMerge is plan P3 with bitmap indexes: evaluate one bitmap
+	// predicate per index and AND the result bitmaps.
+	BitmapMerge
+	// Auto picks the plan with the lowest estimated bytes read among the
+	// plans whose indexes exist.
+	Auto
+)
+
+// String names the plan like the paper's introduction.
+func (m Method) String() string {
+	switch m {
+	case FullScan:
+		return "P1-fullscan"
+	case IndexFilter:
+		return "P2-indexfilter"
+	case RIDMerge:
+		return "P3-ridmerge"
+	case BitmapMerge:
+		return "P3-bitmapmerge"
+	case Auto:
+		return "auto"
+	default:
+		return fmt.Sprintf("Method(%d)", uint8(m))
+	}
+}
+
+// Cost reports the physical work a plan performed (or, for estimates,
+// would perform).
+type Cost struct {
+	Method    Method
+	BytesRead int64
+	// Rows is the result cardinality.
+	Rows int
+}
+
+// Select evaluates the conjunction of preds over the relation with the
+// given plan and returns the qualifying record bitmap plus the measured
+// cost. All predicates must reference existing columns; RIDMerge needs a
+// RID index and BitmapMerge a bitmap index on every referenced column.
+func (r *Relation) Select(preds []Pred, m Method) (*bitvec.Vector, Cost, error) {
+	if len(preds) == 0 {
+		return nil, Cost{}, fmt.Errorf("engine: empty predicate list")
+	}
+	for _, p := range preds {
+		if _, err := r.Column(p.Col); err != nil {
+			return nil, Cost{}, err
+		}
+	}
+	switch m {
+	case FullScan:
+		return r.fullScan(preds)
+	case IndexFilter:
+		return r.indexFilter(preds)
+	case RIDMerge:
+		return r.ridMerge(preds)
+	case BitmapMerge:
+		return r.bitmapMerge(preds)
+	case Auto:
+		return r.auto(preds)
+	default:
+		return nil, Cost{}, fmt.Errorf("engine: unknown method %v", m)
+	}
+}
+
+func (r *Relation) fullScan(preds []Pred) (*bitvec.Vector, Cost, error) {
+	out := bitvec.New(r.Rows())
+	cols := make([]*Column, len(preds))
+	for i, p := range preds {
+		cols[i], _ = r.Column(p.Col)
+	}
+	for row := 0; row < r.Rows(); row++ {
+		ok := true
+		for i, p := range preds {
+			if !p.matches(cols[i], row) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out.Set(row)
+		}
+	}
+	cost := Cost{Method: FullScan, BytesRead: int64(r.Rows()) * int64(r.RowBytes()), Rows: out.Count()}
+	return out, cost, nil
+}
+
+// ridsFor returns the RIDs matching the predicate via the column's RID
+// index, along with the index bytes read (RIDBytes per RID touched, over
+// every list probed).
+func (r *Relation) ridsFor(p Pred) ([]uint32, int64, error) {
+	c, _ := r.Column(p.Col)
+	if c.rids == nil {
+		return nil, 0, fmt.Errorf("engine: column %q has no RID index", p.Col)
+	}
+	rop, rank, all, none, err := translateChecked(c, p)
+	if err != nil {
+		return nil, 0, err
+	}
+	if none {
+		return nil, 0, nil
+	}
+	match := func(v uint64) bool {
+		if all {
+			return true
+		}
+		return rop.Matches(v, rank)
+	}
+	var out []uint32
+	var bytes int64
+	for v := uint64(0); v < c.Card(); v++ {
+		if !match(v) {
+			continue
+		}
+		list := c.rids[v]
+		bytes += int64(len(list)) * RIDBytes
+		out = append(out, list...)
+	}
+	sortRIDs(out)
+	return out, bytes, nil
+}
+
+func translateChecked(c *Column, p Pred) (rop core.Op, rank uint64, all, none bool, err error) {
+	rop, rank, all, none = c.dict.Translate(p.Op, p.Val)
+	return rop, rank, all, none, nil
+}
+
+func sortRIDs(r []uint32) {
+	// RID lists are concatenations of already-sorted per-value lists;
+	// a simple merge via sort is adequate at this scale.
+	if len(r) < 2 {
+		return
+	}
+	quickSortRIDs(r)
+}
+
+func quickSortRIDs(r []uint32) {
+	if len(r) < 16 {
+		for i := 1; i < len(r); i++ {
+			for j := i; j > 0 && r[j] < r[j-1]; j-- {
+				r[j], r[j-1] = r[j-1], r[j]
+			}
+		}
+		return
+	}
+	pivot := r[len(r)/2]
+	lo, hi := 0, len(r)-1
+	for lo <= hi {
+		for r[lo] < pivot {
+			lo++
+		}
+		for r[hi] > pivot {
+			hi--
+		}
+		if lo <= hi {
+			r[lo], r[hi] = r[hi], r[lo]
+			lo++
+			hi--
+		}
+	}
+	quickSortRIDs(r[:hi+1])
+	quickSortRIDs(r[lo:])
+}
+
+func (r *Relation) indexFilter(preds []Pred) (*bitvec.Vector, Cost, error) {
+	// Choose the most selective indexed predicate (smallest RID list) as
+	// the driver; fall back to the first RID-indexed column.
+	driver := -1
+	var driverRIDs []uint32
+	var driverBytes int64
+	for i, p := range preds {
+		c, _ := r.Column(p.Col)
+		if c.rids == nil {
+			continue
+		}
+		rids, bytes, err := r.ridsFor(p)
+		if err != nil {
+			return nil, Cost{}, err
+		}
+		if driver < 0 || len(rids) < len(driverRIDs) {
+			driver, driverRIDs, driverBytes = i, rids, bytes
+		}
+	}
+	if driver < 0 {
+		return nil, Cost{}, fmt.Errorf("engine: no RID index available for index-filter plan")
+	}
+	out := bitvec.New(r.Rows())
+	cols := make([]*Column, len(preds))
+	for i, p := range preds {
+		cols[i], _ = r.Column(p.Col)
+	}
+	for _, rid := range driverRIDs {
+		ok := true
+		for i, p := range preds {
+			if i == driver {
+				continue
+			}
+			if !p.matches(cols[i], int(rid)) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out.Set(int(rid))
+		}
+	}
+	cost := Cost{
+		Method: IndexFilter,
+		// Index probe plus fetching each candidate record.
+		BytesRead: driverBytes + int64(len(driverRIDs))*int64(r.RowBytes()),
+		Rows:      out.Count(),
+	}
+	return out, cost, nil
+}
+
+func (r *Relation) ridMerge(preds []Pred) (*bitvec.Vector, Cost, error) {
+	var result []uint32
+	var bytes int64
+	for i, p := range preds {
+		rids, b, err := r.ridsFor(p)
+		if err != nil {
+			return nil, Cost{}, err
+		}
+		bytes += b
+		if i == 0 {
+			result = rids
+			continue
+		}
+		result = intersectSorted(result, rids)
+	}
+	out := bitvec.New(r.Rows())
+	for _, rid := range result {
+		out.Set(int(rid))
+	}
+	return out, Cost{Method: RIDMerge, BytesRead: bytes, Rows: len(result)}, nil
+}
+
+func intersectSorted(a, b []uint32) []uint32 {
+	out := a[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func (r *Relation) bitmapMerge(preds []Pred) (*bitvec.Vector, Cost, error) {
+	bitmapBytes := int64((r.Rows() + 7) / 8)
+	var out *bitvec.Vector
+	var bytes int64
+	for _, p := range preds {
+		c, _ := r.Column(p.Col)
+		if c.bitmap == nil {
+			return nil, Cost{}, fmt.Errorf("engine: column %q has no bitmap index", p.Col)
+		}
+		rop, rank, all, none, err := translateChecked(c, p)
+		if err != nil {
+			return nil, Cost{}, err
+		}
+		var res *bitvec.Vector
+		var st core.Stats
+		switch {
+		case none:
+			res = bitvec.New(r.Rows())
+		case all:
+			res = bitvec.NewOnes(r.Rows())
+		default:
+			res = c.bitmap.Eval(rop, rank, &core.EvalOptions{Stats: &st})
+		}
+		bytes += int64(st.Scans) * bitmapBytes
+		if out == nil {
+			out = res
+		} else {
+			out.And(res)
+		}
+	}
+	return out, Cost{Method: BitmapMerge, BytesRead: bytes, Rows: out.Count()}, nil
+}
+
+// EstimateBytes predicts the bytes a plan would read, using exact index
+// statistics (RID-list lengths) and the analytic bitmap scan model. It
+// returns an error when the plan's required indexes are missing.
+func (r *Relation) EstimateBytes(preds []Pred, m Method) (int64, error) {
+	switch m {
+	case FullScan:
+		return int64(r.Rows()) * int64(r.RowBytes()), nil
+	case IndexFilter:
+		best := int64(math.MaxInt64)
+		found := false
+		for _, p := range preds {
+			c, _ := r.Column(p.Col)
+			if c.rids == nil {
+				continue
+			}
+			n, idxBytes := r.ridStats(c, p)
+			found = true
+			if e := idxBytes + n*int64(r.RowBytes()); e < best {
+				best = e
+			}
+		}
+		if !found {
+			return 0, fmt.Errorf("engine: no RID index for index-filter estimate")
+		}
+		return best, nil
+	case RIDMerge:
+		var total int64
+		for _, p := range preds {
+			c, _ := r.Column(p.Col)
+			if c.rids == nil {
+				return 0, fmt.Errorf("engine: column %q has no RID index", p.Col)
+			}
+			_, idxBytes := r.ridStats(c, p)
+			total += idxBytes
+		}
+		return total, nil
+	case BitmapMerge:
+		bitmapBytes := int64((r.Rows() + 7) / 8)
+		var total int64
+		for _, p := range preds {
+			c, _ := r.Column(p.Col)
+			if c.bitmap == nil {
+				return 0, fmt.Errorf("engine: column %q has no bitmap index", p.Col)
+			}
+			rop, rank, all, none := c.dict.Translate(p.Op, p.Val)
+			if all || none {
+				continue
+			}
+			var scans int
+			if c.bitmap.Encoding() == core.RangeEncoded {
+				scans = cost.ScansRange(c.bitmap.Base(), c.Card(), rop, rank)
+			} else {
+				scans = cost.ScansEquality(c.bitmap.Base(), c.Card(), rop, rank)
+			}
+			total += int64(scans) * bitmapBytes
+		}
+		return total, nil
+	}
+	return 0, fmt.Errorf("engine: cannot estimate method %v", m)
+}
+
+// auto runs the cheapest estimable plan.
+func (r *Relation) auto(preds []Pred) (*bitvec.Vector, Cost, error) {
+	best := Method(0)
+	bestBytes := int64(math.MaxInt64)
+	found := false
+	for _, m := range []Method{FullScan, IndexFilter, RIDMerge, BitmapMerge} {
+		e, err := r.EstimateBytes(preds, m)
+		if err != nil {
+			continue
+		}
+		if e < bestBytes {
+			best, bestBytes, found = m, e, true
+		}
+	}
+	if !found {
+		return nil, Cost{}, fmt.Errorf("engine: no executable plan")
+	}
+	return r.Select(preds, best)
+}
+
+// ridStats returns the matching-row count and index bytes for a predicate
+// from the RID index without materializing the lists.
+func (r *Relation) ridStats(c *Column, p Pred) (nRows, idxBytes int64) {
+	rop, rank, all, none := c.dict.Translate(p.Op, p.Val)
+	if none {
+		return 0, 0
+	}
+	for v := uint64(0); v < c.Card(); v++ {
+		if all || rop.Matches(v, rank) {
+			n := int64(len(c.rids[v]))
+			nRows += n
+			idxBytes += n * RIDBytes
+		}
+	}
+	return nRows, idxBytes
+}
+
+// Explain renders the optimizer's view of a conjunctive selection: the
+// estimated bytes for every applicable plan and which one Auto would run.
+func (r *Relation) Explain(preds []Pred) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "select %v from %s (%d rows)\n", preds, r.Name, r.Rows())
+	best := Method(0)
+	bestBytes := int64(math.MaxInt64)
+	for _, m := range []Method{FullScan, IndexFilter, RIDMerge, BitmapMerge} {
+		e, err := r.EstimateBytes(preds, m)
+		if err != nil {
+			fmt.Fprintf(&sb, "  %-16s unavailable: %v\n", m, err)
+			continue
+		}
+		fmt.Fprintf(&sb, "  %-16s ~%d bytes\n", m, e)
+		if e < bestBytes {
+			best, bestBytes = m, e
+		}
+	}
+	if bestBytes < int64(math.MaxInt64) {
+		fmt.Fprintf(&sb, "  -> auto picks %v\n", best)
+	} else {
+		sb.WriteString("  -> no executable plan\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"bitmapindex/internal/buffer"
+	"bitmapindex/internal/core"
+	"bitmapindex/internal/cost"
+	"bitmapindex/internal/design"
+)
+
+// runFig17 reproduces Figure 17: the space-time tradeoff of range-encoded
+// indexes under the optimal bitmap buffering policy, for increasing buffer
+// sizes m, plus the Theorem 10.2 buffered time-optimal index per m.
+func runFig17(cfg Config, w io.Writer) error {
+	card := uint64(1000)
+	if cfg.Quick {
+		card = 100
+	}
+	ms := []int{0, 2, 4, 8}
+	type pt struct {
+		base  core.Base
+		space int
+		time  float64
+	}
+	for _, m := range ms {
+		var all []pt
+		design.EnumerateMinimal(card, design.MaxComponents(card), func(b core.Base) {
+			a := buffer.Optimal(b, card, m)
+			all = append(all, pt{b.Clone(), cost.SpaceRange(b), buffer.Time(b, card, a)})
+		})
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].space != all[j].space {
+				return all[i].space < all[j].space
+			}
+			return all[i].time < all[j].time
+		})
+		section(w, "Figure 17: buffered tradeoff frontier, C = %d, m = %d", card, m)
+		t := newTable(w)
+		t.row("base", "space", "time")
+		best := math.Inf(1)
+		points := 0
+		for _, p := range all {
+			if p.time < best-1e-9 {
+				best = p.time
+				t.row(p.base, p.space, fmt.Sprintf("%.3f", p.time))
+				points++
+				if points >= 14 && !cfg.Quick {
+					t.row("...", "", "")
+					break
+				}
+			}
+		}
+		if err := t.flush(); err != nil {
+			return err
+		}
+		base, a, err := buffer.TimeOptimalIndex(card, m)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "Theorem 10.2 time-optimal index for m=%d: %v, assignment %v, time %.3f\n",
+			m, base, a, buffer.Time(base, card, a))
+	}
+	return nil
+}

@@ -1,0 +1,319 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"bitmapindex/internal/core"
+	"bitmapindex/internal/cost"
+	"bitmapindex/internal/design"
+)
+
+// runFig9 reproduces Figure 9: the space-time tradeoff of range- vs
+// equality-encoded indexes, shown as each encoding's optimal frontier.
+func runFig9(cfg Config, w io.Writer) error {
+	cards := []uint64{25, 100}
+	if !cfg.Quick {
+		cards = append(cards, 1000)
+	}
+	for _, card := range cards {
+		section(w, "Figure 9: range vs equality encoding, C = %d", card)
+		t := newTable(w)
+		t.row("encoding", "base", "space(bitmaps)", "time(exp.scans)")
+		for _, enc := range []core.Encoding{core.RangeEncoded, core.EqualityEncoded} {
+			for _, p := range design.Frontier(card, enc) {
+				t.row(enc, p.Base, p.Space, fmt.Sprintf("%.3f", p.Time))
+			}
+		}
+		if err := t.flush(); err != nil {
+			return err
+		}
+		// Summarize the domination claim.
+		rf := design.Frontier(card, core.RangeEncoded)
+		ef := design.Frontier(card, core.EqualityEncoded)
+		dominated := 0
+		for _, e := range ef {
+			for _, r := range rf {
+				if r.Space <= e.Space && r.Time <= e.Time+1e-9 {
+					dominated++
+					break
+				}
+			}
+		}
+		fmt.Fprintf(w, "range encoding dominates %d of %d equality frontier points\n", dominated, len(ef))
+	}
+	return nil
+}
+
+// runFig10 reproduces Figure 10: the space-optimal and time-optimal index
+// classes against the frontier over all indexes.
+func runFig10(cfg Config, w io.Writer) error {
+	card := uint64(100)
+	if !cfg.Quick {
+		card = 1000
+	}
+	section(w, "Figure 10: index classes, C = %d", card)
+	t := newTable(w)
+	t.row("class", "n", "base", "space", "time")
+	for n := 1; n <= design.MaxComponents(card); n++ {
+		b, err := design.SpaceOptimalBest(card, n)
+		if err != nil {
+			return err
+		}
+		t.row("space-optimal", n, b, cost.SpaceRange(b), fmt.Sprintf("%.3f", cost.TimeRange(b, card)))
+	}
+	for n := 1; n <= design.MaxComponents(card); n++ {
+		b, err := design.TimeOptimal(card, n)
+		if err != nil {
+			return err
+		}
+		t.row("time-optimal", n, b, cost.SpaceRange(b), fmt.Sprintf("%.3f", cost.TimeRange(b, card)))
+	}
+	front := design.Frontier(card, core.RangeEncoded)
+	for _, p := range front {
+		t.row("all-frontier", p.Base.N(), p.Base, p.Space, fmt.Sprintf("%.3f", p.Time))
+	}
+	if err := t.flush(); err != nil {
+		return err
+	}
+	// The paper's observation: the space-optimal points lie on the
+	// all-index frontier.
+	onFrontier := 0
+	for n := 1; n <= design.MaxComponents(card); n++ {
+		b, _ := design.SpaceOptimalBest(card, n)
+		s, tm := cost.SpaceRange(b), cost.TimeRange(b, card)
+		for _, p := range front {
+			if p.Space == s && math.Abs(p.Time-tm) < 1e-9 {
+				onFrontier++
+				break
+			}
+		}
+	}
+	fmt.Fprintf(w, "space-optimal points on the all-index frontier: %d of %d\n",
+		onFrontier, design.MaxComponents(card))
+	return nil
+}
+
+// runFig11 reproduces Figure 11: the space-optimal tradeoff with each
+// point labelled by its number of components; the knee sits at n = 2.
+func runFig11(cfg Config, w io.Writer) error {
+	card := uint64(100)
+	if !cfg.Quick {
+		card = 1000
+	}
+	section(w, "Figure 11: space-optimal tradeoff by components, C = %d", card)
+	t := newTable(w)
+	t.row("n", "base", "space", "time", "note")
+	knee, err := design.Knee(card)
+	if err != nil {
+		return err
+	}
+	for n := 1; n <= design.MaxComponents(card); n++ {
+		b, err := design.SpaceOptimalBest(card, n)
+		if err != nil {
+			return err
+		}
+		note := ""
+		if b.Equal(knee) {
+			note = "<- knee"
+		}
+		t.row(n, b, cost.SpaceRange(b), fmt.Sprintf("%.3f", cost.TimeRange(b, card)), note)
+	}
+	return t.flush()
+}
+
+// runKnee validates Theorem 7.1 over a sweep of cardinalities: the most
+// time-efficient 2-component space-optimal index against the definitional
+// knee of the tradeoff graph.
+func runKnee(cfg Config, w io.Writer) error {
+	cards := []uint64{10, 16, 25, 50, 64, 100, 250, 500, 1000}
+	if !cfg.Quick {
+		cards = append(cards, 2406, 4096)
+	}
+	section(w, "Theorem 7.1: knee characterization")
+	t := newTable(w)
+	t.row("C", "approx_knee", "definitional_knee", "space", "time", "match")
+	matches := 0
+	for _, card := range cards {
+		approx, err := design.Knee(card)
+		if err != nil {
+			return err
+		}
+		def, err := design.KneeByDefinition(card)
+		if err != nil {
+			return err
+		}
+		match := approx.Equal(def.Base)
+		if match {
+			matches++
+		}
+		t.row(card, approx, def.Base, def.Space, fmt.Sprintf("%.3f", def.Time), match)
+	}
+	if err := t.flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "matches: %d of %d cardinalities (the paper reports exact matches on its sweep)\n",
+		matches, len(cards))
+	return nil
+}
+
+// runFig13 illustrates the Figure 13 bounds: the constrained optimum has
+// between n and n' components.
+func runFig13(cfg Config, w io.Writer) error {
+	cases := []struct {
+		card uint64
+		m    int
+	}{{1000, 80}, {1000, 400}}
+	for _, c := range cases {
+		n, np, err := design.ComponentBounds(c.card, c.m)
+		if err != nil {
+			return err
+		}
+		section(w, "Figure 13: C = %d, M = %d -> n = %d, n' = %d", c.card, c.m, n, np)
+		t := newTable(w)
+		t.row("k", "space-opt_space", "time-opt_space", "fits(space-opt)", "fits(time-opt)")
+		for k := 1; k <= design.MaxComponents(c.card); k++ {
+			so, err := design.MinSpace(c.card, k)
+			if err != nil {
+				return err
+			}
+			tb, err := design.TimeOptimal(c.card, k)
+			if err != nil {
+				return err
+			}
+			ts := cost.SpaceRange(tb)
+			t.row(k, so, ts, so <= c.m, ts <= c.m)
+		}
+		if err := t.flush(); err != nil {
+			return err
+		}
+		opt, err := design.TimeOptUnderSpace(c.card, c.m)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "optimum %v has %d components (within [%d, %d])\n", opt, opt.N(), n, np)
+	}
+	return nil
+}
+
+// runFig14 reproduces Figure 14: the size of TimeOptAlg's candidate set as
+// a function of the space constraint M.
+func runFig14(cfg Config, w io.Writer) error {
+	card := uint64(1000)
+	ms := []int{15, 20, 30, 40, 60, 80, 100, 150, 200, 300, 500, 700, 999}
+	if cfg.Quick {
+		card = 100
+		ms = []int{8, 12, 20, 40, 60, 99}
+	}
+	section(w, "Figure 14: |I| vs space constraint M, C = %d", card)
+	t := newTable(w)
+	t.row("M", "n", "n'", "candidates")
+	for _, m := range ms {
+		n, np, err := design.ComponentBounds(card, m)
+		if err != nil {
+			return err
+		}
+		count, err := design.CandidateCount(card, m)
+		if err != nil {
+			return err
+		}
+		t.row(m, n, np, count)
+	}
+	return t.flush()
+}
+
+// runTable2 reproduces Table 2: how often the heuristic finds the true
+// optimum, and the worst expected-scan gap when it does not. The optimum
+// per M is computed from one shared enumeration (prefix minima of the
+// frontier) rather than per-M search.
+func runTable2(cfg Config, w io.Writer) error {
+	cards := []uint64{25, 100, 1000, 10000}
+	if cfg.Quick {
+		cards = []uint64{25, 100}
+	}
+	section(w, "Table 2: effectiveness of Algorithm TimeOptHeur")
+	t := newTable(w)
+	t.row("C", "constraints_tested", "pct_optimal", "max_scan_gap")
+	for _, card := range cards {
+		type pt struct {
+			space int
+			time  float64
+		}
+		var pts []pt
+		design.EnumerateMinimal(card, design.MaxComponents(card), func(b core.Base) {
+			pts = append(pts, pt{cost.SpaceRange(b), cost.TimeRange(b, card)})
+		})
+		sort.Slice(pts, func(i, j int) bool { return pts[i].space < pts[j].space })
+		// bestAt(m) = min time over points with space <= m.
+		bestAt := func(m int) float64 {
+			best := math.Inf(1)
+			for _, p := range pts {
+				if p.space > m {
+					break
+				}
+				if p.time < best {
+					best = p.time
+				}
+			}
+			return best
+		}
+		total, optimal := 0, 0
+		maxGap := 0.0
+		step := 1
+		switch {
+		case card >= 10000:
+			step = 71
+		case card >= 1000:
+			step = 7
+		}
+		for m := design.MaxComponents(card); m < int(card); m += step {
+			heur, err := design.TimeOptHeuristic(card, m)
+			if err != nil {
+				return err
+			}
+			ht := cost.TimeRange(heur, card)
+			ot := bestAt(m)
+			total++
+			if ht-ot < 1e-9 {
+				optimal++
+			} else if g := ht - ot; g > maxGap {
+				maxGap = g
+			}
+		}
+		t.row(card, total,
+			fmt.Sprintf("%.1f%%", 100*float64(optimal)/float64(total)),
+			fmt.Sprintf("%.3f", maxGap))
+	}
+	return t.flush()
+}
+
+// runAblationRefine shows what each stage of the heuristic contributes:
+// the FindSmallestN seed, the refined index, and the true optimum.
+func runAblationRefine(cfg Config, w io.Writer) error {
+	card := uint64(1000)
+	ms := []int{15, 25, 40, 60, 100, 200, 400}
+	if cfg.Quick {
+		card = 100
+		ms = []int{8, 12, 20, 40}
+	}
+	section(w, "RefineIndex ablation, C = %d", card)
+	t := newTable(w)
+	t.row("M", "seed", "seed_time", "refined", "refined_time", "optimal_time")
+	for _, m := range ms {
+		_, seed, err := design.FindSmallestN(card, m)
+		if err != nil {
+			return err
+		}
+		refined := design.RefineIndex(seed, card)
+		opt, err := design.TimeOptUnderSpace(card, m)
+		if err != nil {
+			return err
+		}
+		t.row(m, seed, fmt.Sprintf("%.3f", cost.TimeRange(seed, card)),
+			refined, fmt.Sprintf("%.3f", cost.TimeRange(refined, card)),
+			fmt.Sprintf("%.3f", cost.TimeRange(opt, card)))
+	}
+	return t.flush()
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func quickCfg(t *testing.T) Config {
+	t.Helper()
+	cfg := Default()
+	cfg.Rows = 8000
+	cfg.Quick = true
+	cfg.TempDir = t.TempDir()
+	return cfg
+}
+
+// TestAllExperimentsRun executes every experiment at quick scale and spot
+// checks a marker string in each output.
+func TestAllExperimentsRun(t *testing.T) {
+	markers := map[string]string{
+		"intro":             "crossover",
+		"table1":            "RangeEval-Opt",
+		"fig8":              "scans_opt",
+		"fig9":              "dominates",
+		"fig10":             "space-optimal",
+		"fig11":             "<- knee",
+		"knee":              "matches:",
+		"fig13":             "optimum",
+		"fig14":             "candidates",
+		"table2":            "pct_optimal",
+		"table3":            "OrderDate",
+		"table4":            "cCS%",
+		"fig16":             "decompress%",
+		"fig17":             "Theorem 10.2",
+		"ablation-wah":      "wah_bytes",
+		"ablation-interval": "single-component",
+		"ablation-agg":      "bitsliced_us",
+		"ablation-cache":    "hit_rate",
+		"ablation-refine":   "refined_time",
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(quickCfg(t), &buf); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			out := buf.String()
+			if len(out) < 50 {
+				t.Fatalf("%s: suspiciously short output:\n%s", e.ID, out)
+			}
+			marker, ok := markers[e.ID]
+			if !ok {
+				t.Fatalf("no marker registered for %s", e.ID)
+			}
+			if !strings.Contains(out, marker) {
+				t.Fatalf("%s: output missing marker %q:\n%s", e.ID, marker, out)
+			}
+		})
+	}
+}
+
+func TestIntroCrossoverNearPrediction(t *testing.T) {
+	var buf bytes.Buffer
+	e, ok := Find("intro")
+	if !ok {
+		t.Fatal("intro not registered")
+	}
+	if err := e.Run(quickCfg(t), &buf); err != nil {
+		t.Fatal(err)
+	}
+	// The crossover must land within one geometric step of 1/32.
+	out := buf.String()
+	if !strings.Contains(out, "measured crossover at selectivity 0.0") {
+		t.Fatalf("unexpected crossover line in:\n%s", out)
+	}
+}
+
+func TestFindAndIDs(t *testing.T) {
+	if _, ok := Find("nope"); ok {
+		t.Fatal("Find(nope) should fail")
+	}
+	ids := IDs()
+	if len(ids) != len(All()) {
+		t.Fatalf("IDs() returned %d, want %d", len(ids), len(All()))
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i] <= ids[i-1] {
+			t.Fatal("IDs not sorted")
+		}
+	}
+	for _, e := range All() {
+		if e.ID == "" || e.Title == "" || e.Paper == "" || e.Run == nil {
+			t.Fatalf("experiment %+v incomplete", e)
+		}
+	}
+}
+
+func TestLinearForm(t *testing.T) {
+	cases := []struct {
+		f    func(n int) int
+		want string
+	}{
+		{func(n int) int { return 2 * n }, "2n"},
+		{func(n int) int { return n }, "n"},
+		{func(n int) int { return n + 1 }, "n+1"},
+		{func(n int) int { return n - 1 }, "n-1"},
+		{func(n int) int { return 2*n - 2 }, "2n-2"},
+		{func(n int) int { return 5 }, "5"},
+		{func(n int) int { return 0 }, "0"},
+		{func(n int) int { return 3*n + 2 }, "3n+2"},
+	}
+	for _, c := range cases {
+		if got := linearForm(c.f); got != c.want {
+			t.Errorf("linearForm = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	cfg := quickCfg(t)
+	cfg.CSV = true
+	e, ok := Find("fig14")
+	if !ok {
+		t.Fatal("fig14 missing")
+	}
+	var buf bytes.Buffer
+	if err := e.Run(cfg, cfg.Writer(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "# Figure 14") {
+		t.Fatalf("missing comment header:\n%s", out)
+	}
+	if !strings.Contains(out, "M,n,n',candidates") {
+		t.Fatalf("missing CSV header row:\n%s", out)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n")[2:] {
+		if !strings.Contains(line, ",") {
+			t.Fatalf("non-CSV data line %q", line)
+		}
+	}
+}

@@ -1,0 +1,245 @@
+// Package mutable layers batch maintenance on top of the immutable bitmap
+// index: a tombstone bitmap for deletions and an in-memory append segment,
+// folded into a fresh base index by Compact. This is the maintenance
+// lifecycle the paper's read-mostly DSS environment implies — queries at
+// bitmap speed at all times, cheap row-level changes between batch loads,
+// and index rebuilds only at compaction points.
+//
+// Queries see one contiguous row space: base rows first (minus
+// tombstones), then appended rows. An Index is safe for concurrent use; a
+// read-write mutex serializes mutations against queries.
+package mutable
+
+import (
+	"fmt"
+	"sync"
+
+	"bitmapindex/internal/bitvec"
+	"bitmapindex/internal/core"
+)
+
+// Index is a mutable view over an immutable core.Index.
+type Index struct {
+	mu sync.RWMutex
+
+	card uint64
+	base *core.Index
+	enc  core.Encoding
+	// design picks the base sequence at (re)build time, from the current
+	// cardinality; fixed at New.
+	design func(card uint64) (core.Base, error)
+
+	dead *bitvec.Vector // tombstones over base rows
+
+	deltaVals  []uint64
+	deltaNulls []bool
+	deltaDead  []bool
+	deltaLive  int
+}
+
+// New creates an empty mutable index with the given attribute cardinality
+// and encoding; design picks the base sequence whenever the base index is
+// (re)built (nil means the knee would be a design-package concern, so the
+// caller must supply one — core has no dependency on design).
+func New(card uint64, design func(card uint64) (core.Base, error), enc core.Encoding) (*Index, error) {
+	if design == nil {
+		return nil, fmt.Errorf("mutable: nil design function")
+	}
+	m := &Index{card: card, enc: enc, design: design}
+	if err := m.rebuild(nil, nil); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// FromIndex wraps an existing immutable index; later compactions reuse its
+// base sequence.
+func FromIndex(ix *core.Index) *Index {
+	base := ix.Base()
+	return &Index{
+		card:   ix.Cardinality(),
+		base:   ix,
+		enc:    ix.Encoding(),
+		design: func(uint64) (core.Base, error) { return base, nil },
+		dead:   bitvec.New(ix.Rows()),
+	}
+}
+
+func (m *Index) rebuild(vals []uint64, nulls []bool) error {
+	base, err := m.design(m.card)
+	if err != nil {
+		return err
+	}
+	var opts *core.BuildOptions
+	if nulls != nil {
+		opts = &core.BuildOptions{Nulls: nulls}
+	}
+	ix, err := core.Build(vals, m.card, base, m.enc, opts)
+	if err != nil {
+		return err
+	}
+	m.base = ix
+	m.dead = bitvec.New(ix.Rows())
+	m.deltaVals = nil
+	m.deltaNulls = nil
+	m.deltaDead = nil
+	m.deltaLive = 0
+	return nil
+}
+
+// Rows returns the total row count including tombstoned rows (row ids are
+// stable until Compact).
+func (m *Index) Rows() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.base.Rows() + len(m.deltaVals)
+}
+
+// Live returns the number of non-deleted rows.
+func (m *Index) Live() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.base.Rows() - m.dead.Count() + m.deltaLive
+}
+
+// DeltaRows returns the size of the unindexed append segment, the signal
+// for scheduling a Compact.
+func (m *Index) DeltaRows() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.deltaVals)
+}
+
+// Append adds a row and returns its id.
+func (m *Index) Append(v uint64) (int, error) {
+	if v >= m.card {
+		return 0, fmt.Errorf("%w: value %d, cardinality %d", core.ErrValueOutOfRange, v, m.card)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	row := m.base.Rows() + len(m.deltaVals)
+	m.deltaVals = append(m.deltaVals, v)
+	m.deltaNulls = append(m.deltaNulls, false)
+	m.deltaDead = append(m.deltaDead, false)
+	m.deltaLive++
+	return row, nil
+}
+
+// AppendNull adds a null row and returns its id.
+func (m *Index) AppendNull() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	row := m.base.Rows() + len(m.deltaVals)
+	m.deltaVals = append(m.deltaVals, 0)
+	m.deltaNulls = append(m.deltaNulls, true)
+	m.deltaDead = append(m.deltaDead, false)
+	m.deltaLive++
+	return row
+}
+
+// Delete tombstones a row. Deleting a row twice is a no-op.
+func (m *Index) Delete(row int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch {
+	case row < 0 || row >= m.base.Rows()+len(m.deltaVals):
+		return fmt.Errorf("mutable: row %d out of range [0,%d)", row, m.base.Rows()+len(m.deltaVals))
+	case row < m.base.Rows():
+		m.dead.Set(row)
+	default:
+		d := row - m.base.Rows()
+		if !m.deltaDead[d] {
+			m.deltaDead[d] = true
+			m.deltaLive--
+		}
+	}
+	return nil
+}
+
+// Eval evaluates (A op v) over the combined row space: the base index
+// answers its rows through the bitmap evaluator (minus tombstones) and the
+// append segment is scanned (it is small by construction — that is what
+// Compact is for).
+func (m *Index) Eval(op core.Op, v uint64) *bitvec.Vector {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	baseRows := m.base.Rows()
+	out := bitvec.New(baseRows + len(m.deltaVals))
+	b := m.base.Eval(op, v, nil)
+	b.AndNot(m.dead)
+	b.Ones(func(r int) bool {
+		out.Set(r)
+		return true
+	})
+	for d, dv := range m.deltaVals {
+		if m.deltaDead[d] || m.deltaNulls[d] {
+			continue
+		}
+		if op.Matches(dv, v) {
+			out.Set(baseRows + d)
+		}
+	}
+	return out
+}
+
+// Value returns the value at a row and whether the row is live and
+// non-null.
+func (m *Index) Value(row int) (uint64, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	baseRows := m.base.Rows()
+	switch {
+	case row < 0 || row >= baseRows+len(m.deltaVals):
+		return 0, false
+	case row < baseRows:
+		if m.dead.Get(row) {
+			return 0, false
+		}
+		return m.base.Value(row)
+	default:
+		d := row - baseRows
+		if m.deltaDead[d] || m.deltaNulls[d] {
+			return 0, false
+		}
+		return m.deltaVals[d], true
+	}
+}
+
+// Compact folds tombstones and the append segment into a freshly built
+// base index. Row ids are renumbered densely (tombstoned rows vanish).
+func (m *Index) Compact() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var vals []uint64
+	var nulls []bool
+	anyNull := false
+	for r := 0; r < m.base.Rows(); r++ {
+		if m.dead.Get(r) {
+			continue
+		}
+		v, ok := m.base.Value(r)
+		vals = append(vals, v)
+		nulls = append(nulls, !ok)
+		anyNull = anyNull || !ok
+	}
+	for d, dv := range m.deltaVals {
+		if m.deltaDead[d] {
+			continue
+		}
+		vals = append(vals, dv)
+		nulls = append(nulls, m.deltaNulls[d])
+		anyNull = anyNull || m.deltaNulls[d]
+	}
+	if !anyNull {
+		nulls = nil
+	}
+	return m.rebuild(vals, nulls)
+}
+
+// Base returns the current immutable base index (for storage, statistics,
+// aggregation over base rows). It does not include the append segment.
+func (m *Index) Base() *core.Index {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.base
+}

@@ -1,0 +1,240 @@
+package mutable
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"bitmapindex/internal/core"
+	"bitmapindex/internal/design"
+)
+
+func newTest(t *testing.T, card uint64) *Index {
+	t.Helper()
+	m, err := New(card, design.Knee, core.RangeEncoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// model mirrors the mutable index with plain slices.
+type model struct {
+	vals []uint64
+	null []bool
+	dead []bool
+}
+
+func (md *model) eval(op core.Op, v uint64) []bool {
+	out := make([]bool, len(md.vals))
+	for i := range md.vals {
+		out[i] = !md.dead[i] && !md.null[i] && op.Matches(md.vals[i], v)
+	}
+	return out
+}
+
+func (md *model) live() int {
+	n := 0
+	for i := range md.vals {
+		if !md.dead[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// TestRandomizedLifecycle drives appends, deletes, compactions, and
+// queries against the reference model.
+func TestRandomizedLifecycle(t *testing.T) {
+	const card = 60
+	r := rand.New(rand.NewSource(51))
+	m := newTest(t, card)
+	md := &model{}
+	check := func(stage string) {
+		t.Helper()
+		if m.Rows() != len(md.vals) {
+			t.Fatalf("%s: Rows = %d, model %d", stage, m.Rows(), len(md.vals))
+		}
+		if m.Live() != md.live() {
+			t.Fatalf("%s: Live = %d, model %d", stage, m.Live(), md.live())
+		}
+		for _, op := range core.AllOps {
+			v := uint64(r.Intn(card + 2))
+			got := m.Eval(op, v)
+			want := md.eval(op, v)
+			for i := range want {
+				if got.Get(i) != want[i] {
+					t.Fatalf("%s: A %s %d row %d: got %v want %v", stage, op, v, i, got.Get(i), want[i])
+				}
+			}
+		}
+	}
+	for step := 0; step < 1200; step++ {
+		switch r.Intn(10) {
+		case 0, 1, 2, 3, 4: // append
+			v := uint64(r.Intn(card))
+			row, err := m.Append(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if row != len(md.vals) {
+				t.Fatalf("append row id %d, want %d", row, len(md.vals))
+			}
+			md.vals = append(md.vals, v)
+			md.null = append(md.null, false)
+			md.dead = append(md.dead, false)
+		case 5: // append null
+			row := m.AppendNull()
+			if row != len(md.vals) {
+				t.Fatalf("append-null row id %d, want %d", row, len(md.vals))
+			}
+			md.vals = append(md.vals, 0)
+			md.null = append(md.null, true)
+			md.dead = append(md.dead, false)
+		case 6, 7: // delete a random row
+			if len(md.vals) == 0 {
+				continue
+			}
+			row := r.Intn(len(md.vals))
+			if err := m.Delete(row); err != nil {
+				t.Fatal(err)
+			}
+			md.dead[row] = true
+		case 8: // point check
+			if len(md.vals) == 0 {
+				continue
+			}
+			row := r.Intn(len(md.vals))
+			v, ok := m.Value(row)
+			wantOK := !md.dead[row] && !md.null[row]
+			if ok != wantOK || (ok && v != md.vals[row]) {
+				t.Fatalf("Value(%d) = %d,%v; model %d dead=%v null=%v",
+					row, v, ok, md.vals[row], md.dead[row], md.null[row])
+			}
+		case 9: // compact: renumber the model densely
+			if err := m.Compact(); err != nil {
+				t.Fatal(err)
+			}
+			var nv []uint64
+			var nn, nd []bool
+			for i := range md.vals {
+				if md.dead[i] {
+					continue
+				}
+				nv = append(nv, md.vals[i])
+				nn = append(nn, md.null[i])
+				nd = append(nd, false)
+			}
+			md.vals, md.null, md.dead = nv, nn, nd
+			if m.DeltaRows() != 0 {
+				t.Fatal("delta not emptied by Compact")
+			}
+		}
+		if step%100 == 0 {
+			check("step")
+		}
+	}
+	check("final")
+}
+
+func TestFromIndex(t *testing.T) {
+	vals := []uint64{3, 2, 1, 2, 8, 2, 2, 0, 7, 5}
+	ix, err := core.Build(vals, 9, core.Base{3, 3}, core.RangeEncoded, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := FromIndex(ix)
+	if m.Rows() != 10 || m.Live() != 10 {
+		t.Fatalf("rows %d live %d", m.Rows(), m.Live())
+	}
+	if err := m.Delete(4); err != nil { // value 8
+		t.Fatal(err)
+	}
+	if _, err := m.Append(8); err != nil {
+		t.Fatal(err)
+	}
+	got := m.Eval(core.Eq, 8)
+	if got.Get(4) || !got.Get(10) || got.Count() != 1 {
+		t.Fatalf("Eq 8 after delete+append: %s", got)
+	}
+	if err := m.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows() != 10 || m.Base().Rows() != 10 {
+		t.Fatalf("after compact: rows %d", m.Rows())
+	}
+	// Compaction keeps the original base design.
+	if !m.Base().Base().Equal(core.Base{3, 3}) {
+		t.Fatalf("design changed: %v", m.Base().Base())
+	}
+}
+
+func TestMutableErrors(t *testing.T) {
+	if _, err := New(9, nil, core.RangeEncoded); err == nil {
+		t.Fatal("nil design must fail")
+	}
+	m := newTest(t, 9)
+	if _, err := m.Append(9); !errors.Is(err, core.ErrValueOutOfRange) {
+		t.Fatalf("Append out of range: %v", err)
+	}
+	if err := m.Delete(0); err == nil {
+		t.Fatal("delete on empty index must fail")
+	}
+	if err := m.Delete(-1); err == nil {
+		t.Fatal("negative row must fail")
+	}
+	if _, ok := m.Value(3); ok {
+		t.Fatal("Value on missing row must be !ok")
+	}
+	// Double delete is a no-op.
+	if _, err := m.Append(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	if m.Live() != 0 {
+		t.Fatalf("Live = %d after double delete", m.Live())
+	}
+}
+
+func TestMutableConcurrent(t *testing.T) {
+	m := newTest(t, 100)
+	for i := 0; i < 500; i++ {
+		if _, err := m.Append(uint64(i % 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(g)))
+			for k := 0; k < 200; k++ {
+				switch r.Intn(4) {
+				case 0:
+					if _, err := m.Append(uint64(r.Intn(100))); err != nil {
+						t.Error(err)
+						return
+					}
+				case 1:
+					_ = m.Delete(r.Intn(m.Rows()))
+				default:
+					m.Eval(core.Le, uint64(r.Intn(100)))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := m.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if m.DeltaRows() != 0 {
+		t.Fatal("delta not empty after compact")
+	}
+}

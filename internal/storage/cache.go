@@ -1,0 +1,167 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"bitmapindex/internal/bitvec"
+	"bitmapindex/internal/core"
+)
+
+// CachedStore wraps a Store with an LRU buffer pool of decompressed
+// bitmaps, turning Section 10's analytic buffering model into a running
+// system: bitmap reads that hit the pool cost no I/O and are not counted
+// as scans, exactly the paper's accounting. The pool capacity is in
+// bitmaps, matching the paper's unit of buffering.
+//
+// A CachedStore is safe for concurrent use; the pool is guarded by a
+// mutex (bitmap vectors themselves are immutable once cached).
+type CachedStore struct {
+	store    *Store
+	capacity int
+
+	mu     sync.Mutex
+	lru    *list.List // of cacheEntry, front = most recent
+	byKey  map[cacheKey]*list.Element
+	hits   int64
+	misses int64
+}
+
+type cacheKey struct{ comp, slot int }
+
+type cacheEntry struct {
+	key cacheKey
+	v   *bitvec.Vector
+}
+
+// NewCached wraps the store with an LRU pool holding up to capacity
+// bitmaps. Capacity 0 disables caching (every read misses).
+func NewCached(s *Store, capacity int) (*CachedStore, error) {
+	if capacity < 0 {
+		return nil, fmt.Errorf("storage: negative cache capacity %d", capacity)
+	}
+	return &CachedStore{
+		store:    s,
+		capacity: capacity,
+		lru:      list.New(),
+		byKey:    make(map[cacheKey]*list.Element),
+	}, nil
+}
+
+// Store returns the underlying store.
+func (c *CachedStore) Store() *Store { return c.store }
+
+// HitRate returns the fraction of bitmap reads served from the pool.
+func (c *CachedStore) HitRate() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}
+
+// Resident returns the number of bitmaps currently in the pool.
+func (c *CachedStore) Resident() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// lookup returns the cached bitmap and whether it was resident, updating
+// recency and counters.
+func (c *CachedStore) lookup(comp, slot int) (*bitvec.Vector, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[cacheKey{comp, slot}]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		return el.Value.(cacheEntry).v, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// insert adds a bitmap to the pool, evicting the least recently used
+// entries beyond capacity.
+func (c *CachedStore) insert(comp, slot int, v *bitvec.Vector) {
+	if c.capacity == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := cacheKey{comp, slot}
+	if el, ok := c.byKey[key]; ok {
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.lru.PushFront(cacheEntry{key: key, v: v})
+	for c.lru.Len() > c.capacity {
+		el := c.lru.Back()
+		delete(c.byKey, el.Value.(cacheEntry).key)
+		c.lru.Remove(el)
+	}
+}
+
+// Eval evaluates (A op v) through the pool: resident bitmaps cost nothing
+// and are excluded from the scan count, misses read through the
+// underlying store (accounted into m) and populate the pool.
+func (c *CachedStore) Eval(op core.Op, v uint64, m *Metrics) (res *bitvec.Vector, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if se, ok := r.(storageErr); ok {
+				res, err = nil, se.err
+				return
+			}
+			panic(r)
+		}
+	}()
+	q := &query{s: c.store, m: m}
+	// perQuery remembers residency as observed at first touch within this
+	// query, so the Buffered callback and Fetch agree even though Fetch
+	// also inserts into the pool.
+	perQuery := make(map[cacheKey]bool, 8)
+	wasResident := func(comp, slot int) bool {
+		key := cacheKey{comp, slot}
+		if r, ok := perQuery[key]; ok {
+			return r
+		}
+		_, resident := c.lookup(comp, slot)
+		perQuery[key] = resident
+		return resident
+	}
+	opt := &core.EvalOptions{
+		Buffered: wasResident,
+		Fetch: func(comp, slot int) *bitvec.Vector {
+			key := cacheKey{comp, slot}
+			resident, seen := perQuery[key]
+			if !seen {
+				resident = false
+				if v, ok := c.lookup(comp, slot); ok {
+					perQuery[key] = true
+					return v
+				}
+				perQuery[key] = false
+			}
+			if resident {
+				c.mu.Lock()
+				el, ok := c.byKey[key]
+				c.mu.Unlock()
+				if ok {
+					return el.Value.(cacheEntry).v
+				}
+				// Evicted since first touch within this query; fall through.
+			}
+			v := q.fetch(comp, slot)
+			c.insert(comp, slot, v)
+			return v
+		},
+	}
+	if m != nil {
+		m.Queries++
+		opt.Stats = &m.Stats
+	}
+	return c.store.shell.Eval(op, v, opt), nil
+}

@@ -1,0 +1,37 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzOpenMeta ensures arbitrary descriptor bytes never panic Open; they
+// either load a consistent store or fail with an error.
+func FuzzOpenMeta(f *testing.F) {
+	f.Add([]byte(`{"version":1,"scheme":"BS","base":[4,3],"encoding":"range","cardinality":12,"rows":0}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"version":1,"scheme":"XX"}`))
+	f.Add([]byte(`{"version":1,"scheme":"IS","base":[1],"encoding":"range","cardinality":5,"rows":3}`))
+	f.Fuzz(func(t *testing.T, meta []byte) {
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, metaFile), meta, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// An empty nn.bm is present so Open can get past the descriptor
+		// when it is well-formed with rows=0.
+		if err := os.WriteFile(filepath.Join(dir, "nn.bm"), nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		st, err := Open(dir)
+		if err != nil {
+			return
+		}
+		// Openable stores must answer queries or return errors, never
+		// panic.
+		if _, err := st.Eval(0, 0, nil); err != nil {
+			return
+		}
+	})
+}

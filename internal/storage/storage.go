@@ -1,0 +1,453 @@
+// Package storage implements the paper's Section 9 physical organizations
+// of a bitmap index and their compressed variants:
+//
+//   - BS (bitmap-level storage): each stored bitmap in its own file; a
+//     query reads only the bitmaps it scans.
+//   - CS (component-level storage): each component's bit-matrix in one file
+//     in row-major order; a query touching a component reads the whole
+//     component file and extracts the columns it needs.
+//   - IS (index-level storage): the entire index bit-matrix in one
+//     row-major file; every query reads everything.
+//
+// Compression (the "c" prefix in the paper: cBS, cCS, cIS) uses the Go
+// standard library's DEFLATE zlib, the same algorithm family as the zlib C
+// library the paper used. Range- and equality-encoded component rows are
+// far more regular in row-major order than value-distribution-dependent
+// bitmap files, which is why cCS compresses best (Table 4) while cBS keeps
+// the per-query I/O advantage (Figure 16).
+package storage
+
+import (
+	"bytes"
+	"compress/zlib"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"bitmapindex/internal/bitvec"
+	"bitmapindex/internal/core"
+)
+
+// Scheme selects the physical layout.
+type Scheme uint8
+
+const (
+	// BitmapLevel stores each bitmap in its own file (BS).
+	BitmapLevel Scheme = iota
+	// ComponentLevel stores each component row-major in one file (CS).
+	ComponentLevel
+	// IndexLevel stores the whole index row-major in one file (IS).
+	IndexLevel
+)
+
+// String returns the paper's abbreviation for the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case BitmapLevel:
+		return "BS"
+	case ComponentLevel:
+		return "CS"
+	case IndexLevel:
+		return "IS"
+	default:
+		return fmt.Sprintf("Scheme(%d)", uint8(s))
+	}
+}
+
+// ParseScheme parses "BS", "CS" or "IS" (case-sensitive).
+func ParseScheme(s string) (Scheme, error) {
+	switch s {
+	case "BS":
+		return BitmapLevel, nil
+	case "CS":
+		return ComponentLevel, nil
+	case "IS":
+		return IndexLevel, nil
+	}
+	return 0, fmt.Errorf("storage: unknown scheme %q", s)
+}
+
+// Options selects the physical organization of a saved index.
+type Options struct {
+	Scheme   Scheme
+	Compress bool // zlib-compress every file (cBS / cCS / cIS)
+}
+
+// String renders e.g. "cCS" or "BS".
+func (o Options) String() string {
+	if o.Compress {
+		return "c" + o.Scheme.String()
+	}
+	return o.Scheme.String()
+}
+
+const metaFile = "meta.json"
+
+// meta is the serialized index descriptor.
+type meta struct {
+	Version  int      `json:"version"`
+	Scheme   string   `json:"scheme"`
+	Compress bool     `json:"compress"`
+	Base     []uint64 `json:"base"` // little-endian: Base[0] is b_1
+	Encoding string   `json:"encoding"`
+	Card     uint64   `json:"cardinality"`
+	Rows     int      `json:"rows"`
+	HasNulls bool     `json:"has_nulls"`
+	// Checksums maps each stored file to the CRC-32 (IEEE) of its on-disk
+	// bytes; reads verify it so silent corruption surfaces as an error
+	// instead of wrong query results.
+	Checksums map[string]uint32 `json:"checksums"`
+}
+
+// Metrics accumulates the physical cost of evaluating queries against a
+// Store. A single Metrics may be reused across queries.
+type Metrics struct {
+	Queries      int
+	FilesRead    int
+	BytesRead    int64 // on-disk bytes read (compressed size when compressed)
+	ReadNS       int64 // file read time
+	DecompressNS int64 // zlib inflate time
+	ExtractNS    int64 // row-major column extraction time
+	Stats        core.Stats
+}
+
+// Store is an on-disk bitmap index opened for query evaluation.
+type Store struct {
+	dir        string
+	meta       meta
+	shell      *core.Index
+	valueBytes int64 // on-disk bytes of the value bitmap files
+}
+
+type storageErr struct{ err error }
+
+// Save writes the index to dir (created if needed) in the given physical
+// organization and returns the opened store.
+func Save(ix *core.Index, dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	m := meta{
+		Version:   1,
+		Scheme:    opts.Scheme.String(),
+		Compress:  opts.Compress,
+		Base:      ix.Base(),
+		Encoding:  ix.Encoding().String(),
+		Card:      ix.Cardinality(),
+		Rows:      ix.Rows(),
+		HasNulls:  ix.HasNulls(),
+		Checksums: make(map[string]uint32),
+	}
+	if _, err := ParseScheme(m.Scheme); err != nil {
+		return nil, err
+	}
+	write := func(name string, payload []byte) error {
+		if opts.Compress {
+			var buf bytes.Buffer
+			zw := zlib.NewWriter(&buf)
+			if _, err := zw.Write(payload); err != nil {
+				return fmt.Errorf("storage: compress %s: %w", name, err)
+			}
+			if err := zw.Close(); err != nil {
+				return fmt.Errorf("storage: compress %s: %w", name, err)
+			}
+			payload = buf.Bytes()
+		}
+		m.Checksums[name] = crc32.ChecksumIEEE(payload)
+		if err := os.WriteFile(filepath.Join(dir, name), payload, 0o644); err != nil {
+			return fmt.Errorf("storage: %w", err)
+		}
+		return nil
+	}
+	if err := write("nn.bm", ix.NonNull().PayloadBytes()); err != nil {
+		return nil, err
+	}
+	switch opts.Scheme {
+	case BitmapLevel:
+		for i := 0; i < ix.Components(); i++ {
+			for j := 0; j < ix.ComponentBitmaps(i); j++ {
+				if err := write(bitmapFile(i, j), ix.StoredBitmap(i, j).PayloadBytes()); err != nil {
+					return nil, err
+				}
+			}
+		}
+	case ComponentLevel:
+		for i := 0; i < ix.Components(); i++ {
+			ni := ix.ComponentBitmaps(i)
+			payload := rowMajor(ix, i, i+1, ni)
+			if err := write(componentFile(i), payload); err != nil {
+				return nil, err
+			}
+		}
+	case IndexLevel:
+		payload := rowMajor(ix, 0, ix.Components(), totalBitmaps(ix))
+		if err := write("index.is", payload); err != nil {
+			return nil, err
+		}
+	}
+	// The descriptor is written last so a crash mid-save never leaves a
+	// readable-but-incomplete index behind.
+	mj, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, metaFile), mj, 0o644); err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	return Open(dir)
+}
+
+func bitmapFile(i, j int) string { return fmt.Sprintf("c%d_%d.bm", i, j) }
+func componentFile(i int) string { return fmt.Sprintf("c%d.cs", i) }
+func totalBitmaps(ix *core.Index) int {
+	n := 0
+	for i := 0; i < ix.Components(); i++ {
+		n += ix.ComponentBitmaps(i)
+	}
+	return n
+}
+
+// rowMajor packs components [lo, hi) into a row-major bit matrix with the
+// given stride (bits per row): bit (r*stride + col) is bit r of the col-th
+// stored bitmap in the range.
+func rowMajor(ix *core.Index, lo, hi, stride int) []byte {
+	rows := ix.Rows()
+	out := make([]byte, (rows*stride+7)/8)
+	col := 0
+	for i := lo; i < hi; i++ {
+		for j := 0; j < ix.ComponentBitmaps(i); j++ {
+			c := col
+			ix.StoredBitmap(i, j).Ones(func(r int) bool {
+				k := r*stride + c
+				out[k/8] |= 1 << uint(k%8)
+				return true
+			})
+			col++
+		}
+	}
+	return out
+}
+
+// Open loads the descriptor and non-null bitmap of an index saved by Save.
+// Value bitmaps are read lazily per query.
+func Open(dir string) (*Store, error) {
+	mj, err := os.ReadFile(filepath.Join(dir, metaFile))
+	if err != nil {
+		return nil, fmt.Errorf("storage: %w", err)
+	}
+	var m meta
+	if err := json.Unmarshal(mj, &m); err != nil {
+		return nil, fmt.Errorf("storage: bad %s: %w", metaFile, err)
+	}
+	if _, err := ParseScheme(m.Scheme); err != nil {
+		return nil, err
+	}
+	enc, err := core.ParseEncoding(m.Encoding)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{dir: dir, meta: m}
+	nnPayload, _, err := s.readFile("nn.bm", nil)
+	if err != nil {
+		return nil, err
+	}
+	var nn bitvec.Vector
+	if err := nn.SetPayload(m.Rows, nnPayload); err != nil {
+		return nil, fmt.Errorf("storage: nn bitmap: %w", err)
+	}
+	shell, err := core.NewShell(core.Base(m.Base), enc, m.Card, &nn, m.HasNulls)
+	if err != nil {
+		return nil, err
+	}
+	s.shell = shell
+	if s.valueBytes, err = s.computeValueBytes(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *Store) computeValueBytes() (int64, error) {
+	var names []string
+	switch s.meta.Scheme {
+	case "BS":
+		for i := 0; i < s.shell.Components(); i++ {
+			for j := 0; j < s.shell.ComponentBitmaps(i); j++ {
+				names = append(names, bitmapFile(i, j))
+			}
+		}
+	case "CS":
+		for i := 0; i < s.shell.Components(); i++ {
+			names = append(names, componentFile(i))
+		}
+	case "IS":
+		names = append(names, "index.is")
+	}
+	var total int64
+	for _, n := range names {
+		fi, err := os.Stat(filepath.Join(s.dir, n))
+		if err != nil {
+			return 0, fmt.Errorf("storage: %w", err)
+		}
+		total += fi.Size()
+	}
+	return total, nil
+}
+
+// Index returns the shell descriptor of the stored index (base, encoding,
+// cardinality, rows, non-null bitmap). Its bitmaps are not in memory.
+func (s *Store) Index() *core.Index { return s.shell }
+
+// Options returns the physical organization of the store.
+func (s *Store) Options() Options {
+	sc, _ := ParseScheme(s.meta.Scheme)
+	return Options{Scheme: sc, Compress: s.meta.Compress}
+}
+
+// ValueBytes returns the total on-disk size of the value bitmap files (the
+// paper's space metric for Table 4 and Figure 16(b); the non-null bitmap
+// and descriptor are excluded).
+func (s *Store) ValueBytes() int64 { return s.valueBytes }
+
+// readFile reads (and if needed inflates) one file, accounting into m.
+func (s *Store) readFile(name string, m *Metrics) ([]byte, int64, error) {
+	t0 := time.Now()
+	raw, err := os.ReadFile(filepath.Join(s.dir, name))
+	if err != nil {
+		return nil, 0, fmt.Errorf("storage: %w", err)
+	}
+	readNS := time.Since(t0).Nanoseconds()
+	onDisk := int64(len(raw))
+	if want, ok := s.meta.Checksums[name]; ok {
+		if got := crc32.ChecksumIEEE(raw); got != want {
+			return nil, 0, fmt.Errorf("storage: %w: %s (crc %08x, want %08x)", ErrCorrupt, name, got, want)
+		}
+	}
+	var decompNS int64
+	if s.meta.Compress {
+		t1 := time.Now()
+		zr, err := zlib.NewReader(bytes.NewReader(raw))
+		if err != nil {
+			return nil, 0, fmt.Errorf("storage: inflate %s: %w", name, err)
+		}
+		raw, err = io.ReadAll(zr)
+		if cerr := zr.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, 0, fmt.Errorf("storage: inflate %s: %w", name, err)
+		}
+		decompNS = time.Since(t1).Nanoseconds()
+	}
+	if m != nil {
+		m.FilesRead++
+		m.BytesRead += onDisk
+		m.ReadNS += readNS
+		m.DecompressNS += decompNS
+	}
+	return raw, onDisk, nil
+}
+
+// query is the per-query fetch context: every file is read at most once
+// per query regardless of how many bitmaps are extracted from it.
+type query struct {
+	s     *Store
+	m     *Metrics
+	files map[string][]byte
+}
+
+func (q *query) file(name string) []byte {
+	if p, ok := q.files[name]; ok {
+		return p
+	}
+	p, _, err := q.s.readFile(name, q.m)
+	if err != nil {
+		panic(storageErr{err})
+	}
+	if q.files == nil {
+		q.files = make(map[string][]byte, 4)
+	}
+	q.files[name] = p
+	return p
+}
+
+// fetch implements core.EvalOptions.Fetch against the store's layout.
+func (q *query) fetch(comp, slot int) *bitvec.Vector {
+	s := q.s
+	rows := s.shell.Rows()
+	switch s.meta.Scheme {
+	case "BS":
+		payload := q.file(bitmapFile(comp, slot))
+		var v bitvec.Vector
+		if err := v.SetPayload(rows, payload); err != nil {
+			panic(storageErr{err})
+		}
+		return &v
+	case "CS":
+		payload := q.file(componentFile(comp))
+		return q.extract(payload, s.shell.ComponentBitmaps(comp), slot)
+	default: // IS
+		payload := q.file("index.is")
+		off := 0
+		for i := 0; i < comp; i++ {
+			off += s.shell.ComponentBitmaps(i)
+		}
+		return q.extract(payload, totalBitmaps(s.shell), off+slot)
+	}
+}
+
+// extract pulls one column out of a row-major bit matrix.
+func (q *query) extract(payload []byte, stride, col int) *bitvec.Vector {
+	t0 := time.Now()
+	rows := q.s.shell.Rows()
+	v := bitvec.New(rows)
+	k := col
+	for r := 0; r < rows; r++ {
+		if payload[k/8]&(1<<uint(k%8)) != 0 {
+			v.Set(r)
+		}
+		k += stride
+	}
+	if q.m != nil {
+		q.m.ExtractNS += time.Since(t0).Nanoseconds()
+	}
+	return v
+}
+
+// Eval evaluates (A op v) against the on-disk index, accounting physical
+// costs into m (which may be nil).
+func (s *Store) Eval(op core.Op, v uint64, m *Metrics) (res *bitvec.Vector, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if se, ok := r.(storageErr); ok {
+				res, err = nil, se.err
+				return
+			}
+			panic(r)
+		}
+	}()
+	q := &query{s: s, m: m}
+	opt := &core.EvalOptions{Fetch: q.fetch}
+	if m != nil {
+		m.Queries++
+		opt.Stats = &m.Stats
+	}
+	return s.shell.Eval(op, v, opt), nil
+}
+
+// ErrNotFound reports a missing index directory.
+var ErrNotFound = errors.New("storage: index not found")
+
+// ErrCorrupt reports a stored file whose contents no longer match the
+// checksum recorded at save time.
+var ErrCorrupt = errors.New("storage: checksum mismatch")
+
+// Exists reports whether dir contains a saved index.
+func Exists(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, metaFile))
+	return err == nil
+}

@@ -1,0 +1,35 @@
+package wah
+
+import (
+	"testing"
+
+	"bitmapindex/internal/bitvec"
+)
+
+// FuzzUnmarshal ensures arbitrary byte strings never panic the decoder,
+// and that well-formed payloads survive the round trip.
+func FuzzUnmarshal(f *testing.F) {
+	seed := Compress(bitvec.FromIndices(200, []int{1, 63, 64, 130}))
+	p, _ := seed.MarshalBinary()
+	f.Add(p)
+	f.Add([]byte{})
+	f.Add(make([]byte, 16))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var b Bitmap
+		if err := b.UnmarshalBinary(data); err != nil {
+			return // malformed input rejected: fine
+		}
+		// Accepted payloads must decompress and re-serialize faithfully.
+		v := b.Decompress()
+		if v.Len() != b.Len() {
+			t.Fatalf("length drift: %d vs %d", v.Len(), b.Len())
+		}
+		if b.Count() != v.Count() {
+			t.Fatalf("count drift: %d vs %d", b.Count(), v.Count())
+		}
+		rt := Compress(v)
+		if rt.Count() != b.Count() || !rt.Decompress().Equal(v) {
+			t.Fatal("round trip drift")
+		}
+	})
+}

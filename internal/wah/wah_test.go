@@ -1,0 +1,245 @@
+package wah
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bitmapindex/internal/bitvec"
+)
+
+func randomVec(r *rand.Rand, n int, density float64) *bitvec.Vector {
+	v := bitvec.New(n)
+	for i := 0; i < n; i++ {
+		if r.Float64() < density {
+			v.Set(i)
+		}
+	}
+	return v
+}
+
+func TestRoundTripLengths(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 62, 63, 64, 65, 125, 126, 127, 1000, 4096} {
+		for _, density := range []float64{0, 0.01, 0.5, 0.99, 1} {
+			v := randomVec(r, n, density)
+			c := Compress(v)
+			if c.Len() != n {
+				t.Fatalf("n=%d: Len = %d", n, c.Len())
+			}
+			got := c.Decompress()
+			if !got.Equal(v) {
+				t.Fatalf("n=%d density=%.2f: round trip mismatch", n, density)
+			}
+			if c.Count() != v.Count() {
+				t.Fatalf("n=%d density=%.2f: Count %d != %d", n, density, c.Count(), v.Count())
+			}
+		}
+	}
+}
+
+func TestCompressionRatioOnRuns(t *testing.T) {
+	// A long constant run compresses to a handful of words.
+	v := bitvec.New(63 * 100000)
+	for i := 0; i < 63*10; i++ {
+		v.Set(i)
+	}
+	c := Compress(v)
+	if c.SizeBytes() > 64 {
+		t.Fatalf("compressed size %d bytes for an almost-constant bitmap", c.SizeBytes())
+	}
+	// Incompressible random data must not blow up beyond ~64/63 overhead.
+	r := rand.New(rand.NewSource(2))
+	v = randomVec(r, 63*1000, 0.5)
+	c = Compress(v)
+	if c.SizeBytes() > v.SizeBytes()*9/8+16 {
+		t.Fatalf("compressed random data %d bytes vs plain %d", c.SizeBytes(), v.SizeBytes())
+	}
+}
+
+func TestLogicalOpsMatchPlain(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		n := r.Intn(2000)
+		da, db := r.Float64(), r.Float64()*0.1 // mixed densities exercise fills
+		a, b := randomVec(r, n, da), randomVec(r, n, db)
+		ca, cb := Compress(a), Compress(b)
+		check := func(name string, got *Bitmap, plain func(x, y *bitvec.Vector) *bitvec.Vector) {
+			want := plain(a, b)
+			if !got.Decompress().Equal(want) {
+				t.Fatalf("trial %d n=%d: %s mismatch", trial, n, name)
+			}
+			if got.Count() != want.Count() {
+				t.Fatalf("trial %d n=%d: %s compressed Count wrong", trial, n, name)
+			}
+		}
+		check("And", And(ca, cb), func(x, y *bitvec.Vector) *bitvec.Vector {
+			z := x.Clone()
+			z.And(y)
+			return z
+		})
+		check("Or", Or(ca, cb), func(x, y *bitvec.Vector) *bitvec.Vector {
+			z := x.Clone()
+			z.Or(y)
+			return z
+		})
+		check("Xor", Xor(ca, cb), func(x, y *bitvec.Vector) *bitvec.Vector {
+			z := x.Clone()
+			z.Xor(y)
+			return z
+		})
+		check("AndNot", AndNot(ca, cb), func(x, y *bitvec.Vector) *bitvec.Vector {
+			z := x.Clone()
+			z.AndNot(y)
+			return z
+		})
+	}
+}
+
+func TestNotMatchesPlain(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for _, n := range []int{0, 1, 63, 64, 126, 127, 500, 63 * 7} {
+		v := randomVec(r, n, 0.3)
+		got := Compress(v).Not().Decompress()
+		want := v.Clone()
+		want.Not()
+		if !got.Equal(want) {
+			t.Fatalf("n=%d: Not mismatch", n)
+		}
+	}
+	// Double complement is identity, and all-ones fills stay well-formed.
+	ones := bitvec.NewOnes(63 * 50)
+	c := Compress(ones)
+	if !c.Not().Not().Decompress().Equal(ones) {
+		t.Fatal("double Not not identity")
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	a, b := Compress(bitvec.New(10)), Compress(bitvec.New(11))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("And on mismatched lengths did not panic")
+		}
+	}()
+	And(a, b)
+}
+
+func TestDeMorganProperty(t *testing.T) {
+	f := func(seedA, seedB int64, nRaw uint16) bool {
+		n := int(nRaw) % 1500
+		ra, rb := rand.New(rand.NewSource(seedA)), rand.New(rand.NewSource(seedB))
+		a, b := Compress(randomVec(ra, n, 0.2)), Compress(randomVec(rb, n, 0.8))
+		lhs := And(a, b).Not()
+		rhs := Or(a.Not(), b.Not())
+		return lhs.Decompress().Equal(rhs.Decompress())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarshalRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for _, n := range []int{0, 63, 100, 1000} {
+		v := randomVec(r, n, 0.1)
+		c := Compress(v)
+		p, err := c.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var d Bitmap
+		if err := d.UnmarshalBinary(p); err != nil {
+			t.Fatal(err)
+		}
+		if !d.Decompress().Equal(v) {
+			t.Fatalf("n=%d: marshal round trip mismatch", n)
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	var b Bitmap
+	if err := b.UnmarshalBinary([]byte{1, 2}); err == nil {
+		t.Fatal("short payload must fail")
+	}
+	if err := b.UnmarshalBinary(make([]byte, 13)); err == nil {
+		t.Fatal("non-word-aligned payload must fail")
+	}
+	// Length claims 100 groups but stream holds none.
+	p := make([]byte, 8)
+	p[0] = 200
+	if err := b.UnmarshalBinary(p); err == nil {
+		t.Fatal("group count mismatch must fail")
+	}
+}
+
+func TestFillRunMergingAcrossAppends(t *testing.T) {
+	// 1000 zero groups then 1000 one groups must be 2 fill words.
+	n := 63 * 2000
+	v := bitvec.New(n)
+	for i := 63 * 1000; i < n; i++ {
+		v.Set(i)
+	}
+	c := Compress(v)
+	if len(c.words) != 2 {
+		t.Fatalf("expected 2 fill words, got %d", len(c.words))
+	}
+}
+
+func BenchmarkCompressSparse(b *testing.B) {
+	r := rand.New(rand.NewSource(6))
+	v := randomVec(r, 1<<20, 0.001)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Compress(v)
+	}
+}
+
+func BenchmarkAndCompressedSparse(b *testing.B) {
+	r := rand.New(rand.NewSource(7))
+	x := Compress(randomVec(r, 1<<20, 0.001))
+	y := Compress(randomVec(r, 1<<20, 0.001))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		And(x, y)
+	}
+}
+
+func TestUnmarshalRejectsOverhangingTail(t *testing.T) {
+	// Regression for a fuzzer find: nbits = 32 with a literal word whose
+	// payload has bits set beyond bit 31 made Count and Decompress
+	// disagree; such payloads must be rejected.
+	p := make([]byte, 16)
+	p[0] = 32 // nbits
+	for i := 8; i < 16; i++ {
+		p[i] = 0x30 // literal word with bits above the 32-bit tail
+	}
+	var b Bitmap
+	if err := b.UnmarshalBinary(p); err == nil {
+		t.Fatal("overhanging tail literal must be rejected")
+	}
+	// A ones fill covering a partial tail group is equally ambiguous.
+	p = make([]byte, 16)
+	p[0] = 32
+	w := fillFlag | fillOne | 1
+	for i := 0; i < 8; i++ {
+		p[8+i] = byte(w >> uint(8*i))
+	}
+	if err := b.UnmarshalBinary(p); err == nil {
+		t.Fatal("ones-fill tail must be rejected")
+	}
+	// A zero fill tail stays acceptable.
+	p = make([]byte, 16)
+	p[0] = 32
+	w = fillFlag | 1
+	for i := 0; i < 8; i++ {
+		p[8+i] = byte(w >> uint(8*i))
+	}
+	if err := b.UnmarshalBinary(p); err != nil {
+		t.Fatalf("zero-fill tail should be accepted: %v", err)
+	}
+	if b.Count() != 0 || b.Decompress().Count() != 0 {
+		t.Fatal("zero-fill tail semantics wrong")
+	}
+}

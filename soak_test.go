@@ -1,0 +1,76 @@
+package bitmapindex
+
+// Large-scale soak test: builds million-row indexes in every encoding at
+// several designs and validates sampled queries, aggregates, and order
+// statistics against a scalar reference. Skipped under -short.
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestSoakMillionRows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	const (
+		rows = 1 << 20
+		card = 2406 // the paper's OrderDate cardinality
+	)
+	r := rand.New(rand.NewSource(2024))
+	vals := make([]uint64, rows)
+	for i := range vals {
+		vals[i] = uint64(r.Intn(card))
+	}
+	// Scalar references.
+	var sum uint64
+	sorted := append([]uint64(nil), vals...)
+	for _, v := range vals {
+		sum += v
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	designs := []struct {
+		name string
+		opt  Option
+	}{
+		{"knee", WithKneeBase()},
+		{"3-comp", WithComponents(3)},
+		{"budget60", WithSpaceBudget(60)},
+	}
+	for _, enc := range []Encoding{RangeEncoded, EqualityEncoded, IntervalEncoded} {
+		for _, d := range designs {
+			ix, err := New(vals, card, d.opt, WithEncoding(enc))
+			if err != nil {
+				t.Fatalf("%v/%s: %v", enc, d.name, err)
+			}
+			// Sampled predicate checks against direct counting.
+			for k := 0; k < 12; k++ {
+				op := []Op{Lt, Le, Gt, Ge, Eq, Ne}[k%6]
+				v := uint64(r.Intn(card))
+				want := 0
+				for _, x := range vals {
+					if op.Matches(x, v) {
+						want++
+					}
+				}
+				if got := ix.Eval(op, v, nil).Count(); got != want {
+					t.Fatalf("%v/%s: A %s %d: %d rows, want %d", enc, d.name, op, v, got, want)
+				}
+			}
+			// Aggregates over everything.
+			gotSum, n, err := ix.SumSelected(nil)
+			if err != nil || n != rows || gotSum != sum {
+				t.Fatalf("%v/%s: sum %d over %d (err %v), want %d over %d", enc, d.name, gotSum, n, err, sum, rows)
+			}
+			med, ok, err := ix.MedianSelected(nil)
+			if err != nil || !ok {
+				t.Fatal(err)
+			}
+			if want := sorted[(rows+1)/2-1]; med != want {
+				t.Fatalf("%v/%s: median %d, want %d", enc, d.name, med, want)
+			}
+		}
+	}
+}
