@@ -33,6 +33,10 @@ var wantAPI = []string{
 	"StoreScheme", "TimeOptimalBase", "WithBase", "WithComponents",
 	"WithEncoding", "WithKneeBase", "WithNulls", "WithSpaceBudget",
 	"WithSpaceOptimalBase", "WithTimeOptimalBase",
+	// Observability surface (PR 1).
+	"BufferHitStats", "MetricsHandler", "NewQueryTrace", "NewSlowQueryLog",
+	"QueryPhase", "QueryTrace", "SlowQueryLog", "Telemetry",
+	"TelemetryRegistry", "TelemetrySnapshot", "WriteMetrics",
 }
 
 // exportedDecls parses the non-test files of the root package and returns

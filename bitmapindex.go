@@ -27,6 +27,9 @@ package bitmapindex
 
 import (
 	"fmt"
+	"io"
+	"net/http"
+	"time"
 
 	"bitmapindex/internal/bitvec"
 	"bitmapindex/internal/buffer"
@@ -35,6 +38,7 @@ import (
 	"bitmapindex/internal/design"
 	"bitmapindex/internal/mutable"
 	"bitmapindex/internal/storage"
+	"bitmapindex/internal/telemetry"
 )
 
 // Core types. Aliases re-export the full method sets.
@@ -370,6 +374,53 @@ type CachedStore = storage.CachedStore
 func NewCachedStore(s *Store, capacity int) (*CachedStore, error) {
 	return storage.NewCached(s, capacity)
 }
+
+// --- Observability (internal/telemetry) ---
+
+// Telemetry aliases: the process-wide metrics registry, per-query traces
+// and the slow-query log. Every evaluation — in-memory, on-disk, cached or
+// plan-level — feeds the default registry; traces are opt-in per query via
+// EvalOptions.Trace / StoreMetrics.Trace.
+type (
+	// TelemetryRegistry is a named collection of atomic counters, gauges
+	// and fixed-bucket histograms with Prometheus and JSON exporters.
+	TelemetryRegistry = telemetry.Registry
+	// TelemetrySnapshot is a point-in-time JSON-serializable registry view.
+	TelemetrySnapshot = telemetry.Snapshot
+	// QueryTrace records per-phase wall-clock durations of one evaluation.
+	QueryTrace = telemetry.Trace
+	// QueryPhase names one evaluation phase (fetch, bool_ops, ...).
+	QueryPhase = telemetry.Phase
+	// SlowQueryLog retains queries at or over a latency threshold.
+	SlowQueryLog = telemetry.SlowLog
+)
+
+// Telemetry returns the process-wide metrics registry. The metric names,
+// labels and histogram bucket layouts are documented in DESIGN.md.
+func Telemetry() *TelemetryRegistry { return telemetry.Default() }
+
+// NewQueryTrace starts a per-query trace; pass it via EvalOptions.Trace
+// (in-memory evaluation) or StoreMetrics.Trace (on-disk evaluation).
+func NewQueryTrace(name string) *QueryTrace { return telemetry.NewTrace(name) }
+
+// MetricsHandler serves the default registry over HTTP: Prometheus text
+// exposition by default, a JSON snapshot with ?format=json. Mount it at
+// /metrics.
+func MetricsHandler() http.Handler { return telemetry.Handler(telemetry.Default()) }
+
+// WriteMetrics dumps the default registry in Prometheus text format.
+func WriteMetrics(w io.Writer) error { return telemetry.Default().WritePrometheus(w) }
+
+// NewSlowQueryLog creates a slow-query log: observed traces at or over
+// threshold are retained (most recent keep entries) and written to w (one
+// line each) when w is non-nil.
+func NewSlowQueryLog(threshold time.Duration, w io.Writer, keep int) *SlowQueryLog {
+	return telemetry.NewSlowLog(threshold, w, keep)
+}
+
+// BufferHitStats counts buffer-assignment hits and misses during
+// evaluation; pass assignment.CountingFor(&stats) as EvalOptions.Buffered.
+type BufferHitStats = buffer.HitStats
 
 // Describe summarizes a design in one line, e.g. for advisor output.
 func Describe(base Base, enc Encoding, card uint64) string {

@@ -6,66 +6,150 @@
 //	bixbench -list
 //	bixbench -run fig8
 //	bixbench -all [-rows 200000] [-quick] [-o report.txt]
+//	bixbench -all -json bench.json [-metrics :8318]
+//
+// -json writes a machine-readable BENCH_*.json style summary next to the
+// text report: per-experiment wall times plus a query microbenchmark
+// (ops/sec, scans/query and a latency histogram with p50/p90/p99).
+// -metrics serves the telemetry registry at <addr>/metrics for the
+// duration of the run so long sweeps can be scraped live.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
+	"runtime"
 	"time"
 
+	"bitmapindex"
+	"bitmapindex/internal/data"
 	"bitmapindex/internal/experiments"
+	"bitmapindex/internal/telemetry"
 )
 
+// options collects the command-line configuration of one bixbench run.
+type options struct {
+	List    bool
+	Run     string
+	All     bool
+	Rows    int
+	Seed    int64
+	Quick   bool
+	CSV     bool
+	Out     string
+	JSON    string // write a machine-readable summary here
+	Metrics string // serve /metrics on this address while running
+}
+
 func main() {
-	var (
-		list  = flag.Bool("list", false, "list available experiments")
-		run   = flag.String("run", "", "run one experiment by id")
-		all   = flag.Bool("all", false, "run every experiment")
-		rows  = flag.Int("rows", experiments.Default().Rows, "relation cardinality for data-driven experiments")
-		seed  = flag.Int64("seed", experiments.Default().Seed, "random seed for synthetic data")
-		quick = flag.Bool("quick", false, "reduced parameter sweeps")
-		out   = flag.String("o", "", "write the report to a file instead of stdout")
-		csv   = flag.Bool("csv", false, "emit comma-separated rows (with #-comment headers) for plotting")
-	)
+	var o options
+	flag.BoolVar(&o.List, "list", false, "list available experiments")
+	flag.StringVar(&o.Run, "run", "", "run one experiment by id")
+	flag.BoolVar(&o.All, "all", false, "run every experiment")
+	flag.IntVar(&o.Rows, "rows", experiments.Default().Rows, "relation cardinality for data-driven experiments")
+	flag.Int64Var(&o.Seed, "seed", experiments.Default().Seed, "random seed for synthetic data")
+	flag.BoolVar(&o.Quick, "quick", false, "reduced parameter sweeps")
+	flag.StringVar(&o.Out, "o", "", "write the report to a file instead of stdout")
+	flag.BoolVar(&o.CSV, "csv", false, "emit comma-separated rows (with #-comment headers) for plotting")
+	flag.StringVar(&o.JSON, "json", "", "write a machine-readable benchmark summary to this file")
+	flag.StringVar(&o.Metrics, "metrics", "", "serve the telemetry registry at this address (e.g. :8318) during the run")
 	flag.Parse()
-	if err := realMain(*list, *run, *all, *rows, *seed, *quick, *csv, *out); err != nil {
+	if err := realMain(o); err != nil {
 		fmt.Fprintln(os.Stderr, "bixbench:", err)
 		os.Exit(1)
 	}
 }
 
-func realMain(list bool, run string, all bool, rows int, seed int64, quick, csv bool, out string) error {
-	if list {
+// benchReport is the -json output schema.
+type benchReport struct {
+	Schema      string           `json:"schema"` // "bixbench/v1"
+	GoVersion   string           `json:"go_version"`
+	Rows        int              `json:"rows"`
+	Seed        int64            `json:"seed"`
+	Quick       bool             `json:"quick"`
+	Experiments []benchExpResult `json:"experiments"`
+	QueryBench  *queryBench      `json:"query_bench,omitempty"`
+}
+
+type benchExpResult struct {
+	ID      string  `json:"id"`
+	Paper   string  `json:"paper"`
+	Seconds float64 `json:"seconds"`
+}
+
+// queryBench summarizes the range-query microbenchmark: a knee-design
+// range-encoded index over uniform data, one <= query per distinct value.
+type queryBench struct {
+	Queries       int            `json:"queries"`
+	OpsPerSec     float64        `json:"ops_per_sec"`
+	ScansPerQuery float64        `json:"scans_per_query"`
+	Latency       latencySummary `json:"latency"`
+}
+
+type latencySummary struct {
+	Count      int64         `json:"count"`
+	SumSeconds float64       `json:"sum_seconds"`
+	P50        float64       `json:"p50_seconds"`
+	P90        float64       `json:"p90_seconds"`
+	P99        float64       `json:"p99_seconds"`
+	Buckets    []bucketCount `json:"buckets"`
+}
+
+type bucketCount struct {
+	LE         float64 `json:"le"`
+	Cumulative int64   `json:"cumulative"`
+}
+
+func realMain(o options) error {
+	if o.List {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-16s %-12s %s\n", e.ID, e.Paper, e.Title)
 		}
 		return nil
 	}
+	if o.Metrics != "" {
+		go func() {
+			mux := http.NewServeMux()
+			mux.Handle("/metrics", telemetry.Handler(telemetry.Default()))
+			if err := http.ListenAndServe(o.Metrics, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "bixbench: metrics server:", err)
+			}
+		}()
+	}
 	var w io.Writer = os.Stdout
-	if out != "" {
-		f, err := os.Create(out)
+	if o.Out != "" {
+		f, err := os.Create(o.Out)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
 		w = f
 	}
-	cfg := experiments.Config{Rows: rows, Seed: seed, Quick: quick, CSV: csv}
+	cfg := experiments.Config{Rows: o.Rows, Seed: o.Seed, Quick: o.Quick, CSV: o.CSV}
 	var todo []experiments.Experiment
 	switch {
-	case run != "":
-		e, ok := experiments.Find(run)
+	case o.Run != "":
+		e, ok := experiments.Find(o.Run)
 		if !ok {
-			return fmt.Errorf("unknown experiment %q; try -list", run)
+			return fmt.Errorf("unknown experiment %q; try -list", o.Run)
 		}
 		todo = []experiments.Experiment{e}
-	case all:
+	case o.All:
 		todo = experiments.All()
 	default:
 		flag.Usage()
 		return fmt.Errorf("nothing to do: pass -list, -run <id> or -all")
+	}
+	report := benchReport{
+		Schema:    "bixbench/v1",
+		GoVersion: runtime.Version(),
+		Rows:      o.Rows,
+		Seed:      o.Seed,
+		Quick:     o.Quick,
 	}
 	ww := cfg.Writer(w)
 	for _, e := range todo {
@@ -73,11 +157,75 @@ func realMain(list bool, run string, all bool, rows int, seed int64, quick, csv 
 		if err := e.Run(cfg, ww); err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
+		elapsed := time.Since(t0)
 		marker := "[%s: %s, %v]\n"
-		if csv {
+		if o.CSV {
 			marker = "# done %s: %s, %v\n"
 		}
-		fmt.Fprintf(w, marker, e.ID, e.Paper, time.Since(t0).Round(time.Millisecond))
+		fmt.Fprintf(w, marker, e.ID, e.Paper, elapsed.Round(time.Millisecond))
+		report.Experiments = append(report.Experiments,
+			benchExpResult{ID: e.ID, Paper: e.Paper, Seconds: elapsed.Seconds()})
+	}
+	if o.JSON != "" {
+		qb, err := runQueryBench(o.Rows, o.Seed)
+		if err != nil {
+			return err
+		}
+		report.QueryBench = qb
+		f, err := os.Create(o.JSON)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
 	}
 	return nil
+}
+
+// runQueryBench evaluates one range query per distinct value against a
+// knee-design range-encoded index and summarizes latency in a private
+// registry histogram (so the microbenchmark numbers are isolated from the
+// process-wide metrics the run itself produced).
+func runQueryBench(rows int, seed int64) (*queryBench, error) {
+	const card = 100
+	col := data.Uniform(rows, card, seed)
+	ix, err := bitmapindex.New(col.Values, card)
+	if err != nil {
+		return nil, err
+	}
+	lat := telemetry.New().Histogram("bench_query_latency_seconds",
+		"Latency of the bixbench query microbenchmark.", telemetry.LatencyBuckets)
+	var st bitmapindex.Stats
+	opt := &bitmapindex.EvalOptions{Stats: &st}
+	t0 := time.Now()
+	n := 0
+	for v := uint64(0); v < card; v++ {
+		q0 := time.Now()
+		ix.Eval(bitmapindex.Le, v, opt)
+		lat.Observe(time.Since(q0).Seconds())
+		n++
+	}
+	total := time.Since(t0)
+	qb := &queryBench{
+		Queries:       n,
+		OpsPerSec:     float64(n) / total.Seconds(),
+		ScansPerQuery: float64(st.Scans) / float64(n),
+		Latency: latencySummary{
+			Count:      lat.Count(),
+			SumSeconds: lat.Sum(),
+			P50:        lat.Quantile(0.50),
+			P90:        lat.Quantile(0.90),
+			P99:        lat.Quantile(0.99),
+		},
+	}
+	bounds, cum := lat.Bounds(), lat.Cumulative()
+	for i, le := range bounds {
+		qb.Latency.Buckets = append(qb.Latency.Buckets, bucketCount{LE: le, Cumulative: cum[i]})
+	}
+	return qb, nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -8,14 +9,14 @@ import (
 )
 
 func TestRealMainList(t *testing.T) {
-	if err := realMain(true, "", false, 1000, 1, true, false, ""); err != nil {
+	if err := realMain(options{List: true, Rows: 1000, Seed: 1, Quick: true}); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRealMainRunOne(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "r.txt")
-	if err := realMain(false, "table1", false, 1000, 1, true, false, out); err != nil {
+	if err := realMain(options{Run: "table1", Rows: 1000, Seed: 1, Quick: true, Out: out}); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -28,10 +29,54 @@ func TestRealMainRunOne(t *testing.T) {
 }
 
 func TestRealMainErrors(t *testing.T) {
-	if err := realMain(false, "nope", false, 1000, 1, true, false, ""); err == nil {
+	if err := realMain(options{Run: "nope", Rows: 1000, Seed: 1, Quick: true}); err == nil {
 		t.Error("unknown experiment must fail")
 	}
-	if err := realMain(false, "", false, 1000, 1, true, false, ""); err == nil {
+	if err := realMain(options{Rows: 1000, Seed: 1, Quick: true}); err == nil {
 		t.Error("no action must fail")
+	}
+}
+
+// TestRealMainJSON runs one experiment with -json and checks the
+// machine-readable summary: schema marker, the experiment entry, and a
+// query microbenchmark whose scans/query matches eq. (4) for the knee
+// design (the measured average must be positive and below the number of
+// components, i.e. well under the cardinality).
+func TestRealMainJSON(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "r.txt")
+	jsonOut := filepath.Join(dir, "bench.json")
+	if err := realMain(options{Run: "table1", Rows: 1000, Seed: 1, Quick: true, Out: out, JSON: jsonOut}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(jsonOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("bench.json is not valid JSON: %v\n%s", err, raw)
+	}
+	if rep.Schema != "bixbench/v1" {
+		t.Errorf("schema = %q, want bixbench/v1", rep.Schema)
+	}
+	if len(rep.Experiments) != 1 || rep.Experiments[0].ID != "table1" {
+		t.Errorf("experiments = %+v, want one entry for table1", rep.Experiments)
+	}
+	qb := rep.QueryBench
+	if qb == nil {
+		t.Fatal("query_bench missing")
+	}
+	if qb.Queries <= 0 || qb.OpsPerSec <= 0 {
+		t.Errorf("queries=%d ops/sec=%v, want positive", qb.Queries, qb.OpsPerSec)
+	}
+	if qb.ScansPerQuery <= 0 || qb.ScansPerQuery > 100 {
+		t.Errorf("scans/query = %v, want in (0, 100]", qb.ScansPerQuery)
+	}
+	if qb.Latency.Count != int64(qb.Queries) {
+		t.Errorf("latency count = %d, want %d", qb.Latency.Count, qb.Queries)
+	}
+	if len(qb.Latency.Buckets) == 0 {
+		t.Error("latency buckets missing")
 	}
 }

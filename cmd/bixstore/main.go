@@ -5,7 +5,8 @@
 //
 //	bixstore build -dir ./ix -values data.txt -C 50 [-base "<5,10>"] [-enc range] [-scheme BS] [-z]
 //	bixstore info  -dir ./ix
-//	bixstore query -dir ./ix -q "<= 17"
+//	bixstore query -dir ./ix -q "<= 17" [-metrics]
+//	bixstore serve -dir ./ix -addr :8317 [-cache 16] [-slow 100ms]
 //	bixstore gen   -values data.txt -rows 100000 -C 50 [-dist uniform|zipf|clustered]
 //	bixstore csv   -in table.csv -dir ./tbl [-scheme CS] [-z] [-enc range]
 //	bixstore where -dir ./tbl -q "quantity <= 10 AND price > 500"
@@ -14,12 +15,20 @@
 // CSV files need a header row and integer cells; csv builds one bitmap
 // index per column (knee design) plus the value dictionaries, and where
 // runs conjunctive queries against them.
+//
+// query -metrics appends the per-phase query trace and a Prometheus-format
+// dump of the telemetry registry to the output. serve exposes the index
+// over HTTP: GET /query?q=<pred> evaluates a predicate and returns JSON
+// (including the trace), GET /metrics serves the registry in Prometheus
+// text format (?format=json for the JSON snapshot), and queries at or over
+// the -slow threshold are logged to stderr.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -41,6 +50,8 @@ func main() {
 		err = cmdInfo(os.Args[2:])
 	case "query":
 		err = cmdQuery(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "gen":
 		err = cmdGen(os.Args[2:])
 	case "csv":
@@ -58,7 +69,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: bixstore {build|info|query|gen|csv|where} [flags]; run a subcommand with -h for its flags")
+	fmt.Fprintln(os.Stderr, "usage: bixstore {build|info|query|serve|gen|csv|where} [flags]; run a subcommand with -h for its flags")
 }
 
 func readValues(path string) (vals []uint64, nulls []bool, hasNulls bool, err error) {
@@ -165,13 +176,17 @@ func cmdInfo(args []string) error {
 	return nil
 }
 
-func cmdQuery(args []string) error {
+func cmdQuery(args []string) error { return runQuery(os.Stdout, args) }
+
+// runQuery is cmdQuery writing to w, so tests can inspect the output.
+func runQuery(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("query", flag.ExitOnError)
 	var (
-		dir   = fs.String("dir", "", "index directory (required)")
-		q     = fs.String("q", "", "predicate, e.g. \"<= 17\" (required)")
-		list  = fs.Bool("rids", false, "print matching record ids")
-		limit = fs.Int("limit", 20, "max record ids to print")
+		dir     = fs.String("dir", "", "index directory (required)")
+		q       = fs.String("q", "", "predicate, e.g. \"<= 17\" (required)")
+		list    = fs.Bool("rids", false, "print matching record ids")
+		limit   = fs.Int("limit", 20, "max record ids to print")
+		metrics = fs.Bool("metrics", false, "print the query trace and a Prometheus metrics dump")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -179,15 +194,7 @@ func cmdQuery(args []string) error {
 	if *dir == "" || *q == "" {
 		return fmt.Errorf("query needs -dir and -q")
 	}
-	parts := strings.Fields(*q)
-	if len(parts) != 2 {
-		return fmt.Errorf("predicate must be \"<op> <value>\", got %q", *q)
-	}
-	op, err := bitmapindex.ParseOp(parts[0])
-	if err != nil {
-		return err
-	}
-	v, err := strconv.ParseUint(parts[1], 10, 64)
+	op, v, err := parsePredicate(*q)
 	if err != nil {
 		return err
 	}
@@ -196,21 +203,57 @@ func cmdQuery(args []string) error {
 		return err
 	}
 	var m bitmapindex.StoreMetrics
+	if *metrics {
+		m.Trace = bitmapindex.NewQueryTrace(*q)
+	}
 	res, err := st.Eval(op, v, &m)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("A %s %d: %d of %d rows match\n", op, v, res.Count(), st.Index().Rows())
-	fmt.Printf("scans: %d bitmaps, %d files, %d bytes read\n", m.Stats.Scans, m.FilesRead, m.BytesRead)
+	count := popcount(res, m.Trace)
+	fmt.Fprintf(w, "A %s %d: %d of %d rows match\n", op, v, count, st.Index().Rows())
+	fmt.Fprintf(w, "scans: %d bitmaps, %d files, %d bytes read\n", m.Stats.Scans, m.FilesRead, m.BytesRead)
 	if *list {
 		n := 0
 		res.Ones(func(r int) bool {
-			fmt.Println(r)
+			fmt.Fprintln(w, r)
 			n++
 			return n < *limit
 		})
 	}
+	if *metrics {
+		m.Trace.Finish()
+		fmt.Fprintln(w)
+		fmt.Fprint(w, m.Trace.String())
+		fmt.Fprintln(w)
+		if err := bitmapindex.WriteMetrics(w); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// popcount counts result bits under the popcount trace phase.
+func popcount(res *bitmapindex.Bitmap, tr *bitmapindex.QueryTrace) int {
+	sp := tr.Start("popcount")
+	defer sp.End()
+	return res.Count()
+}
+
+func parsePredicate(q string) (bitmapindex.Op, uint64, error) {
+	parts := strings.Fields(q)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("predicate must be \"<op> <value>\", got %q", q)
+	}
+	op, err := bitmapindex.ParseOp(parts[0])
+	if err != nil {
+		return 0, 0, err
+	}
+	v, err := strconv.ParseUint(parts[1], 10, 64)
+	if err != nil {
+		return 0, 0, err
+	}
+	return op, v, nil
 }
 
 func cmdGen(args []string) error {

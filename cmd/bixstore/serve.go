@@ -1,0 +1,151 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"bitmapindex"
+)
+
+// cmdServe exposes one on-disk index over HTTP: GET /query evaluates a
+// predicate and returns JSON including the per-phase trace, GET /metrics
+// serves the telemetry registry (Prometheus text, ?format=json for JSON).
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	var (
+		dir   = fs.String("dir", "", "index directory (required)")
+		addr  = fs.String("addr", ":8317", "listen address")
+		cache = fs.Int("cache", 0, "bitmap cache capacity (0 = no cache)")
+		slow  = fs.Duration("slow", 0, "log queries at or over this duration to stderr (0 = off)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("serve needs -dir")
+	}
+	st, err := bitmapindex.OpenIndex(*dir)
+	if err != nil {
+		return err
+	}
+	srv, err := newQueryServer(st, *cache, *slow, os.Stderr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving %s on %s (cache=%d, slow>=%v)\n", *dir, *addr, *cache, *slow)
+	return http.ListenAndServe(*addr, srv.mux())
+}
+
+// queryServer evaluates predicates against one opened index, optionally
+// through a bitmap cache, and records slow queries.
+type queryServer struct {
+	eval func(op bitmapindex.Op, v uint64, m *bitmapindex.StoreMetrics) (*bitmapindex.Bitmap, error)
+	rows int
+	slow *bitmapindex.SlowQueryLog // nil when disabled
+}
+
+func newQueryServer(st *bitmapindex.Store, cache int, slow time.Duration, slowW io.Writer) (*queryServer, error) {
+	s := &queryServer{eval: st.Eval, rows: st.Index().Rows()}
+	if cache > 0 {
+		cs, err := bitmapindex.NewCachedStore(st, cache)
+		if err != nil {
+			return nil, err
+		}
+		s.eval = cs.Eval
+	}
+	if slow > 0 {
+		s.slow = bitmapindex.NewSlowQueryLog(slow, slowW, 0)
+	}
+	return s, nil
+}
+
+// mux routes /query and /metrics.
+func (s *queryServer) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.Handle("/metrics", bitmapindex.MetricsHandler())
+	return mux
+}
+
+// queryResponse is the JSON body of a /query evaluation.
+type queryResponse struct {
+	Query     string      `json:"query"`
+	Matches   int         `json:"matches"`
+	Rows      int         `json:"rows"`
+	Scans     int         `json:"scans"`
+	Ops       opCounts    `json:"ops"`
+	FilesRead int         `json:"files_read"`
+	BytesRead int64       `json:"bytes_read"`
+	ElapsedNS int64       `json:"elapsed_ns"`
+	Phases    []phaseJSON `json:"phases"`
+	RIDs      []int       `json:"rids,omitempty"`
+}
+
+type opCounts struct {
+	And int `json:"and"`
+	Or  int `json:"or"`
+	Xor int `json:"xor"`
+	Not int `json:"not"`
+}
+
+type phaseJSON struct {
+	Phase string `json:"phase"`
+	Calls int    `json:"calls"`
+	NS    int64  `json:"ns"`
+}
+
+// handleQuery evaluates q=<op> <value>; rids=1 includes matching record
+// ids (capped by limit, default 20).
+func (s *queryServer) handleQuery(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		http.Error(w, "missing q parameter", http.StatusBadRequest)
+		return
+	}
+	op, v, err := parsePredicate(q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	m := bitmapindex.StoreMetrics{Trace: bitmapindex.NewQueryTrace(q)}
+	res, err := s.eval(op, v, &m)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	matches := popcount(res, m.Trace)
+	elapsed := m.Trace.Finish()
+	if s.slow != nil {
+		s.slow.Observe(q, m.Trace)
+	}
+	resp := queryResponse{
+		Query:     q,
+		Matches:   matches,
+		Rows:      s.rows,
+		Scans:     m.Stats.Scans,
+		Ops:       opCounts{And: m.Stats.Ands, Or: m.Stats.Ors, Xor: m.Stats.Xors, Not: m.Stats.Nots},
+		FilesRead: m.FilesRead,
+		BytesRead: m.BytesRead,
+		ElapsedNS: int64(elapsed),
+	}
+	for _, p := range m.Trace.Phases() {
+		resp.Phases = append(resp.Phases, phaseJSON{Phase: string(p.Phase), Calls: p.Calls, NS: int64(p.Duration)})
+	}
+	if r.URL.Query().Get("rids") == "1" {
+		limit := 20
+		if ls := r.URL.Query().Get("limit"); ls != "" {
+			fmt.Sscanf(ls, "%d", &limit)
+		}
+		res.Ones(func(rid int) bool {
+			resp.RIDs = append(resp.RIDs, rid)
+			return len(resp.RIDs) < limit
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"bitmapindex"
+)
+
+// buildTestIndex generates values and builds an on-disk index, returning
+// its directory.
+func buildTestIndex(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	values := filepath.Join(dir, "v.txt")
+	if err := cmdGen([]string{"-values", values, "-rows", "3000", "-C", "50"}); err != nil {
+		t.Fatal(err)
+	}
+	ixDir := filepath.Join(dir, "ix")
+	if err := cmdBuild([]string{"-dir", ixDir, "-values", values, "-C", "50", "-scheme", "BS", "-z"}); err != nil {
+		t.Fatal(err)
+	}
+	return ixDir
+}
+
+// TestQueryMetricsDump is the ISSUE acceptance check: a single query with
+// -metrics prints a Prometheus dump whose bitmap_scans_total growth equals
+// the query's own core.Stats.Scans, and a trace with at least three phases
+// of non-zero duration.
+func TestQueryMetricsDump(t *testing.T) {
+	ixDir := buildTestIndex(t)
+	before := bitmapindex.Telemetry().Snapshot().Counters["bitmap_scans_total"]
+
+	var out bytes.Buffer
+	if err := runQuery(&out, []string{"-dir", ixDir, "-q", "<= 17", "-metrics"}); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+
+	var scans int
+	if _, err := fmt.Sscanf(text[strings.Index(text, "scans:"):], "scans: %d bitmaps", &scans); err != nil {
+		t.Fatalf("cannot parse scan count from output:\n%s", text)
+	}
+	if scans <= 0 {
+		t.Fatalf("expected positive scan count, got %d:\n%s", scans, text)
+	}
+
+	// The Prometheus dump reports the process-wide counter; its growth
+	// over this one query must equal the query's Stats.Scans.
+	re := regexp.MustCompile(`(?m)^bitmap_scans_total (\d+)$`)
+	match := re.FindStringSubmatch(text)
+	if match == nil {
+		t.Fatalf("no bitmap_scans_total line in dump:\n%s", text)
+	}
+	var after int64
+	fmt.Sscanf(match[1], "%d", &after)
+	if got := after - before; got != int64(scans) {
+		t.Errorf("bitmap_scans_total grew by %d, query reported %d scans", got, scans)
+	}
+
+	// Trace: at least 3 phases with non-zero durations.
+	phaseRe := regexp.MustCompile(`(?m)^  (\S+)\s+\d+ calls  (\S+)$`)
+	nonzero := 0
+	for _, m := range phaseRe.FindAllStringSubmatch(text, -1) {
+		d, err := time.ParseDuration(m[2])
+		if err != nil {
+			t.Fatalf("bad duration %q in trace line", m[2])
+		}
+		if d > 0 {
+			nonzero++
+		}
+	}
+	if nonzero < 3 {
+		t.Errorf("want >= 3 trace phases with non-zero duration, got %d:\n%s", nonzero, text)
+	}
+}
+
+// TestServeHandlers drives the serve mux over httptest: /query returns
+// JSON with scans, ops and trace phases; /metrics serves Prometheus text
+// and a JSON snapshot.
+func TestServeHandlers(t *testing.T) {
+	ixDir := buildTestIndex(t)
+	st, err := bitmapindex.OpenIndex(ixDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var slowBuf bytes.Buffer
+	srv, err := newQueryServer(st, 4, time.Nanosecond, &slowBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.mux())
+	defer ts.Close()
+
+	get := func(path string) (*httptest.ResponseRecorder, string) {
+		t.Helper()
+		req := httptest.NewRequest("GET", path, nil)
+		rec := httptest.NewRecorder()
+		srv.mux().ServeHTTP(rec, req)
+		return rec, rec.Body.String()
+	}
+
+	rec, body := get("/query?q=" + strings.ReplaceAll("<= 17", " ", "+") + "&rids=1&limit=3")
+	if rec.Code != 200 {
+		t.Fatalf("/query = %d: %s", rec.Code, body)
+	}
+	var resp queryResponse
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatalf("bad /query JSON: %v\n%s", err, body)
+	}
+	if resp.Scans <= 0 || resp.Matches <= 0 || resp.Rows != 3000 {
+		t.Errorf("scans=%d matches=%d rows=%d, want all positive and rows=3000", resp.Scans, resp.Matches, resp.Rows)
+	}
+	if len(resp.Phases) < 2 {
+		t.Errorf("want >= 2 trace phases in /query response, got %v", resp.Phases)
+	}
+	if len(resp.RIDs) == 0 || len(resp.RIDs) > 3 {
+		t.Errorf("rids=1&limit=3 returned %d ids", len(resp.RIDs))
+	}
+	// Threshold of 1ns means every query is slow-logged.
+	if !strings.Contains(slowBuf.String(), "slow query") {
+		t.Errorf("slow log empty, want an entry: %q", slowBuf.String())
+	}
+
+	// Cached evaluation path: the same query again must still answer.
+	if rec, body = get("/query?q=%3C%3D+17"); rec.Code != 200 {
+		t.Fatalf("cached /query = %d: %s", rec.Code, body)
+	}
+
+	if rec, body = get("/metrics"); rec.Code != 200 || !strings.Contains(body, "bitmap_scans_total") {
+		t.Errorf("/metrics = %d, body missing bitmap_scans_total:\n%.300s", rec.Code, body)
+	}
+	rec, body = get("/metrics?format=json")
+	var snap bitmapindex.TelemetrySnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Errorf("/metrics?format=json invalid: %v", err)
+	}
+	if snap.Counters["bitmap_scans_total"] <= 0 {
+		t.Errorf("JSON snapshot bitmap_scans_total = %d, want > 0", snap.Counters["bitmap_scans_total"])
+	}
+
+	if rec, _ = get("/query"); rec.Code != 400 {
+		t.Errorf("missing q: got %d, want 400", rec.Code)
+	}
+	if rec, _ = get("/query?q=bogus"); rec.Code != 400 {
+		t.Errorf("bad predicate: got %d, want 400", rec.Code)
+	}
+}

@@ -77,12 +77,15 @@ func main() {
 	fmt.Printf("\nwith %d buffered bitmaps, optimal assignment %v: %.3f scans/query (model)\n",
 		bufMem, a, bitmapindex.ExpectedScansBuffered(ix.Base(), card, a))
 	var bst bitmapindex.Stats
+	var hits bitmapindex.BufferHitStats
+	buffered := a.CountingFor(&hits)
 	for _, op := range []bitmapindex.Op{bitmapindex.Lt, bitmapindex.Le, bitmapindex.Gt, bitmapindex.Ge, bitmapindex.Eq, bitmapindex.Ne} {
 		for v := uint64(0); v < card; v++ {
-			ix.Eval(op, v, &bitmapindex.EvalOptions{Stats: &bst, Buffered: a.For()})
+			ix.Eval(op, v, &bitmapindex.EvalOptions{Stats: &bst, Buffered: buffered})
 		}
 	}
-	fmt.Printf("measured %.3f scans/query with that buffer\n", float64(bst.Scans)/float64(queries))
+	fmt.Printf("measured %.3f scans/query with that buffer (%d of %d bitmap references served from memory, %.1f%% hit rate)\n",
+		float64(bst.Scans)/float64(queries), hits.Hits(), hits.Hits()+hits.Misses(), 100*hits.HitRate())
 
 	// If the design itself may follow the buffer size (Theorem 10.2):
 	bb, ba, err := bitmapindex.BufferedTimeOptimalBase(card, bufMem)

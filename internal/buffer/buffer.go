@@ -17,9 +17,11 @@ package buffer
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"bitmapindex/internal/core"
 	"bitmapindex/internal/cost"
+	"bitmapindex/internal/telemetry"
 )
 
 // Assignment holds the number of buffered bitmaps per component,
@@ -101,6 +103,49 @@ func Time(base core.Base, card uint64, a Assignment) float64 {
 func (a Assignment) For() func(comp, slot int) bool {
 	return func(comp, slot int) bool {
 		return comp < len(a) && slot < a[comp]
+	}
+}
+
+// HitStats counts buffer consultations so buffering experiments can report
+// measured hits next to the eq. (5) expectation. The evaluator consults
+// the Buffered predicate once per distinct bitmap referenced per query (and
+// only when EvalOptions.Stats is set), so hits+misses equals the distinct
+// bitmap references and misses equals the scan count. Safe for concurrent
+// queries (core.EvalBatch).
+type HitStats struct {
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// Hits returns the number of bitmap references served by the buffer.
+func (h *HitStats) Hits() int64 { return h.hits.Load() }
+
+// Misses returns the number of bitmap references that went to storage.
+func (h *HitStats) Misses() int64 { return h.misses.Load() }
+
+// HitRate returns the fraction of bitmap references served by the buffer.
+func (h *HitStats) HitRate() float64 {
+	hits, misses := h.Hits(), h.Misses()
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
+// CountingFor is For with hit accounting: every consultation is counted
+// into h and mirrored to the telemetry registry's buffer_hits_total /
+// buffer_misses_total.
+func (a Assignment) CountingFor(h *HitStats) func(comp, slot int) bool {
+	resident := a.For()
+	return func(comp, slot int) bool {
+		if resident(comp, slot) {
+			h.hits.Add(1)
+			telemetry.BufferHitsTotal.Inc()
+			return true
+		}
+		h.misses.Add(1)
+		telemetry.BufferMissesTotal.Inc()
+		return false
 	}
 }
 

@@ -227,3 +227,51 @@ func TestForPredicate(t *testing.T) {
 		}
 	}
 }
+
+// TestCountingForHitAccounting: the counting predicate agrees with For on
+// every consultation, misses equal the measured scan count (the evaluator
+// consults the buffer exactly once per distinct bitmap referenced), and
+// the measured hit rate matches f_i/(b_i-1) aggregated over the reference
+// mix.
+func TestCountingForHitAccounting(t *testing.T) {
+	base := core.Base{5, 4}
+	card, _ := base.Product()
+	ix, err := core.Build([]uint64{0}, card, base, core.RangeEncoded, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Optimal(base, card, 3)
+	var h HitStats
+	pred := a.CountingFor(&h)
+	plain := a.For()
+	totalScans := 0
+	for _, op := range core.AllOps {
+		for v := uint64(0); v < card; v++ {
+			var st core.Stats
+			ix.EvalRangeOpt(op, v, &core.EvalOptions{Stats: &st, Buffered: pred})
+			totalScans += st.Scans
+		}
+	}
+	if h.Misses() != int64(totalScans) {
+		t.Errorf("misses = %d, measured scans = %d (must be equal)", h.Misses(), totalScans)
+	}
+	if h.Hits() == 0 {
+		t.Error("no hits recorded for a non-empty assignment")
+	}
+	if rate := h.HitRate(); rate <= 0 || rate >= 1 {
+		t.Errorf("hit rate %v outside (0,1)", rate)
+	}
+	// The counting wrapper must not change residency decisions.
+	for comp := range base {
+		for slot := 0; slot < int(base[comp])-1; slot++ {
+			if pred(comp, slot) != plain(comp, slot) {
+				t.Fatalf("CountingFor disagrees with For at (%d,%d)", comp, slot)
+			}
+		}
+	}
+	// Zero-value stats report a zero rate rather than NaN.
+	var empty HitStats
+	if empty.HitRate() != 0 {
+		t.Errorf("empty HitRate = %v, want 0", empty.HitRate())
+	}
+}

@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"bitmapindex/internal/bitvec"
+	"bitmapindex/internal/telemetry"
 )
 
 // Op is a selection predicate comparison operator. The paper's query class
@@ -125,6 +127,9 @@ type EvalOptions struct {
 	// vector must have Rows() bits and must not be retained or mutated by
 	// Fetch after returning.
 	Fetch func(comp, slot int) *bitvec.Vector
+	// Trace, when non-nil, accumulates per-phase wall-clock durations
+	// (bitmap fetch, boolean ops, ...) for this evaluation.
+	Trace *telemetry.Trace
 }
 
 // qctx is the per-query evaluation context: instrumentation plus the
@@ -134,6 +139,7 @@ type qctx struct {
 	st      *Stats
 	buf     func(comp, slot int) bool
 	fetchFn func(comp, slot int) *bitvec.Vector
+	tr      *telemetry.Trace
 	seen    map[uint64]bool
 }
 
@@ -143,6 +149,7 @@ func newQctx(ix *Index, opt *EvalOptions) *qctx {
 		qc.st = opt.Stats
 		qc.buf = opt.Buffered
 		qc.fetchFn = opt.Fetch
+		qc.tr = opt.Trace
 	}
 	return qc
 }
@@ -150,6 +157,9 @@ func newQctx(ix *Index, opt *EvalOptions) *qctx {
 // fetch returns stored bitmap slot j of component i, counting a scan the
 // first time each bitmap is read within this query (unless buffered).
 func (qc *qctx) fetch(i, j int) *bitvec.Vector {
+	if qc.tr != nil {
+		defer qc.tr.Start(telemetry.PhaseFetch).End()
+	}
 	if qc.st != nil {
 		key := uint64(i)<<32 | uint64(uint32(j))
 		if qc.seen == nil {
@@ -169,6 +179,9 @@ func (qc *qctx) fetch(i, j int) *bitvec.Vector {
 }
 
 func (qc *qctx) and(dst, src *bitvec.Vector) {
+	if qc.tr != nil {
+		defer qc.tr.Start(telemetry.PhaseBoolOps).End()
+	}
 	dst.And(src)
 	if qc.st != nil {
 		qc.st.Ands++
@@ -176,6 +189,9 @@ func (qc *qctx) and(dst, src *bitvec.Vector) {
 }
 
 func (qc *qctx) or(dst, src *bitvec.Vector) {
+	if qc.tr != nil {
+		defer qc.tr.Start(telemetry.PhaseBoolOps).End()
+	}
 	dst.Or(src)
 	if qc.st != nil {
 		qc.st.Ors++
@@ -183,6 +199,9 @@ func (qc *qctx) or(dst, src *bitvec.Vector) {
 }
 
 func (qc *qctx) xor(dst, src *bitvec.Vector) {
+	if qc.tr != nil {
+		defer qc.tr.Start(telemetry.PhaseBoolOps).End()
+	}
 	dst.Xor(src)
 	if qc.st != nil {
 		qc.st.Xors++
@@ -190,6 +209,9 @@ func (qc *qctx) xor(dst, src *bitvec.Vector) {
 }
 
 func (qc *qctx) not(dst *bitvec.Vector) {
+	if qc.tr != nil {
+		defer qc.tr.Start(telemetry.PhaseBoolOps).End()
+	}
 	dst.Not()
 	if qc.st != nil {
 		qc.st.Nots++
@@ -199,6 +221,9 @@ func (qc *qctx) not(dst *bitvec.Vector) {
 // andNot counts as one AND plus one NOT, matching the paper's operation
 // inventory (AND, OR, XOR, NOT).
 func (qc *qctx) andNot(dst, src *bitvec.Vector) {
+	if qc.tr != nil {
+		defer qc.tr.Start(telemetry.PhaseBoolOps).End()
+	}
 	dst.AndNot(src)
 	if qc.st != nil {
 		qc.st.Ands++
@@ -227,17 +252,38 @@ func (qc *qctx) maskNN(b *bitvec.Vector) *bitvec.Vector {
 // qualifying records. For range-encoded indexes it uses RangeEval-Opt; for
 // equality-encoded indexes it uses the equality evaluator. v may be any
 // uint64; values >= Cardinality are handled by their natural semantics.
+//
+// Every Eval also publishes its scan and operation counts plus wall-clock
+// latency to the process-wide telemetry registry (telemetry.Default), so
+// the paper's two cost measures are observable without threading a Stats
+// through every caller. Calling the encoding-specific evaluators directly
+// bypasses the registry.
 func (ix *Index) Eval(op Op, v uint64, opt *EvalOptions) *bitvec.Vector {
+	var o EvalOptions
+	if opt != nil {
+		o = *opt
+	}
+	var local Stats
+	if o.Stats == nil {
+		o.Stats = &local
+	}
+	before := *o.Stats
+	t0 := time.Now()
+	var res *bitvec.Vector
 	switch ix.enc {
 	case RangeEncoded:
-		return ix.EvalRangeOpt(op, v, opt)
+		res = ix.EvalRangeOpt(op, v, &o)
 	case EqualityEncoded:
-		return ix.EvalEquality(op, v, opt)
+		res = ix.EvalEquality(op, v, &o)
 	case IntervalEncoded:
-		return ix.EvalInterval(op, v, opt)
+		res = ix.EvalInterval(op, v, &o)
 	default:
 		panic("core: unknown encoding")
 	}
+	d := *o.Stats
+	telemetry.RecordEval(d.Scans-before.Scans, d.Ands-before.Ands,
+		d.Ors-before.Ors, d.Xors-before.Xors, d.Nots-before.Nots, time.Since(t0))
+	return res
 }
 
 // trivialResult handles predicate constants outside [0, C): for those, the

@@ -8,6 +8,7 @@ import (
 	"bitmapindex/internal/bitvec"
 	"bitmapindex/internal/core"
 	"bitmapindex/internal/cost"
+	"bitmapindex/internal/telemetry"
 )
 
 // Method selects a query evaluation plan for a conjunctive selection.
@@ -55,6 +56,10 @@ type Cost struct {
 	BytesRead int64
 	// Rows is the result cardinality.
 	Rows int
+	// Stats accumulates the bitmap scan and operation counts of every
+	// index evaluation the plan performed (zero for plans that touch no
+	// bitmap index), so the paper's cost measures propagate to plan level.
+	Stats core.Stats
 }
 
 // Select evaluates the conjunction of preds over the relation with the
@@ -62,6 +67,14 @@ type Cost struct {
 // cost. All predicates must reference existing columns; RIDMerge needs a
 // RID index and BitmapMerge a bitmap index on every referenced column.
 func (r *Relation) Select(preds []Pred, m Method) (*bitvec.Vector, Cost, error) {
+	return r.SelectTraced(preds, m, nil)
+}
+
+// SelectTraced is Select with per-query tracing: plan selection, bitmap
+// work, row filtering and result popcounts are recorded into tr (which may
+// be nil). Each executed plan also increments the registry's
+// engine_plans_total{method=...} counter.
+func (r *Relation) SelectTraced(preds []Pred, m Method, tr *telemetry.Trace) (*bitvec.Vector, Cost, error) {
 	if len(preds) == 0 {
 		return nil, Cost{}, fmt.Errorf("engine: empty predicate list")
 	}
@@ -70,23 +83,33 @@ func (r *Relation) Select(preds []Pred, m Method) (*bitvec.Vector, Cost, error) 
 			return nil, Cost{}, err
 		}
 	}
+	var (
+		res *bitvec.Vector
+		c   Cost
+		err error
+	)
 	switch m {
 	case FullScan:
-		return r.fullScan(preds)
+		res, c, err = r.fullScan(preds, tr)
 	case IndexFilter:
-		return r.indexFilter(preds)
+		res, c, err = r.indexFilter(preds, tr)
 	case RIDMerge:
-		return r.ridMerge(preds)
+		res, c, err = r.ridMerge(preds, tr)
 	case BitmapMerge:
-		return r.bitmapMerge(preds)
+		res, c, err = r.bitmapMerge(preds, tr)
 	case Auto:
-		return r.auto(preds)
+		return r.auto(preds, tr)
 	default:
 		return nil, Cost{}, fmt.Errorf("engine: unknown method %v", m)
 	}
+	if err == nil {
+		telemetry.PlansTotal(c.Method.String()).Inc()
+	}
+	return res, c, err
 }
 
-func (r *Relation) fullScan(preds []Pred) (*bitvec.Vector, Cost, error) {
+func (r *Relation) fullScan(preds []Pred, tr *telemetry.Trace) (*bitvec.Vector, Cost, error) {
+	sp := tr.Start(telemetry.PhaseFilter)
 	out := bitvec.New(r.Rows())
 	cols := make([]*Column, len(preds))
 	for i, p := range preds {
@@ -104,8 +127,15 @@ func (r *Relation) fullScan(preds []Pred) (*bitvec.Vector, Cost, error) {
 			out.Set(row)
 		}
 	}
-	cost := Cost{Method: FullScan, BytesRead: int64(r.Rows()) * int64(r.RowBytes()), Rows: out.Count()}
+	sp.End()
+	cost := Cost{Method: FullScan, BytesRead: int64(r.Rows()) * int64(r.RowBytes()), Rows: popcount(out, tr)}
 	return out, cost, nil
+}
+
+// popcount counts the result bits under the popcount trace phase.
+func popcount(v *bitvec.Vector, tr *telemetry.Trace) int {
+	defer tr.Start(telemetry.PhasePopcount).End()
+	return v.Count()
 }
 
 // ridsFor returns the RIDs matching the predicate via the column's RID
@@ -185,9 +215,10 @@ func quickSortRIDs(r []uint32) {
 	quickSortRIDs(r[lo:])
 }
 
-func (r *Relation) indexFilter(preds []Pred) (*bitvec.Vector, Cost, error) {
+func (r *Relation) indexFilter(preds []Pred, tr *telemetry.Trace) (*bitvec.Vector, Cost, error) {
 	// Choose the most selective indexed predicate (smallest RID list) as
 	// the driver; fall back to the first RID-indexed column.
+	probe := tr.Start(telemetry.PhaseFetch)
 	driver := -1
 	var driverRIDs []uint32
 	var driverBytes int64
@@ -198,15 +229,18 @@ func (r *Relation) indexFilter(preds []Pred) (*bitvec.Vector, Cost, error) {
 		}
 		rids, bytes, err := r.ridsFor(p)
 		if err != nil {
+			probe.End()
 			return nil, Cost{}, err
 		}
 		if driver < 0 || len(rids) < len(driverRIDs) {
 			driver, driverRIDs, driverBytes = i, rids, bytes
 		}
 	}
+	probe.End()
 	if driver < 0 {
 		return nil, Cost{}, fmt.Errorf("engine: no RID index available for index-filter plan")
 	}
+	sp := tr.Start(telemetry.PhaseFilter)
 	out := bitvec.New(r.Rows())
 	cols := make([]*Column, len(preds))
 	for i, p := range preds {
@@ -227,20 +261,23 @@ func (r *Relation) indexFilter(preds []Pred) (*bitvec.Vector, Cost, error) {
 			out.Set(int(rid))
 		}
 	}
+	sp.End()
 	cost := Cost{
 		Method: IndexFilter,
 		// Index probe plus fetching each candidate record.
 		BytesRead: driverBytes + int64(len(driverRIDs))*int64(r.RowBytes()),
-		Rows:      out.Count(),
+		Rows:      popcount(out, tr),
 	}
 	return out, cost, nil
 }
 
-func (r *Relation) ridMerge(preds []Pred) (*bitvec.Vector, Cost, error) {
+func (r *Relation) ridMerge(preds []Pred, tr *telemetry.Trace) (*bitvec.Vector, Cost, error) {
 	var result []uint32
 	var bytes int64
 	for i, p := range preds {
+		probe := tr.Start(telemetry.PhaseFetch)
 		rids, b, err := r.ridsFor(p)
+		probe.End()
 		if err != nil {
 			return nil, Cost{}, err
 		}
@@ -249,7 +286,9 @@ func (r *Relation) ridMerge(preds []Pred) (*bitvec.Vector, Cost, error) {
 			result = rids
 			continue
 		}
+		sp := tr.Start(telemetry.PhaseFilter)
 		result = intersectSorted(result, rids)
+		sp.End()
 	}
 	out := bitvec.New(r.Rows())
 	for _, rid := range result {
@@ -276,10 +315,11 @@ func intersectSorted(a, b []uint32) []uint32 {
 	return out
 }
 
-func (r *Relation) bitmapMerge(preds []Pred) (*bitvec.Vector, Cost, error) {
+func (r *Relation) bitmapMerge(preds []Pred, tr *telemetry.Trace) (*bitvec.Vector, Cost, error) {
 	bitmapBytes := int64((r.Rows() + 7) / 8)
 	var out *bitvec.Vector
 	var bytes int64
+	var st core.Stats
 	for _, p := range preds {
 		c, _ := r.Column(p.Col)
 		if c.bitmap == nil {
@@ -290,23 +330,29 @@ func (r *Relation) bitmapMerge(preds []Pred) (*bitvec.Vector, Cost, error) {
 			return nil, Cost{}, err
 		}
 		var res *bitvec.Vector
-		var st core.Stats
+		before := st
 		switch {
 		case none:
 			res = bitvec.New(r.Rows())
 		case all:
 			res = bitvec.NewOnes(r.Rows())
 		default:
-			res = c.bitmap.Eval(rop, rank, &core.EvalOptions{Stats: &st})
+			res = c.bitmap.Eval(rop, rank, &core.EvalOptions{Stats: &st, Trace: tr})
 		}
-		bytes += int64(st.Scans) * bitmapBytes
+		bytes += int64(st.Scans-before.Scans) * bitmapBytes
 		if out == nil {
 			out = res
 		} else {
+			// The cross-predicate AND is a bitmap operation too; count it
+			// so plan-level Stats cover all CPU work, not just the
+			// per-index evaluations.
+			sp := tr.Start(telemetry.PhaseBoolOps)
 			out.And(res)
+			sp.End()
+			st.Ands++
 		}
 	}
-	return out, Cost{Method: BitmapMerge, BytesRead: bytes, Rows: out.Count()}, nil
+	return out, Cost{Method: BitmapMerge, BytesRead: bytes, Rows: popcount(out, tr), Stats: st}, nil
 }
 
 // EstimateBytes predicts the bytes a plan would read, using exact index
@@ -370,8 +416,10 @@ func (r *Relation) EstimateBytes(preds []Pred, m Method) (int64, error) {
 	return 0, fmt.Errorf("engine: cannot estimate method %v", m)
 }
 
-// auto runs the cheapest estimable plan.
-func (r *Relation) auto(preds []Pred) (*bitvec.Vector, Cost, error) {
+// auto runs the cheapest estimable plan; the estimation pass is traced as
+// the plan phase.
+func (r *Relation) auto(preds []Pred, tr *telemetry.Trace) (*bitvec.Vector, Cost, error) {
+	sp := tr.Start(telemetry.PhasePlan)
 	best := Method(0)
 	bestBytes := int64(math.MaxInt64)
 	found := false
@@ -384,10 +432,11 @@ func (r *Relation) auto(preds []Pred) (*bitvec.Vector, Cost, error) {
 			best, bestBytes, found = m, e, true
 		}
 	}
+	sp.End()
 	if !found {
 		return nil, Cost{}, fmt.Errorf("engine: no executable plan")
 	}
-	return r.Select(preds, best)
+	return r.SelectTraced(preds, best, tr)
 }
 
 // ridStats returns the matching-row count and index bytes for a predicate

@@ -7,6 +7,7 @@ import (
 
 	"bitmapindex/internal/bitvec"
 	"bitmapindex/internal/core"
+	"bitmapindex/internal/telemetry"
 )
 
 // CachedStore wraps a Store with an LRU buffer pool of decompressed
@@ -52,6 +53,20 @@ func NewCached(s *Store, capacity int) (*CachedStore, error) {
 // Store returns the underlying store.
 func (c *CachedStore) Store() *Store { return c.store }
 
+// Hits returns the number of bitmap reads served from the pool.
+func (c *CachedStore) Hits() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits
+}
+
+// Misses returns the number of bitmap reads that missed the pool.
+func (c *CachedStore) Misses() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.misses
+}
+
 // HitRate returns the fraction of bitmap reads served from the pool.
 func (c *CachedStore) HitRate() float64 {
 	c.mu.Lock()
@@ -78,9 +93,11 @@ func (c *CachedStore) lookup(comp, slot int) (*bitvec.Vector, bool) {
 	if el, ok := c.byKey[cacheKey{comp, slot}]; ok {
 		c.lru.MoveToFront(el)
 		c.hits++
+		telemetry.CacheHitsTotal.Inc()
 		return el.Value.(cacheEntry).v, true
 	}
 	c.misses++
+	telemetry.CacheMissesTotal.Inc()
 	return nil, false
 }
 
@@ -102,7 +119,9 @@ func (c *CachedStore) insert(comp, slot int, v *bitvec.Vector) {
 		el := c.lru.Back()
 		delete(c.byKey, el.Value.(cacheEntry).key)
 		c.lru.Remove(el)
+		telemetry.CacheEvictionsTotal.Inc()
 	}
+	telemetry.CacheResident.Set(int64(c.lru.Len()))
 }
 
 // Eval evaluates (A op v) through the pool: resident bitmaps cost nothing
@@ -118,6 +137,7 @@ func (c *CachedStore) Eval(op core.Op, v uint64, m *Metrics) (res *bitvec.Vector
 			panic(r)
 		}
 	}()
+	telemetry.StorageQueriesTotal.Inc()
 	q := &query{s: c.store, m: m}
 	// perQuery remembers residency as observed at first touch within this
 	// query, so the Buffered callback and Fetch agree even though Fetch
@@ -162,6 +182,7 @@ func (c *CachedStore) Eval(op core.Op, v uint64, m *Metrics) (res *bitvec.Vector
 	if m != nil {
 		m.Queries++
 		opt.Stats = &m.Stats
+		opt.Trace = m.Trace
 	}
 	return c.store.shell.Eval(op, v, opt), nil
 }

@@ -178,3 +178,41 @@ func TestNewCachedErrors(t *testing.T) {
 		t.Fatal("negative capacity must fail")
 	}
 }
+
+// TestCachedStoreHitMissCounters: the raw Hits/Misses counters are
+// consistent with HitRate, start at zero, and misses bound the resident
+// set (every resident bitmap was missed into the cache once).
+func TestCachedStoreHitMissCounters(t *testing.T) {
+	_, cs := cachedFixture(t, 1000)
+	if cs.Hits() != 0 || cs.Misses() != 0 {
+		t.Fatalf("fresh cache has hits=%d misses=%d", cs.Hits(), cs.Misses())
+	}
+	run := func() {
+		for _, op := range core.AllOps {
+			for v := uint64(0); v < 30; v++ {
+				if _, err := cs.Eval(op, v, nil); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	run()
+	h1, m1 := cs.Hits(), cs.Misses()
+	if m1 == 0 {
+		t.Fatal("first pass recorded no misses")
+	}
+	if int(m1) < cs.Resident() {
+		t.Fatalf("misses %d < resident %d: every resident bitmap must have missed once", m1, cs.Resident())
+	}
+	run()
+	h2, m2 := cs.Hits(), cs.Misses()
+	if m2 != m1 {
+		t.Errorf("warm pass added %d misses with an oversized cache", m2-m1)
+	}
+	if h2 <= h1 {
+		t.Errorf("warm pass added no hits (%d -> %d)", h1, h2)
+	}
+	if want := float64(h2) / float64(h2+m2); cs.HitRate() != want {
+		t.Errorf("HitRate = %v, want %v from raw counters", cs.HitRate(), want)
+	}
+}

@@ -31,6 +31,7 @@ import (
 
 	"bitmapindex/internal/bitvec"
 	"bitmapindex/internal/core"
+	"bitmapindex/internal/telemetry"
 )
 
 // Scheme selects the physical layout.
@@ -105,7 +106,9 @@ type meta struct {
 }
 
 // Metrics accumulates the physical cost of evaluating queries against a
-// Store. A single Metrics may be reused across queries.
+// Store. A single Metrics may be reused across queries. Every field is
+// also mirrored into the process-wide telemetry registry
+// (telemetry.Default) as the storage_* metric family.
 type Metrics struct {
 	Queries      int
 	FilesRead    int
@@ -114,6 +117,10 @@ type Metrics struct {
 	DecompressNS int64 // zlib inflate time
 	ExtractNS    int64 // row-major column extraction time
 	Stats        core.Stats
+	// Trace, when non-nil, receives per-phase durations (fetch,
+	// decompress, extract, bool_ops) for each query evaluated with this
+	// Metrics.
+	Trace *telemetry.Trace
 }
 
 // Store is an on-disk bitmap index opened for query evaluation.
@@ -343,11 +350,18 @@ func (s *Store) readFile(name string, m *Metrics) ([]byte, int64, error) {
 		}
 		decompNS = time.Since(t1).Nanoseconds()
 	}
+	telemetry.StorageFilesReadTotal.Inc()
+	telemetry.StorageBytesReadTotal.Add(onDisk)
+	telemetry.StorageReadNSTotal.Add(readNS)
+	telemetry.StorageDecompressNSTotal.Add(decompNS)
 	if m != nil {
 		m.FilesRead++
 		m.BytesRead += onDisk
 		m.ReadNS += readNS
 		m.DecompressNS += decompNS
+		if decompNS > 0 {
+			m.Trace.Add(telemetry.PhaseDecompress, time.Duration(decompNS))
+		}
 	}
 	return raw, onDisk, nil
 }
@@ -412,8 +426,11 @@ func (q *query) extract(payload []byte, stride, col int) *bitvec.Vector {
 		}
 		k += stride
 	}
+	extractNS := time.Since(t0).Nanoseconds()
+	telemetry.StorageExtractNSTotal.Add(extractNS)
 	if q.m != nil {
-		q.m.ExtractNS += time.Since(t0).Nanoseconds()
+		q.m.ExtractNS += extractNS
+		q.m.Trace.Add(telemetry.PhaseExtract, time.Duration(extractNS))
 	}
 	return v
 }
@@ -430,11 +447,13 @@ func (s *Store) Eval(op core.Op, v uint64, m *Metrics) (res *bitvec.Vector, err 
 			panic(r)
 		}
 	}()
+	telemetry.StorageQueriesTotal.Inc()
 	q := &query{s: s, m: m}
 	opt := &core.EvalOptions{Fetch: q.fetch}
 	if m != nil {
 		m.Queries++
 		opt.Stats = &m.Stats
+		opt.Trace = m.Trace
 	}
 	return s.shell.Eval(op, v, opt), nil
 }

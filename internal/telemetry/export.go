@@ -1,0 +1,135 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4): grouped # HELP / # TYPE headers, one
+// sample line per series, histograms as cumulative _bucket/_sum/_count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	prevName := ""
+	for _, m := range r.snapshotMetrics() {
+		if m.name != prevName {
+			fmt.Fprintf(bw, "# HELP %s %s\n", m.name, m.help)
+			fmt.Fprintf(bw, "# TYPE %s %s\n", m.name, m.kind)
+			prevName = m.name
+		}
+		switch m.kind {
+		case counterKind:
+			fmt.Fprintf(bw, "%s %d\n", m.id, m.c.Value())
+		case gaugeKind:
+			fmt.Fprintf(bw, "%s %d\n", m.id, m.g.Value())
+		case histogramKind:
+			writePromHistogram(bw, m)
+		}
+	}
+	return bw.Flush()
+}
+
+func writePromHistogram(w io.Writer, m *metric) {
+	cum := m.h.Cumulative()
+	for i, bound := range m.h.bounds {
+		fmt.Fprintf(w, "%s %d\n",
+			histSeries(m.name+"_bucket", m.labels, formatFloat(bound)), cum[i])
+	}
+	fmt.Fprintf(w, "%s %d\n", histSeries(m.name+"_bucket", m.labels, "+Inf"), cum[len(cum)-1])
+	fmt.Fprintf(w, "%s %s\n", metricID(m.name+"_sum", m.labels), formatFloat(m.h.Sum()))
+	fmt.Fprintf(w, "%s %d\n", metricID(m.name+"_count", m.labels), m.h.Count())
+}
+
+// histSeries renders a _bucket series id with the le label appended.
+func histSeries(name string, labels []Label, le string) string {
+	return metricID(name, append(append([]Label(nil), labels...), Label{"le", le}))
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// HistogramSnapshot is the JSON form of one histogram: cumulative bucket
+// counts plus count, sum and interpolated quantiles.
+type HistogramSnapshot struct {
+	Count   int64            `json:"count"`
+	Sum     float64          `json:"sum"`
+	Buckets []BucketSnapshot `json:"buckets"`
+	P50     float64          `json:"p50"`
+	P90     float64          `json:"p90"`
+	P99     float64          `json:"p99"`
+}
+
+// BucketSnapshot is one cumulative histogram bucket.
+type BucketSnapshot struct {
+	LE         float64 `json:"le"`
+	Cumulative int64   `json:"cumulative"`
+}
+
+// Snapshot is a point-in-time JSON-serializable view of a registry, keyed
+// by metric id (name plus rendered labels). Values read concurrently with
+// updates may be mutually skewed by in-flight increments.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures the current value of every registered metric.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   make(map[string]int64),
+		Gauges:     make(map[string]int64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	for _, m := range r.snapshotMetrics() {
+		switch m.kind {
+		case counterKind:
+			s.Counters[m.id] = m.c.Value()
+		case gaugeKind:
+			s.Gauges[m.id] = m.g.Value()
+		case histogramKind:
+			h := HistogramSnapshot{
+				Count: m.h.Count(),
+				Sum:   m.h.Sum(),
+				P50:   m.h.Quantile(0.50),
+				P90:   m.h.Quantile(0.90),
+				P99:   m.h.Quantile(0.99),
+			}
+			cum := m.h.Cumulative()
+			for i, b := range m.h.bounds {
+				h.Buckets = append(h.Buckets, BucketSnapshot{LE: b, Cumulative: cum[i]})
+			}
+			s.Histograms[m.id] = h
+		}
+	}
+	return s
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// Handler serves the registry over HTTP: Prometheus text by default, the
+// JSON snapshot with ?format=json. Mount it wherever the host command
+// likes, conventionally at /metrics.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("format") == "json" {
+			w.Header().Set("Content-Type", "application/json")
+			if err := r.WriteJSON(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

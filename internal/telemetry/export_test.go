@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func exportFixture() *Registry {
+	r := New()
+	r.Counter("scans_total", "Bitmaps read.").Add(7)
+	r.Counter("ops_total", "Ops by kind.", Label{"kind", "and"}).Add(3)
+	r.Counter("ops_total", "Ops by kind.", Label{"kind", "or"}).Add(2)
+	r.Gauge("resident", "Pool residents.").Set(4)
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.01, 0.1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(5)
+	return r
+}
+
+func TestWritePrometheus(t *testing.T) {
+	var sb strings.Builder
+	if err := exportFixture().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# HELP scans_total Bitmaps read.",
+		"# TYPE scans_total counter",
+		"scans_total 7",
+		`ops_total{kind="and"} 3`,
+		`ops_total{kind="or"} 2`,
+		"# TYPE resident gauge",
+		"resident 4",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.01"} 1`,
+		`lat_seconds_bucket{le="0.1"} 2`,
+		`lat_seconds_bucket{le="+Inf"} 3`,
+		"lat_seconds_sum 5.055",
+		"lat_seconds_count 3",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// Grouped headers: one # TYPE per metric name, not per series.
+	if strings.Count(out, "# TYPE ops_total") != 1 {
+		t.Errorf("ops_total must have exactly one TYPE header:\n%s", out)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	var sb strings.Builder
+	if err := exportFixture().WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal([]byte(sb.String()), &s); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if s.Counters["scans_total"] != 7 {
+		t.Fatalf("scans_total = %d, want 7", s.Counters["scans_total"])
+	}
+	if s.Counters[`ops_total{kind="and"}`] != 3 {
+		t.Fatalf("labeled counter missing: %v", s.Counters)
+	}
+	h := s.Histograms["lat_seconds"]
+	if h.Count != 3 || len(h.Buckets) != 2 || h.Buckets[1].Cumulative != 2 {
+		t.Fatalf("histogram snapshot = %+v", h)
+	}
+	if h.P99 != 0.1 {
+		t.Fatalf("p99 = %v, want clamp to 0.1", h.P99)
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	h := Handler(exportFixture())
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "scans_total 7") {
+		t.Fatalf("text endpoint: code %d body %q", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=json", nil))
+	var s Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &s); err != nil {
+		t.Fatalf("json endpoint: %v", err)
+	}
+	if s.Gauges["resident"] != 4 {
+		t.Fatalf("json endpoint gauges = %v", s.Gauges)
+	}
+}

@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// SlowEntry is one retained slow query.
+type SlowEntry struct {
+	Query  string        `json:"query"`
+	Total  time.Duration `json:"ns"`
+	Phases []PhaseRecord `json:"phases,omitempty"`
+}
+
+// SlowLog retains (and optionally writes) queries whose total evaluation
+// time meets a threshold. It keeps the most recent entries in a ring and
+// feeds SlowQueriesTotal. Safe for concurrent use.
+type SlowLog struct {
+	threshold time.Duration
+	w         io.Writer // may be nil: retain only
+
+	mu   sync.Mutex
+	ring []SlowEntry
+	next int
+	full bool
+}
+
+// NewSlowLog creates a slow-query log. Traces at or over threshold are
+// kept (the most recent keep entries; keep <= 0 defaults to 32) and, when
+// w is non-nil, written as one line each.
+func NewSlowLog(threshold time.Duration, w io.Writer, keep int) *SlowLog {
+	if keep <= 0 {
+		keep = 32
+	}
+	return &SlowLog{threshold: threshold, w: w, ring: make([]SlowEntry, keep)}
+}
+
+// Threshold returns the configured threshold.
+func (l *SlowLog) Threshold() time.Duration { return l.threshold }
+
+// Observe finishes the trace and records it if it is slow, returning
+// whether it was recorded. A nil trace is ignored.
+func (l *SlowLog) Observe(query string, t *Trace) bool {
+	if t == nil {
+		return false
+	}
+	total := t.Finish()
+	if total < l.threshold {
+		return false
+	}
+	SlowQueriesTotal.Inc()
+	e := SlowEntry{Query: query, Total: total, Phases: t.Phases()}
+	l.mu.Lock()
+	l.ring[l.next] = e
+	l.next = (l.next + 1) % len(l.ring)
+	if l.next == 0 {
+		l.full = true
+	}
+	w := l.w
+	l.mu.Unlock()
+	if w != nil {
+		var phases string
+		for i, r := range e.Phases {
+			if i > 0 {
+				phases += " "
+			}
+			phases += fmt.Sprintf("%s=%v", r.Phase, r.Duration)
+		}
+		fmt.Fprintf(w, "slow query (%v >= %v): %s [%s]\n", total, l.threshold, query, phases)
+	}
+	return true
+}
+
+// Entries returns the retained slow queries, oldest first.
+func (l *SlowLog) Entries() []SlowEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []SlowEntry
+	if l.full {
+		out = append(out, l.ring[l.next:]...)
+	}
+	out = append(out, l.ring[:l.next]...)
+	return out
+}

@@ -1,0 +1,102 @@
+// Package telemetry is the repo-wide observability layer: a
+// zero-dependency, concurrency-safe metrics registry (atomic counters,
+// gauges and fixed-bucket histograms), a lightweight per-query trace of
+// evaluation phases, and exporters — Prometheus text exposition, a JSON
+// snapshot, an optional net/http handler and a threshold-based slow-query
+// log.
+//
+// The paper's two cost measures — bitmap scans (I/O) and bitmap operations
+// (CPU) — are collected by core.Stats and storage.Metrics per call; those
+// structs keep their APIs but also feed the process-wide Default registry
+// here, so every layer (core evaluators, on-disk stores, the LRU pool, the
+// buffer model and the engine's query plans) reports into one coherent
+// surface. The well-known metric set lives in metrics.go and is documented
+// in DESIGN.md.
+//
+// All registry mutations are lock-free atomic operations; creating or
+// looking up a metric takes a mutex. A Trace is owned by one query but is
+// itself safe for concurrent phase recording.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// Label is one name="value" pair attached to a metric.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative n is a programming error but is not checked on the
+// hot path; the exporters render whatever accumulated).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// atomicFloat accumulates a float64 with compare-and-swap, for histogram
+// sums.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (f *atomicFloat) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+func (f *atomicFloat) Value() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// metricID renders the canonical identity of a metric: the name plus its
+// sorted label set, e.g. `bitmap_ops_total{kind="and"}`. It doubles as the
+// Prometheus sample line prefix and the JSON snapshot key.
+func metricID(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var sb strings.Builder
+	sb.WriteString(name)
+	sb.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", l.Name, l.Value)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}

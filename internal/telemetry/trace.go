@@ -1,0 +1,175 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Phase names one stage of evaluating a selection query. A trace
+// accumulates duration per phase across however many times the phase is
+// entered (a query fetches many bitmaps; they all land in PhaseFetch).
+//
+// Phases are not all disjoint: PhaseFetch is wall-clock inclusive of the
+// storage sub-phases PhaseDecompress and PhaseExtract, which break out
+// where fetch time went. All other phases are disjoint.
+type Phase string
+
+const (
+	// PhasePlan is optimizer time: estimating plan costs and choosing one.
+	PhasePlan Phase = "plan"
+	// PhaseFetch is obtaining stored bitmaps (map access, file read, or
+	// pool lookup; includes decompress/extract when reading from disk).
+	PhaseFetch Phase = "fetch"
+	// PhaseDecompress is zlib inflate time inside fetch.
+	PhaseDecompress Phase = "decompress"
+	// PhaseExtract is row-major column extraction time inside fetch.
+	PhaseExtract Phase = "extract"
+	// PhaseBoolOps is bitmap AND/OR/XOR/NOT execution.
+	PhaseBoolOps Phase = "bool_ops"
+	// PhaseFilter is per-row predicate testing in the engine's P1/P2 plans
+	// and RID-list merging in P3.
+	PhaseFilter Phase = "filter"
+	// PhasePopcount is counting (or enumerating) result bits.
+	PhasePopcount Phase = "popcount"
+)
+
+type phaseAgg struct {
+	calls int
+	dur   time.Duration
+}
+
+// PhaseRecord is one phase's aggregate within a finished or running trace.
+type PhaseRecord struct {
+	Phase    Phase         `json:"phase"`
+	Calls    int           `json:"calls"`
+	Duration time.Duration `json:"ns"`
+}
+
+// Trace records the phases of one query evaluation. The zero value is not
+// usable; create with NewTrace. All methods are safe on a nil receiver
+// (no-ops returning zero values), so instrumented code never needs a nil
+// check. A Trace may be shared by concurrent phases.
+type Trace struct {
+	name  string
+	start time.Time
+
+	mu     sync.Mutex
+	order  []Phase
+	phases map[Phase]*phaseAgg
+	total  time.Duration // set by Finish
+	done   bool
+}
+
+// NewTrace starts a trace for the named query.
+func NewTrace(name string) *Trace {
+	return &Trace{name: name, start: time.Now(), phases: make(map[Phase]*phaseAgg, 8)}
+}
+
+// Name returns the query name given to NewTrace.
+func (t *Trace) Name() string {
+	if t == nil {
+		return ""
+	}
+	return t.name
+}
+
+// Add accumulates d into phase p.
+func (t *Trace) Add(p Phase, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	a, ok := t.phases[p]
+	if !ok {
+		a = &phaseAgg{}
+		t.phases[p] = a
+		t.order = append(t.order, p)
+	}
+	a.calls++
+	a.dur += d
+	t.mu.Unlock()
+}
+
+// Span is an open phase interval; End closes it and accumulates the
+// elapsed time into the trace.
+type Span struct {
+	t  *Trace
+	p  Phase
+	t0 time.Time
+}
+
+// Start opens a span for phase p. On a nil trace the returned span is a
+// no-op.
+func (t *Trace) Start(p Phase) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, p: p, t0: time.Now()}
+}
+
+// End closes the span.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	s.t.Add(s.p, time.Since(s.t0))
+}
+
+// Finish freezes the trace total at the elapsed wall-clock time and
+// returns it. Further Finish calls return the frozen total.
+func (t *Trace) Finish() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.done {
+		t.total = time.Since(t.start)
+		t.done = true
+	}
+	return t.total
+}
+
+// Elapsed returns the frozen total after Finish, or the running elapsed
+// time before it.
+func (t *Trace) Elapsed() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.done {
+		return t.total
+	}
+	return time.Since(t.start)
+}
+
+// Phases returns the phase aggregates in first-entered order.
+func (t *Trace) Phases() []PhaseRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]PhaseRecord, 0, len(t.order))
+	for _, p := range t.order {
+		a := t.phases[p]
+		out = append(out, PhaseRecord{Phase: p, Calls: a.calls, Duration: a.dur})
+	}
+	return out
+}
+
+// String renders the trace as an indented phase table.
+func (t *Trace) String() string {
+	if t == nil {
+		return "trace <nil>"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "trace %s: total %v\n", t.Name(), t.Elapsed())
+	for _, r := range t.Phases() {
+		fmt.Fprintf(&sb, "  %-12s %5d calls  %v\n", r.Phase, r.Calls, r.Duration)
+	}
+	return sb.String()
+}

@@ -1,0 +1,116 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracePhasesAccumulate(t *testing.T) {
+	tr := NewTrace("q1")
+	tr.Add(PhaseFetch, 10*time.Millisecond)
+	tr.Add(PhaseBoolOps, time.Millisecond)
+	tr.Add(PhaseFetch, 5*time.Millisecond)
+	ph := tr.Phases()
+	if len(ph) != 2 {
+		t.Fatalf("phases = %v, want 2 entries", ph)
+	}
+	if ph[0].Phase != PhaseFetch || ph[0].Calls != 2 || ph[0].Duration != 15*time.Millisecond {
+		t.Fatalf("fetch aggregate = %+v", ph[0])
+	}
+	if ph[1].Phase != PhaseBoolOps || ph[1].Calls != 1 {
+		t.Fatalf("bool_ops aggregate = %+v", ph[1])
+	}
+	if tr.Name() != "q1" {
+		t.Fatalf("name = %q", tr.Name())
+	}
+	s := tr.String()
+	if !strings.Contains(s, "fetch") || !strings.Contains(s, "bool_ops") {
+		t.Fatalf("render missing phases:\n%s", s)
+	}
+}
+
+func TestSpanAndFinish(t *testing.T) {
+	tr := NewTrace("q2")
+	sp := tr.Start(PhasePopcount)
+	time.Sleep(time.Millisecond)
+	sp.End()
+	ph := tr.Phases()
+	if len(ph) != 1 || ph[0].Duration <= 0 {
+		t.Fatalf("span did not record: %+v", ph)
+	}
+	total := tr.Finish()
+	if total < ph[0].Duration {
+		t.Fatalf("total %v < phase %v", total, ph[0].Duration)
+	}
+	if tr.Finish() != total || tr.Elapsed() != total {
+		t.Fatal("Finish must freeze the total")
+	}
+}
+
+func TestNilTraceIsSafe(t *testing.T) {
+	var tr *Trace
+	tr.Add(PhaseFetch, time.Second)
+	tr.Start(PhaseBoolOps).End()
+	if tr.Finish() != 0 || tr.Elapsed() != 0 || tr.Phases() != nil || tr.Name() != "" {
+		t.Fatal("nil trace must be inert")
+	}
+	_ = tr.String()
+}
+
+func TestTraceConcurrentRecording(t *testing.T) {
+	tr := NewTrace("concurrent")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				tr.Add(PhaseBoolOps, time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	ph := tr.Phases()
+	if len(ph) != 1 || ph[0].Calls != 4000 {
+		t.Fatalf("concurrent adds lost: %+v", ph)
+	}
+}
+
+func TestSlowLog(t *testing.T) {
+	var out strings.Builder
+	l := NewSlowLog(2*time.Millisecond, &out, 2)
+	fast := NewTrace("fast")
+	if l.Observe("fast", fast) {
+		t.Fatal("fast query must not be logged")
+	}
+
+	slowTrace := func(name string) *Trace {
+		tr := NewTrace(name)
+		tr.Add(PhaseFetch, time.Millisecond)
+		time.Sleep(3 * time.Millisecond)
+		return tr
+	}
+	for _, name := range []string{"s1", "s2", "s3"} {
+		if !l.Observe(name, slowTrace(name)) {
+			t.Fatalf("%s must be logged", name)
+		}
+	}
+	entries := l.Entries()
+	if len(entries) != 2 || entries[0].Query != "s2" || entries[1].Query != "s3" {
+		t.Fatalf("ring = %+v, want last two oldest-first", entries)
+	}
+	if entries[1].Total < 2*time.Millisecond || len(entries[1].Phases) == 0 {
+		t.Fatalf("entry = %+v", entries[1])
+	}
+	if !strings.Contains(out.String(), "slow query") || !strings.Contains(out.String(), "s3") {
+		t.Fatalf("log output = %q", out.String())
+	}
+	if l.Threshold() != 2*time.Millisecond {
+		t.Fatal("threshold accessor")
+	}
+	if l.Observe("nil", nil) {
+		t.Fatal("nil trace must not be logged")
+	}
+}
