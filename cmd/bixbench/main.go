@@ -104,7 +104,7 @@ type bucketCount struct {
 	Cumulative int64   `json:"cumulative"`
 }
 
-func realMain(o options) error {
+func realMain(o options) (err error) {
 	if o.List {
 		for _, e := range experiments.All() {
 			fmt.Printf("%-16s %-12s %s\n", e.ID, e.Paper, e.Title)
@@ -122,11 +122,17 @@ func realMain(o options) error {
 	}
 	var w io.Writer = os.Stdout
 	if o.Out != "" {
-		f, err := os.Create(o.Out)
-		if err != nil {
-			return err
+		f, cerr := os.Create(o.Out)
+		if cerr != nil {
+			return cerr
 		}
-		defer f.Close()
+		// A dropped close error could silently truncate the report, so
+		// promote it to the command's error when nothing else failed.
+		defer func() {
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}()
 		w = f
 	}
 	cfg := experiments.Config{Rows: o.Rows, Seed: o.Seed, Quick: o.Quick, CSV: o.CSV}
@@ -179,7 +185,7 @@ func realMain(o options) error {
 		enc := json.NewEncoder(f)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(report); err != nil {
-			f.Close()
+			_ = f.Close() // the encode error takes precedence
 			return err
 		}
 		return f.Close()
@@ -198,7 +204,7 @@ func runQueryBench(rows int, seed int64) (*queryBench, error) {
 	if err != nil {
 		return nil, err
 	}
-	lat := telemetry.New().Histogram("bench_query_latency_seconds",
+	lat := telemetry.New().Histogram("bix_bench_query_latency_seconds",
 		"Latency of the bixbench query microbenchmark.", telemetry.LatencyBuckets)
 	var st bitmapindex.Stats
 	opt := &bitmapindex.EvalOptions{Stats: &st}

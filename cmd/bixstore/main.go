@@ -291,7 +291,7 @@ func cmdGen(args []string) error {
 		fmt.Fprintln(w, v)
 	}
 	if err := w.Flush(); err != nil {
-		f.Close()
+		_ = f.Close() // the flush error takes precedence
 		return err
 	}
 	if err := f.Close(); err != nil {

@@ -31,12 +31,12 @@ func buildTestIndex(t *testing.T) string {
 }
 
 // TestQueryMetricsDump is the ISSUE acceptance check: a single query with
-// -metrics prints a Prometheus dump whose bitmap_scans_total growth equals
+// -metrics prints a Prometheus dump whose bix_scans_total growth equals
 // the query's own core.Stats.Scans, and a trace with at least three phases
 // of non-zero duration.
 func TestQueryMetricsDump(t *testing.T) {
 	ixDir := buildTestIndex(t)
-	before := bitmapindex.Telemetry().Snapshot().Counters["bitmap_scans_total"]
+	before := bitmapindex.Telemetry().Snapshot().Counters["bix_scans_total"]
 
 	var out bytes.Buffer
 	if err := runQuery(&out, []string{"-dir", ixDir, "-q", "<= 17", "-metrics"}); err != nil {
@@ -54,15 +54,15 @@ func TestQueryMetricsDump(t *testing.T) {
 
 	// The Prometheus dump reports the process-wide counter; its growth
 	// over this one query must equal the query's Stats.Scans.
-	re := regexp.MustCompile(`(?m)^bitmap_scans_total (\d+)$`)
+	re := regexp.MustCompile(`(?m)^bix_scans_total (\d+)$`)
 	match := re.FindStringSubmatch(text)
 	if match == nil {
-		t.Fatalf("no bitmap_scans_total line in dump:\n%s", text)
+		t.Fatalf("no bix_scans_total line in dump:\n%s", text)
 	}
 	var after int64
 	fmt.Sscanf(match[1], "%d", &after)
 	if got := after - before; got != int64(scans) {
-		t.Errorf("bitmap_scans_total grew by %d, query reported %d scans", got, scans)
+		t.Errorf("bix_scans_total grew by %d, query reported %d scans", got, scans)
 	}
 
 	// Trace: at least 3 phases with non-zero durations.
@@ -134,16 +134,16 @@ func TestServeHandlers(t *testing.T) {
 		t.Fatalf("cached /query = %d: %s", rec.Code, body)
 	}
 
-	if rec, body = get("/metrics"); rec.Code != 200 || !strings.Contains(body, "bitmap_scans_total") {
-		t.Errorf("/metrics = %d, body missing bitmap_scans_total:\n%.300s", rec.Code, body)
+	if rec, body = get("/metrics"); rec.Code != 200 || !strings.Contains(body, "bix_scans_total") {
+		t.Errorf("/metrics = %d, body missing bix_scans_total:\n%.300s", rec.Code, body)
 	}
 	rec, body = get("/metrics?format=json")
 	var snap bitmapindex.TelemetrySnapshot
 	if err := json.Unmarshal([]byte(body), &snap); err != nil {
 		t.Errorf("/metrics?format=json invalid: %v", err)
 	}
-	if snap.Counters["bitmap_scans_total"] <= 0 {
-		t.Errorf("JSON snapshot bitmap_scans_total = %d, want > 0", snap.Counters["bitmap_scans_total"])
+	if snap.Counters["bix_scans_total"] <= 0 {
+		t.Errorf("JSON snapshot bix_scans_total = %d, want > 0", snap.Counters["bix_scans_total"])
 	}
 
 	if rec, _ = get("/query"); rec.Code != 400 {

@@ -1,0 +1,118 @@
+// Package analysis is a self-contained static-analysis framework for this
+// module, built entirely on the standard library's go/ast, go/types and
+// go/importer. It exists because the repository's core invariants — the
+// bitvec tail-mask contract, allocation-free hot paths, checked storage
+// errors, bounded metric label cardinality and lock discipline — are
+// exactly the kind of rules that decay silently under refactoring unless a
+// tool re-checks them on every change.
+//
+// Analyzers communicate with the code they check through a small directive
+// grammar in doc comments:
+//
+//	//bix:hotpath          the function must not allocate (checked by hotalloc)
+//	//bix:maskok (reason)  the function maintains the tail-mask invariant
+//	                       without calling maskTail (checked by tailmask)
+//	//bix:lockheld         every caller holds the mutex (checked by lockheld)
+//
+// and through `// guarded by <mu>` comments on struct fields (lockheld).
+//
+// Run `go run ./cmd/bixlint ./...` to apply every analyzer to the module.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named rule applied to a loaded package.
+type Analyzer struct {
+	Name string // short lower-case identifier, used in findings
+	Doc  string // one-line description
+	Run  func(*Pass)
+}
+
+// Pass carries one analyzer's run over one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	findings *[]Finding
+}
+
+// Finding is one diagnostic.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All is the complete analyzer suite, in the order bixlint runs it.
+var All = []*Analyzer{TailMask, HotAlloc, ErrcheckIO, TelemetryLabels, LockHeld}
+
+// Run applies each analyzer to each package and returns the findings in
+// file/line order.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, findings: &findings})
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings
+}
+
+// hasDirective reports whether the declaration's doc comment carries the
+// //bix:<name> directive (optionally followed by a reason).
+func hasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		rest, ok := strings.CutPrefix(c.Text, "//bix:"+name)
+		if ok && (rest == "" || rest[0] == ' ' || rest[0] == '\t') {
+			return true
+		}
+	}
+	return false
+}
+
+// funcDecls yields every function declaration with a body in the package.
+func funcDecls(pkg *Package) []*ast.FuncDecl {
+	var out []*ast.FuncDecl
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fn, ok := d.(*ast.FuncDecl); ok && fn.Body != nil {
+				out = append(out, fn)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotAlloc keeps `//bix:hotpath` functions allocation-free. The annotated
+// set is the per-word kernel tier — bitvec bit operations, WAH group
+// encoding, the evaluator's bitmap fetch — where a single allocation per
+// call multiplies across millions of words per query.
+//
+// Flagged constructs: calls into package fmt, the allocating builtins
+// (append, make, new), function literals (closures capture onto the heap),
+// slice/map composite literals, &T{} literals, and explicit conversions to
+// interface types. Map reads/writes on pre-sized maps and plain calls are
+// allowed: the rule targets constructs that allocate on every execution,
+// not amortized growth.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "//bix:hotpath functions must not contain allocation-inducing constructs",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) {
+	for _, fn := range funcDecls(pass.Pkg) {
+		if !hasDirective(fn.Doc, "hotpath") {
+			continue
+		}
+		checkHotBody(pass, fn)
+	}
+}
+
+func checkHotBody(pass *Pass, fn *ast.FuncDecl) {
+	info := pass.Pkg.Info
+	name := fn.Name.Name
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(e.Pos(), "%s is //bix:hotpath but contains a closure literal (allocates)", name)
+			return false // the literal's own body runs outside the hot path
+		case *ast.CompositeLit:
+			switch info.Types[e].Type.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				pass.Reportf(e.Pos(), "%s is //bix:hotpath but builds a %s literal (allocates)",
+					name, kindName(info.Types[e].Type))
+			}
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				if cl, ok := e.X.(*ast.CompositeLit); ok {
+					pass.Reportf(cl.Pos(), "%s is //bix:hotpath but takes the address of a composite literal (allocates)", name)
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, name, e)
+		}
+		return true
+	})
+}
+
+func kindName(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	}
+	return t.String()
+}
+
+func checkHotCall(pass *Pass, name string, call *ast.CallExpr) {
+	info := pass.Pkg.Info
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		switch obj := info.Uses[fun].(type) {
+		case *types.Builtin:
+			switch obj.Name() {
+			case "append", "make", "new":
+				pass.Reportf(call.Pos(), "%s is //bix:hotpath but calls %s (allocates)", name, obj.Name())
+			}
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			pass.Reportf(call.Pos(), "%s is //bix:hotpath but calls fmt.%s (allocates)", name, fn.Name())
+		}
+	}
+	// Explicit conversion to an interface type boxes the operand.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if _, isIface := tv.Type.Underlying().(*types.Interface); isIface {
+			if at, ok := info.Types[call.Args[0]]; ok {
+				if _, already := at.Type.Underlying().(*types.Interface); !already && !at.IsNil() {
+					pass.Reportf(call.Pos(), "%s is //bix:hotpath but converts to an interface (allocates)", name)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader type-checks the packages of one Go module using only the standard
+// library: go/build for file selection (build-constraint aware), go/parser
+// for syntax, go/types for checking, and the toolchain's source importer
+// for standard-library dependencies. Module-internal imports are resolved
+// recursively from source, so the loader needs no build cache, no network
+// and no external binaries.
+type Loader struct {
+	Fset    *token.FileSet
+	ModPath string // module path from go.mod
+	ModDir  string // directory containing go.mod
+
+	ctx  build.Context
+	std  types.Importer
+	pkgs map[string]*Package // by import path
+	busy map[string]bool     // import-cycle guard
+
+	// TypeErrors collects type-checking diagnostics across all loads;
+	// callers decide whether they are fatal.
+	TypeErrors []error
+}
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// NewLoader creates a loader for the module containing dir, walking upward
+// to the nearest go.mod.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	modDir := abs
+	for {
+		if _, err := os.Stat(filepath.Join(modDir, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(modDir)
+		if parent == modDir {
+			return nil, fmt.Errorf("analysis: no go.mod at or above %s", abs)
+		}
+		modDir = parent
+	}
+	modPath, err := modulePath(filepath.Join(modDir, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	ctx := build.Default
+	// The source importer type-checks the standard library from GOROOT/src;
+	// with cgo disabled every package (net, os/user, ...) selects its pure
+	// Go fallback, so no C toolchain is ever needed. The importer reads the
+	// context by pointer, so build.Default must be adjusted globally.
+	build.Default.CgoEnabled = false
+	ctx.CgoEnabled = false
+	return &Loader{
+		Fset:    fset,
+		ModPath: modPath,
+		ModDir:  modDir,
+		ctx:     ctx,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*Package),
+		busy:    make(map[string]bool),
+	}, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(file string) (string, error) {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module line in %s", file)
+}
+
+// LoadAll loads every package directory of the module, skipping testdata,
+// vendor, hidden and underscore directories.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.ModDir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.ModDir && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	var out []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(l.ModDir, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := l.ModPath
+		if rel != "." {
+			path = l.ModPath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.LoadDir(dir, path)
+		if err != nil {
+			if isNoGo(err) {
+				continue
+			}
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+func isNoGo(err error) bool {
+	_, ok := err.(*build.NoGoError)
+	return ok
+}
+
+// LoadDir parses and type-checks the package in dir under the given import
+// path. Test files are excluded: the analyzers target production code.
+func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.busy[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.busy[path] = true
+	defer delete(l.busy, path)
+
+	bp, err := l.ctx.ImportDir(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	cfg := types.Config{
+		Importer: l,
+		Error:    func(err error) { l.TypeErrors = append(l.TypeErrors, err) },
+	}
+	tpkg, _ := cfg.Check(path, l.Fset, files, info) // errors are in TypeErrors
+	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// Import implements types.Importer: module-internal paths are loaded from
+// source, everything else is delegated to the stdlib source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModPath), "/")
+		dir := filepath.Join(l.ModDir, filepath.FromSlash(rel))
+		pkg, err := l.LoadDir(dir, path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}

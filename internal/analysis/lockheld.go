@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// LockHeld enforces the repository's lock-annotation convention: a struct
+// field commented `// guarded by <mu>` may only be touched by functions
+// that visibly acquire that mutex (a .<mu>.Lock() or .<mu>.RLock() call in
+// the same body) or that declare the transferred obligation with
+// `//bix:lockheld` (callers hold the lock — see mutable.rebuild).
+//
+// The check is intentionally flow-insensitive: it asks "is the lock
+// acquired somewhere in this function", not "is it held at this access".
+// That misses unlock-then-use bugs but catches the common regression —
+// a new accessor added without any locking at all — with zero false
+// positives on the deferred-unlock idiom used throughout the repository.
+// Composite literals do not count as field accesses, so constructors that
+// build the struct before sharing it pass without annotation.
+var LockHeld = &Analyzer{
+	Name: "lockheld",
+	Doc:  "fields marked `guarded by mu` need the mutex held or a //bix:lockheld directive",
+	Run:  runLockHeld,
+}
+
+var guardedByRE = regexp.MustCompile(`guarded by (\w+)`)
+
+// guardComment extracts the mutex name from a field's comments, if any.
+func guardComment(field *ast.Field) (string, bool) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRE.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1], true
+		}
+	}
+	return "", false
+}
+
+func runLockHeld(pass *Pass) {
+	info := pass.Pkg.Info
+	// Pass 1: map guarded field objects to the name of their mutex.
+	guarded := make(map[types.Object]string)
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu, ok := guardComment(field)
+				if !ok {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := info.Defs[name]; obj != nil {
+						guarded[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(guarded) == 0 {
+		return
+	}
+	// Pass 2: every function touching a guarded field must lock its mutex.
+	for _, fn := range funcDecls(pass.Pkg) {
+		if hasDirective(fn.Doc, "lockheld") {
+			continue
+		}
+		locked := make(map[string]bool)
+		type access struct {
+			sel *ast.SelectorExpr
+			mu  string
+		}
+		var accesses []access
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.CallExpr:
+				if sel, ok := e.Fun.(*ast.SelectorExpr); ok &&
+					(sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock") {
+					switch x := sel.X.(type) {
+					case *ast.SelectorExpr:
+						locked[x.Sel.Name] = true
+					case *ast.Ident:
+						locked[x.Name] = true
+					}
+				}
+			case *ast.SelectorExpr:
+				if s, ok := info.Selections[e]; ok && s.Kind() == types.FieldVal {
+					if mu, ok := guarded[s.Obj()]; ok {
+						accesses = append(accesses, access{e, mu})
+					}
+				}
+			}
+			return true
+		})
+		reported := make(map[types.Object]bool)
+		for _, a := range accesses {
+			if locked[a.mu] {
+				continue
+			}
+			obj := info.Selections[a.sel].Obj()
+			if reported[obj] {
+				continue
+			}
+			reported[obj] = true
+			pass.Reportf(a.sel.Pos(),
+				"%s accesses %s (guarded by %s) without calling %s.Lock or %s.RLock; lock it or annotate //bix:lockheld",
+				fn.Name.Name, a.sel.Sel.Name, a.mu, a.mu, a.mu)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// TailMask enforces the bitvec tail-mask invariant: bits beyond the logical
+// length in the last backing word are always zero. Every bitwise kernel in
+// the repository (Count, And, Or, WAH compression, the evaluator's
+// cross-checks) silently assumes it.
+//
+// Inside package bitvec, any function that writes the words field of a
+// Vector must either call maskTail (or tailMask, for the in-place masking
+// idiom `words[i] &= v.tailMask()`) or carry a `//bix:maskok (reason)`
+// directive explaining why the write cannot set tail bits.
+//
+// Outside package bitvec, the backing words are off limits entirely:
+// Words() hands out the slice for read-only scanning, and any write through
+// it — directly or via an alias — is reported.
+var TailMask = &Analyzer{
+	Name: "tailmask",
+	Doc:  "writes to bitvec backing words must preserve the tail-mask invariant",
+	Run:  runTailMask,
+}
+
+func runTailMask(pass *Pass) {
+	if pass.Pkg.Types != nil && pass.Pkg.Types.Name() == "bitvec" {
+		tailMaskInPackage(pass)
+		return
+	}
+	tailMaskCrossPackage(pass)
+}
+
+// isWordsField reports whether sel selects the words field of a
+// bitvec.Vector (matched by package and type name, so fixture packages
+// named bitvec are checked under the same rule).
+func isWordsField(pass *Pass, sel *ast.SelectorExpr) bool {
+	s, ok := pass.Pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal || s.Obj().Name() != "words" {
+		return false
+	}
+	t := s.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Vector" &&
+		named.Obj().Pkg() != nil && named.Obj().Pkg().Name() == "bitvec"
+}
+
+// wordsWrite returns the position of a write to a Vector's words within the
+// statement-level node, or nil.
+func wordsWriteTargets(pass *Pass, n ast.Node) []ast.Node {
+	var hits []ast.Node
+	addLHS := func(lhs ast.Expr) {
+		switch e := lhs.(type) {
+		case *ast.IndexExpr:
+			if sel, ok := e.X.(*ast.SelectorExpr); ok && isWordsField(pass, sel) {
+				hits = append(hits, e)
+			}
+		case *ast.SelectorExpr:
+			if isWordsField(pass, e) {
+				hits = append(hits, e)
+			}
+		}
+	}
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range s.Lhs {
+			addLHS(lhs)
+		}
+	case *ast.IncDecStmt:
+		addLHS(s.X)
+	case *ast.CallExpr:
+		if id, ok := s.Fun.(*ast.Ident); ok && id.Name == "copy" && len(s.Args) > 0 {
+			if _, ok := pass.Pkg.Info.Uses[id].(*types.Builtin); ok {
+				dst := s.Args[0]
+				if sl, ok := dst.(*ast.SliceExpr); ok {
+					dst = sl.X
+				}
+				if sel, ok := dst.(*ast.SelectorExpr); ok && isWordsField(pass, sel) {
+					hits = append(hits, s)
+				}
+			}
+		}
+	}
+	return hits
+}
+
+func tailMaskInPackage(pass *Pass) {
+	for _, fn := range funcDecls(pass.Pkg) {
+		if hasDirective(fn.Doc, "maskok") {
+			continue
+		}
+		var writes []ast.Node
+		normalizes := false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			writes = append(writes, wordsWriteTargets(pass, n)...)
+			if call, ok := n.(*ast.CallExpr); ok {
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+					if sel.Sel.Name == "maskTail" || sel.Sel.Name == "tailMask" {
+						normalizes = true
+					}
+				}
+			}
+			return true
+		})
+		if len(writes) > 0 && !normalizes {
+			pass.Reportf(writes[0].Pos(),
+				"%s writes Vector.words without a maskTail/tailMask call; normalize the tail or annotate //bix:maskok (reason)", fn.Name.Name)
+		}
+	}
+}
+
+// isWordsCall reports whether e is a call of bitvec.Vector's Words method.
+func isWordsCall(pass *Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Words" {
+		return false
+	}
+	fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Name() == "bitvec"
+}
+
+func tailMaskCrossPackage(pass *Pass) {
+	info := pass.Pkg.Info
+	// Pass 1: objects aliasing a Words() result anywhere in the package.
+	aliases := make(map[types.Object]bool)
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				if i >= len(as.Lhs) || !isWordsCall(pass, rhs) {
+					continue
+				}
+				if id, ok := as.Lhs[i].(*ast.Ident); ok {
+					if obj := info.Defs[id]; obj != nil {
+						aliases[obj] = true
+					} else if obj := info.Uses[id]; obj != nil {
+						aliases[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	isAliased := func(e ast.Expr) bool {
+		if isWordsCall(pass, e) {
+			return true
+		}
+		id, ok := e.(*ast.Ident)
+		return ok && aliases[info.Uses[id]]
+	}
+	report := func(n ast.Node) {
+		pass.Reportf(n.Pos(),
+			"mutates the backing words of a bitvec.Vector; Words() is read-only outside package bitvec")
+	}
+	// Pass 2: writes through a Words() result or one of its aliases.
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range s.Lhs {
+					if ix, ok := lhs.(*ast.IndexExpr); ok && isAliased(ix.X) {
+						report(ix)
+					}
+				}
+			case *ast.IncDecStmt:
+				if ix, ok := s.X.(*ast.IndexExpr); ok && isAliased(ix.X) {
+					report(ix)
+				}
+			case *ast.CallExpr:
+				if id, ok := s.Fun.(*ast.Ident); ok && id.Name == "copy" && len(s.Args) > 0 {
+					if _, ok := info.Uses[id].(*types.Builtin); ok {
+						dst := s.Args[0]
+						if sl, ok := dst.(*ast.SliceExpr); ok {
+							dst = sl.X
+						}
+						if isAliased(dst) {
+							report(s)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,23 @@
+// Package errcheckiobad drops error returns from os and io calls.
+package errcheckiobad
+
+import (
+	"io"
+	"os"
+)
+
+func Drop(path string) {
+	os.Remove(path) // want "os.Remove"
+}
+
+func DropGo(path string) {
+	go os.Remove(path) // want "os.Remove"
+}
+
+func DropCopy(dst io.Writer, src io.Reader) {
+	io.Copy(dst, src) // want "io.Copy"
+}
+
+func DropMethod(f *os.File) {
+	f.Sync() // want "os.Sync"
+}

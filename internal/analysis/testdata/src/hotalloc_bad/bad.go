@@ -1,0 +1,40 @@
+// Package hotallocbad puts every flagged allocation construct inside a
+// //bix:hotpath function.
+package hotallocbad
+
+import "fmt"
+
+//bix:hotpath
+func BadFmt(x int) string {
+	return fmt.Sprintf("%d", x) // want "fmt.Sprintf"
+}
+
+//bix:hotpath
+func BadAppend(s []int, v int) []int {
+	return append(s, v) // want "append"
+}
+
+//bix:hotpath
+func BadMake(n int) []uint64 {
+	return make([]uint64, n) // want "make"
+}
+
+//bix:hotpath
+func BadClosure(s []int) func() int {
+	return func() int { return len(s) } // want "closure"
+}
+
+//bix:hotpath
+func BadSliceLit(n int) []int {
+	return []int{n} // want "slice literal"
+}
+
+//bix:hotpath
+func BadAddr(n int) *struct{ v int } {
+	return &struct{ v int }{n} // want "address of a composite literal"
+}
+
+//bix:hotpath
+func BadIface(n int) any {
+	return any(n) // want "interface"
+}

@@ -1,0 +1,31 @@
+// Package hotallocgood: hot-path functions that stay on the stack, and an
+// unannotated function that may allocate freely.
+package hotallocgood
+
+import "fmt"
+
+//bix:hotpath
+func PopCount(words []uint64) int {
+	total := 0
+	for _, w := range words {
+		for ; w != 0; w &= w - 1 {
+			total++
+		}
+	}
+	return total
+}
+
+//bix:hotpath
+func Lookup(seen map[uint64]bool, key uint64) bool {
+	return seen[key] // map reads do not allocate
+}
+
+//bix:hotpath
+func Mark(seen map[uint64]bool, key uint64) {
+	seen[key] = true // amortized growth is allowed; the map is pre-sized
+}
+
+// Report is cold-path code: no annotation, no restrictions.
+func Report(words []uint64) string {
+	return fmt.Sprintf("%d bits set", PopCount(words))
+}

@@ -1,0 +1,32 @@
+// Package lockheldbad touches guarded fields without acquiring the mutex.
+package lockheldbad
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+
+	// hot is a cache line the RW lock protects.
+	rw  sync.RWMutex
+	hot []int // guarded by rw
+}
+
+func (c *counter) Bump() {
+	c.n++ // want "guarded by mu"
+}
+
+func (c *counter) Peek() int {
+	return c.n // want "guarded by mu"
+}
+
+func (c *counter) Hot(i int) int {
+	return c.hot[i] // want "guarded by rw"
+}
+
+// WrongLock takes mu but reads a field guarded by rw.
+func (c *counter) WrongLock() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.hot) // want "guarded by rw"
+}

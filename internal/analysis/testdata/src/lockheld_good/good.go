@@ -1,0 +1,38 @@
+// Package lockheldgood follows the lock discipline: accessors lock,
+// helpers with transferred obligations carry //bix:lockheld, constructors
+// build the struct before it is shared.
+package lockheldgood
+
+import "sync"
+
+type counter struct {
+	mu sync.RWMutex
+	n  int // guarded by mu
+}
+
+// newCounter runs before the struct is shared; composite literals are not
+// field accesses.
+func newCounter() *counter {
+	return &counter{n: 0}
+}
+
+func (c *counter) Bump() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.bumpLocked()
+}
+
+// bumpLocked is the classic split: callers hold mu.
+//
+//bix:lockheld
+func (c *counter) bumpLocked() {
+	c.n++
+}
+
+func (c *counter) Get() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.n
+}
+
+var _ = newCounter

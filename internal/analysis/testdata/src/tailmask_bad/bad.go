@@ -1,0 +1,43 @@
+// Package bitvec is a miniature stand-in for the real bitvec package: the
+// tailmask analyzer matches on the package and type names, so this fixture
+// exercises the in-package rule without importing the real implementation.
+package bitvec
+
+type Vector struct {
+	n     int
+	words []uint64
+}
+
+func (v *Vector) tailMask() uint64 {
+	if r := uint(v.n % 64); r != 0 {
+		return (uint64(1) << r) - 1
+	}
+	return ^uint64(0)
+}
+
+// maskTail writes words but calls tailMask, so it passes.
+func (v *Vector) maskTail() {
+	if len(v.words) > 0 {
+		v.words[len(v.words)-1] &= v.tailMask()
+	}
+}
+
+func (v *Vector) SetAllBad() {
+	for i := range v.words {
+		v.words[i] = ^uint64(0) // want "maskTail"
+	}
+}
+
+func (v *Vector) OrBad(o *Vector) {
+	for i := range v.words {
+		v.words[i] |= o.words[i] // want "maskTail"
+	}
+}
+
+func (v *Vector) CopyBad(src []uint64) {
+	copy(v.words, src) // want "maskTail"
+}
+
+func (v *Vector) ReplaceBad(src []uint64) {
+	v.words = src // want "maskTail"
+}

@@ -1,0 +1,47 @@
+// Package bitvec (fixture): every write restores the tail mask, is
+// annotated, or cannot set tail bits.
+package bitvec
+
+type Vector struct {
+	n     int
+	words []uint64
+}
+
+func (v *Vector) tailMask() uint64 {
+	if r := uint(v.n % 64); r != 0 {
+		return (uint64(1) << r) - 1
+	}
+	return ^uint64(0)
+}
+
+func (v *Vector) maskTail() {
+	if len(v.words) > 0 {
+		v.words[len(v.words)-1] &= v.tailMask()
+	}
+}
+
+// SetAll restores the invariant explicitly.
+func (v *Vector) SetAll() {
+	for i := range v.words {
+		v.words[i] = ^uint64(0)
+	}
+	v.maskTail()
+}
+
+// Clear cannot set bits, only clear them.
+//
+//bix:maskok (clearing bits cannot violate the tail-mask invariant)
+func (v *Vector) Clear(i int) {
+	v.words[i/64] &^= uint64(1) << uint(i%64)
+}
+
+// Count only reads the words.
+func (v *Vector) Count() int {
+	total := 0
+	for _, w := range v.words {
+		for ; w != 0; w &= w - 1 {
+			total++
+		}
+	}
+	return total
+}

@@ -1,0 +1,19 @@
+// Package xbad violates the cross-package rule: Words() hands out the
+// backing slice for read-only scanning, and this package writes through it.
+package xbad
+
+import "bitmapindex/internal/bitvec"
+
+func Smash(v *bitvec.Vector) {
+	w := v.Words()
+	w[0] = 1 // want "read-only"
+}
+
+func SmashDirect(v *bitvec.Vector) {
+	v.Words()[0] |= 2 // want "read-only"
+}
+
+func SmashCopy(v *bitvec.Vector, src []uint64) {
+	w := v.Words()
+	copy(w, src) // want "read-only"
+}

@@ -1,0 +1,23 @@
+// Package xgood reads bitvec backing words without writing them.
+package xgood
+
+import "bitmapindex/internal/bitvec"
+
+func PopCount(v *bitvec.Vector) int {
+	total := 0
+	for _, w := range v.Words() {
+		for ; w != 0; w &= w - 1 {
+			total++
+		}
+	}
+	return total
+}
+
+// Scratch mutates its own slice, which merely shares a name with nothing.
+func Scratch(n int) []uint64 {
+	w := make([]uint64, n)
+	for i := range w {
+		w[i] = uint64(i)
+	}
+	return w
+}

@@ -12,6 +12,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/bits"
+
+	"bitmapindex/internal/invariant"
 )
 
 const wordBits = 64
@@ -84,18 +86,26 @@ func (v *Vector) Len() int { return v.n }
 func (v *Vector) Words() []uint64 { return v.words }
 
 // Get reports whether bit i is set. It panics if i is out of range.
+//
+//bix:hotpath
 func (v *Vector) Get(i int) bool {
 	v.check(i)
 	return v.words[i/wordBits]&(uint64(1)<<uint(i%wordBits)) != 0
 }
 
 // Set sets bit i to 1. It panics if i is out of range.
+//
+//bix:hotpath
+//bix:maskok (check bounds i < n, so the set bit is always a valid bit)
 func (v *Vector) Set(i int) {
 	v.check(i)
 	v.words[i/wordBits] |= uint64(1) << uint(i%wordBits)
 }
 
 // Clear sets bit i to 0. It panics if i is out of range.
+//
+//bix:hotpath
+//bix:maskok (clearing bits cannot set tail bits)
 func (v *Vector) Clear(i int) {
 	v.check(i)
 	v.words[i/wordBits] &^= uint64(1) << uint(i%wordBits)
@@ -122,9 +132,12 @@ func (v *Vector) SetAll() {
 		v.words[i] = ^uint64(0)
 	}
 	v.maskTail()
+	invariant.TailZero(v.words, v.n)
 }
 
 // ClearAll sets every bit to 0.
+//
+//bix:maskok (all-zero words trivially satisfy the tail invariant)
 func (v *Vector) ClearAll() {
 	for i := range v.words {
 		v.words[i] = 0
@@ -132,6 +145,8 @@ func (v *Vector) ClearAll() {
 }
 
 // Clone returns a deep copy of v.
+//
+//bix:maskok (copies from a vector that already holds the invariant)
 func (v *Vector) Clone() *Vector {
 	w := &Vector{n: v.n, words: make([]uint64, len(v.words))}
 	copy(w.words, v.words)
@@ -139,6 +154,8 @@ func (v *Vector) Clone() *Vector {
 }
 
 // CopyFrom overwrites v with the contents of u. The lengths must match.
+//
+//bix:maskok (copies from a same-length vector that already holds the invariant)
 func (v *Vector) CopyFrom(u *Vector) {
 	v.mustMatch(u)
 	copy(v.words, u.words)
@@ -151,6 +168,9 @@ func (v *Vector) mustMatch(u *Vector) {
 }
 
 // And sets v = v AND u. The lengths must match.
+//
+//bix:hotpath
+//bix:maskok (AND can only clear bits; the tail stays zero)
 func (v *Vector) And(u *Vector) {
 	v.mustMatch(u)
 	for i, w := range u.words {
@@ -159,22 +179,33 @@ func (v *Vector) And(u *Vector) {
 }
 
 // Or sets v = v OR u. The lengths must match.
+//
+//bix:hotpath
+//bix:maskok (u holds the invariant, so its tail contributes no bits)
 func (v *Vector) Or(u *Vector) {
 	v.mustMatch(u)
 	for i, w := range u.words {
 		v.words[i] |= w
 	}
+	invariant.TailZero(v.words, v.n)
 }
 
 // Xor sets v = v XOR u. The lengths must match.
+//
+//bix:hotpath
+//bix:maskok (u holds the invariant, so its tail contributes no bits)
 func (v *Vector) Xor(u *Vector) {
 	v.mustMatch(u)
 	for i, w := range u.words {
 		v.words[i] ^= w
 	}
+	invariant.TailZero(v.words, v.n)
 }
 
 // AndNot sets v = v AND (NOT u). The lengths must match.
+//
+//bix:hotpath
+//bix:maskok (AND-NOT can only clear bits; the tail stays zero)
 func (v *Vector) AndNot(u *Vector) {
 	v.mustMatch(u)
 	for i, w := range u.words {
@@ -183,14 +214,19 @@ func (v *Vector) AndNot(u *Vector) {
 }
 
 // Not complements every bit of v in place.
+//
+//bix:hotpath
 func (v *Vector) Not() {
 	for i := range v.words {
 		v.words[i] = ^v.words[i]
 	}
 	v.maskTail()
+	invariant.TailZero(v.words, v.n)
 }
 
 // Count returns the number of set bits.
+//
+//bix:hotpath
 func (v *Vector) Count() int {
 	c := 0
 	for _, w := range v.words {
@@ -200,6 +236,8 @@ func (v *Vector) Count() int {
 }
 
 // Any reports whether at least one bit is set.
+//
+//bix:hotpath
 func (v *Vector) Any() bool {
 	for _, w := range v.words {
 		if w != 0 {
@@ -227,6 +265,8 @@ func (v *Vector) All() bool {
 }
 
 // Equal reports whether v and u have identical length and contents.
+//
+//bix:hotpath
 func (v *Vector) Equal(u *Vector) bool {
 	if v.n != u.n {
 		return false
@@ -241,6 +281,8 @@ func (v *Vector) Equal(u *Vector) bool {
 
 // Ones calls fn for each set bit position in ascending order. It stops early
 // if fn returns false.
+//
+//bix:hotpath
 func (v *Vector) Ones(fn func(i int) bool) {
 	for wi, w := range v.words {
 		for w != 0 {
@@ -262,6 +304,8 @@ func (v *Vector) OnesSlice() []int {
 
 // NextOne returns the position of the first set bit at or after i, or -1 if
 // there is none.
+//
+//bix:hotpath
 func (v *Vector) NextOne(i int) int {
 	if i < 0 {
 		i = 0
@@ -348,11 +392,14 @@ func (v *Vector) SetPayload(n int, payload []byte) error {
 		v.words[i/8] |= uint64(payload[i]) << uint(8*(i%8))
 	}
 	v.maskTail()
+	invariant.TailZero(v.words, v.n)
 	return nil
 }
 
 // AndCount returns the number of bits set in (a AND b) without
 // materializing the intersection. The lengths must match.
+//
+//bix:hotpath
 func AndCount(a, b *Vector) int {
 	a.mustMatch(b)
 	c := 0
@@ -363,6 +410,8 @@ func AndCount(a, b *Vector) int {
 }
 
 // AndNotCount returns the number of bits set in (a AND NOT b).
+//
+//bix:hotpath
 func AndNotCount(a, b *Vector) int {
 	a.mustMatch(b)
 	c := 0
@@ -373,6 +422,8 @@ func AndNotCount(a, b *Vector) int {
 }
 
 // OrCount returns the number of bits set in (a OR b).
+//
+//bix:hotpath
 func OrCount(a, b *Vector) int {
 	a.mustMatch(b)
 	c := 0

@@ -1,0 +1,47 @@
+package bitvec
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzPayloadRoundTrip ensures arbitrary byte strings never panic the
+// vector decoder, that every accepted payload satisfies the tail-mask
+// invariant, and that re-serialization is canonical and stable.
+func FuzzPayloadRoundTrip(f *testing.F) {
+	for _, n := range []int{0, 1, 63, 64, 65, 200} {
+		v := New(n)
+		for i := 0; i < n; i += 3 {
+			v.Set(i)
+		}
+		p, _ := v.MarshalBinary()
+		f.Add(p)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var v Vector
+		if err := v.UnmarshalBinary(data); err != nil {
+			return // malformed input rejected: fine
+		}
+		// Tail-mask invariant: no bits beyond the logical length. Stray
+		// payload bits past n must have been masked off on decode.
+		if last := v.Len() % 64; last != 0 && len(v.Words()) > 0 {
+			tail := v.Words()[len(v.Words())-1]
+			if tail&^((uint64(1)<<uint(last))-1) != 0 {
+				t.Fatalf("tail bits set beyond length %d: %#x", v.Len(), tail)
+			}
+		}
+		if c := v.Count(); c > v.Len() {
+			t.Fatalf("count %d exceeds length %d", c, v.Len())
+		}
+		// The second marshal is canonical; it must round-trip exactly.
+		p1, _ := v.MarshalBinary()
+		var w Vector
+		if err := w.UnmarshalBinary(p1); err != nil {
+			t.Fatalf("canonical payload rejected: %v", err)
+		}
+		p2, _ := w.MarshalBinary()
+		if !bytes.Equal(p1, p2) || !w.Equal(&v) {
+			t.Fatal("round trip drift")
+		}
+	})
+}

@@ -133,8 +133,8 @@ func (h *HitStats) HitRate() float64 {
 }
 
 // CountingFor is For with hit accounting: every consultation is counted
-// into h and mirrored to the telemetry registry's buffer_hits_total /
-// buffer_misses_total.
+// into h and mirrored to the telemetry registry's bix_buffer_hits_total /
+// bix_buffer_misses_total.
 func (a Assignment) CountingFor(h *HitStats) func(comp, slot int) bool {
 	resident := a.For()
 	return func(comp, slot int) bool {

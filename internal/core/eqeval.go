@@ -1,6 +1,9 @@
 package core
 
-import "bitmapindex/internal/bitvec"
+import (
+	"bitmapindex/internal/bitvec"
+	"bitmapindex/internal/invariant"
+)
 
 // EvalEquality evaluates (A op v) on an equality-encoded index. The paper
 // uses (but does not print) an equality-encoding evaluator; this one follows
@@ -70,6 +73,7 @@ func (qc *qctx) eqBitmap(i int, j uint64) (v *bitvec.Vector, derived bool) {
 // E_i^{v_i}, one scan per component.
 func (qc *qctx) eqEQ(v uint64) *bitvec.Vector {
 	digits := qc.ix.base.Decompose(v, nil)
+	invariant.DigitsInBase(digits, qc.ix.base)
 	var B *bitvec.Vector
 	for i := range qc.ix.base {
 		e, derived := qc.eqBitmap(i, digits[i])
@@ -94,6 +98,7 @@ func (qc *qctx) eqEQ(v uint64) *bitvec.Vector {
 func (qc *qctx) eqLT(v uint64) *bitvec.Vector {
 	ix := qc.ix
 	digits := ix.base.Decompose(v, nil)
+	invariant.DigitsInBase(digits, ix.base)
 	R := qc.zeros()
 	P := qc.nonNull()
 	for i := len(ix.base) - 1; i >= 0; i-- {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"bitmapindex/internal/bitvec"
+	"bitmapindex/internal/invariant"
 	"bitmapindex/internal/telemetry"
 )
 
@@ -151,20 +152,24 @@ func newQctx(ix *Index, opt *EvalOptions) *qctx {
 		qc.fetchFn = opt.Fetch
 		qc.tr = opt.Trace
 	}
+	if qc.st != nil {
+		// Allocated here, once per query, so the per-bitmap fetch path
+		// stays allocation-free.
+		qc.seen = make(map[uint64]bool, 8)
+	}
 	return qc
 }
 
 // fetch returns stored bitmap slot j of component i, counting a scan the
 // first time each bitmap is read within this query (unless buffered).
+//
+//bix:hotpath
 func (qc *qctx) fetch(i, j int) *bitvec.Vector {
 	if qc.tr != nil {
 		defer qc.tr.Start(telemetry.PhaseFetch).End()
 	}
 	if qc.st != nil {
 		key := uint64(i)<<32 | uint64(uint32(j))
-		if qc.seen == nil {
-			qc.seen = make(map[uint64]bool, 8)
-		}
 		if !qc.seen[key] {
 			qc.seen[key] = true
 			if qc.buf == nil || !qc.buf(i, j) {
@@ -178,6 +183,7 @@ func (qc *qctx) fetch(i, j int) *bitvec.Vector {
 	return qc.ix.comps[i][j]
 }
 
+//bix:hotpath
 func (qc *qctx) and(dst, src *bitvec.Vector) {
 	if qc.tr != nil {
 		defer qc.tr.Start(telemetry.PhaseBoolOps).End()
@@ -188,6 +194,7 @@ func (qc *qctx) and(dst, src *bitvec.Vector) {
 	}
 }
 
+//bix:hotpath
 func (qc *qctx) or(dst, src *bitvec.Vector) {
 	if qc.tr != nil {
 		defer qc.tr.Start(telemetry.PhaseBoolOps).End()
@@ -198,6 +205,7 @@ func (qc *qctx) or(dst, src *bitvec.Vector) {
 	}
 }
 
+//bix:hotpath
 func (qc *qctx) xor(dst, src *bitvec.Vector) {
 	if qc.tr != nil {
 		defer qc.tr.Start(telemetry.PhaseBoolOps).End()
@@ -208,6 +216,7 @@ func (qc *qctx) xor(dst, src *bitvec.Vector) {
 	}
 }
 
+//bix:hotpath
 func (qc *qctx) not(dst *bitvec.Vector) {
 	if qc.tr != nil {
 		defer qc.tr.Start(telemetry.PhaseBoolOps).End()
@@ -220,6 +229,8 @@ func (qc *qctx) not(dst *bitvec.Vector) {
 
 // andNot counts as one AND plus one NOT, matching the paper's operation
 // inventory (AND, OR, XOR, NOT).
+//
+//bix:hotpath
 func (qc *qctx) andNot(dst, src *bitvec.Vector) {
 	if qc.tr != nil {
 		defer qc.tr.Start(telemetry.PhaseBoolOps).End()
@@ -281,6 +292,24 @@ func (ix *Index) Eval(op Op, v uint64, opt *EvalOptions) *bitvec.Vector {
 		panic("core: unknown encoding")
 	}
 	d := *o.Stats
+	if invariant.Enabled {
+		invariant.TailZero(res.Words(), res.Len())
+		if ix.enc == RangeEncoded {
+			// Cross-check the paper's Section 3 claim under -tags bixdebug:
+			// RangeEval-Opt agrees with RangeEval on every predicate and,
+			// for range operators, never performs more bitmap operations.
+			// (Equality operators are excluded from the op comparison: on a
+			// nullable index the single-bitmap rewrite pays one extra AND
+			// with B_nn that the B_EQ chain does not.)
+			var ns Stats
+			nres := ix.EvalRangeNaive(op, v, &EvalOptions{Stats: &ns, Fetch: o.Fetch})
+			invariant.Assert(nres.Equal(res), "core: RangeEval disagrees with RangeEval-Opt")
+			if op.IsRange() {
+				invariant.OptNoWorse(d.Ops()-before.Ops(), ns.Ops(),
+					"core: RangeEval-Opt vs RangeEval, op "+op.String())
+			}
+		}
+	}
 	telemetry.RecordEval(d.Scans-before.Scans, d.Ands-before.Ands,
 		d.Ors-before.Ors, d.Xors-before.Xors, d.Nots-before.Nots, time.Since(t0))
 	return res

@@ -1,6 +1,9 @@
 package core
 
-import "bitmapindex/internal/bitvec"
+import (
+	"bitmapindex/internal/bitvec"
+	"bitmapindex/internal/invariant"
+)
 
 // EvalRangeOpt evaluates (A op v) on a range-encoded index using the
 // paper's improved Algorithm RangeEval-Opt (Section 3, Figure 6 right).
@@ -42,6 +45,7 @@ func (ix *Index) EvalRangeOpt(op Op, v uint64, opt *EvalOptions) *bitvec.Vector 
 		B = qc.zeros()
 	} else {
 		digits := ix.base.Decompose(w, nil)
+		invariant.DigitsInBase(digits, ix.base)
 		if digits[0] < ix.base[0]-1 {
 			B = qc.fetch(0, int(digits[0])).Clone()
 		} else {
@@ -69,6 +73,7 @@ func (ix *Index) EvalRangeOpt(op Op, v uint64, opt *EvalOptions) *bitvec.Vector 
 func (qc *qctx) rangeEqChain(v uint64) *bitvec.Vector {
 	ix := qc.ix
 	digits := ix.base.Decompose(v, nil)
+	invariant.DigitsInBase(digits, ix.base)
 	B := qc.ones()
 	for i, bi := range ix.base {
 		di := digits[i]
@@ -112,6 +117,7 @@ func (ix *Index) EvalRangeNaive(op Op, v uint64, opt *EvalOptions) *bitvec.Vecto
 		BGT = qc.zeros()
 	}
 	digits := ix.base.Decompose(v, nil)
+	invariant.DigitsInBase(digits, ix.base)
 	for i := len(ix.base) - 1; i >= 0; i-- {
 		bi, di := ix.base[i], digits[i]
 		if di > 0 {

@@ -70,10 +70,23 @@ func (r *Relation) Select(preds []Pred, m Method) (*bitvec.Vector, Cost, error) 
 	return r.SelectTraced(preds, m, nil)
 }
 
+// plansTotal pre-registers one execution counter per concrete plan. The
+// label values are compile-time constants (and must stay in sync with
+// Method.String), keeping the metric's cardinality statically bounded —
+// the contract bixlint's telemetry-labels analyzer enforces.
+var plansTotal = [...]*telemetry.Counter{
+	FullScan:    telemetry.Default().Counter("bix_engine_plans_total", plansHelp, telemetry.Label{Name: "method", Value: "P1-fullscan"}),
+	IndexFilter: telemetry.Default().Counter("bix_engine_plans_total", plansHelp, telemetry.Label{Name: "method", Value: "P2-indexfilter"}),
+	RIDMerge:    telemetry.Default().Counter("bix_engine_plans_total", plansHelp, telemetry.Label{Name: "method", Value: "P3-ridmerge"}),
+	BitmapMerge: telemetry.Default().Counter("bix_engine_plans_total", plansHelp, telemetry.Label{Name: "method", Value: "P3-bitmapmerge"}),
+}
+
+const plansHelp = "Query plan executions, by method."
+
 // SelectTraced is Select with per-query tracing: plan selection, bitmap
 // work, row filtering and result popcounts are recorded into tr (which may
 // be nil). Each executed plan also increments the registry's
-// engine_plans_total{method=...} counter.
+// bix_engine_plans_total{method=...} counter.
 func (r *Relation) SelectTraced(preds []Pred, m Method, tr *telemetry.Trace) (*bitvec.Vector, Cost, error) {
 	if len(preds) == 0 {
 		return nil, Cost{}, fmt.Errorf("engine: empty predicate list")
@@ -102,8 +115,8 @@ func (r *Relation) SelectTraced(preds []Pred, m Method, tr *telemetry.Trace) (*b
 	default:
 		return nil, Cost{}, fmt.Errorf("engine: unknown method %v", m)
 	}
-	if err == nil {
-		telemetry.PlansTotal(c.Method.String()).Inc()
+	if err == nil && int(c.Method) < len(plansTotal) {
+		plansTotal[c.Method].Inc()
 	}
 	return res, c, err
 }

@@ -35,15 +35,15 @@ func telemetryRelation(t *testing.T, rows int, card uint64, base core.Base) *Rel
 }
 
 func plansCount(method string) int64 {
-	return telemetry.Default().Snapshot().Counters[`engine_plans_total{method="`+method+`"}`]
+	return telemetry.Default().Snapshot().Counters[`bix_engine_plans_total{method="`+method+`"}`]
 }
 
 // TestPlanStatsPropagation checks Cost.Stats through all plans: the
 // bitmap-merge plan's scan count must equal the analytic per-predicate
 // scan model plus the counted cross-predicate AND, while the non-bitmap
 // plans report zero Stats. Each executed plan bumps its
-// engine_plans_total{method=...} counter and the bitmap work flows into
-// the default registry's bitmap_scans_total.
+// bix_engine_plans_total{method=...} counter and the bitmap work flows into
+// the default registry's bix_scans_total.
 func TestPlanStatsPropagation(t *testing.T) {
 	const (
 		rows = 4000
@@ -70,7 +70,7 @@ func TestPlanStatsPropagation(t *testing.T) {
 			t.Errorf("%v: result count %d vs Cost.Rows %d", m, res.Count(), c.Rows)
 		}
 		if got := plansCount(m.String()) - beforePlans; got != 1 {
-			t.Errorf("%v: engine_plans_total grew by %d, want 1", m, got)
+			t.Errorf("%v: bix_engine_plans_total grew by %d, want 1", m, got)
 		}
 	}
 
@@ -79,7 +79,7 @@ func TestPlanStatsPropagation(t *testing.T) {
 	// plus one counted AND merging the two result bitmaps.
 	wantScans := cost.ScansRange(base, card, core.Le, 11) +
 		cost.ScansRange(base, card, core.Ge, 4)
-	beforeScans := telemetry.Default().Snapshot().Counters["bitmap_scans_total"]
+	beforeScans := telemetry.Default().Snapshot().Counters["bix_scans_total"]
 	beforePlans := plansCount(BitmapMerge.String())
 	res, c, err := r.Select(preds, BitmapMerge)
 	if err != nil {
@@ -95,10 +95,10 @@ func TestPlanStatsPropagation(t *testing.T) {
 		t.Errorf("result count %d vs Cost.Rows %d", res.Count(), c.Rows)
 	}
 	if got := plansCount(BitmapMerge.String()) - beforePlans; got != 1 {
-		t.Errorf("engine_plans_total{P3-bitmapmerge} grew by %d, want 1", got)
+		t.Errorf("bix_engine_plans_total{P3-bitmapmerge} grew by %d, want 1", got)
 	}
-	if got := telemetry.Default().Snapshot().Counters["bitmap_scans_total"] - beforeScans; got != int64(wantScans) {
-		t.Errorf("bitmap_scans_total grew by %d, want %d", got, wantScans)
+	if got := telemetry.Default().Snapshot().Counters["bix_scans_total"] - beforeScans; got != int64(wantScans) {
+		t.Errorf("bix_scans_total grew by %d, want %d", got, wantScans)
 	}
 
 	// Auto must execute exactly one concrete plan (no double count via the
@@ -114,7 +114,7 @@ func TestPlanStatsPropagation(t *testing.T) {
 	snapAfter := telemetry.Default().Snapshot().Counters
 	grew := 0
 	for _, m := range []Method{FullScan, IndexFilter, RIDMerge, BitmapMerge} {
-		id := `engine_plans_total{method="` + m.String() + `"}`
+		id := `bix_engine_plans_total{method="` + m.String() + `"}`
 		d := snapAfter[id] - snapBefore[id]
 		grew += int(d)
 		if m == c.Method && d != 1 {

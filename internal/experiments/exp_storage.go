@@ -54,7 +54,7 @@ func storageDir(cfg Config) (string, func(), error) {
 	if err != nil {
 		return "", nil, err
 	}
-	return dir, func() { os.RemoveAll(dir) }, nil
+	return dir, func() { _ = os.RemoveAll(dir) }, nil
 }
 
 // table4Bases returns the space-optimal bases used for the storage

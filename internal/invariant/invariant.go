@@ -1,0 +1,24 @@
+// Package invariant provides cheap runtime assertions for the silent
+// invariants the correctness of every reported number rests on: the bitvec
+// tail-mask invariant (unused high bits of the last word are zero), digit
+// decomposition bounds, and the paper's claim that RangeEval-Opt never does
+// more bitmap work than RangeEval (Chan & Ioannidis, Section 3).
+//
+// The assertions compile to empty, inlinable no-ops unless the build tag
+// `bixdebug` is set:
+//
+//	go test -tags bixdebug ./...
+//
+// so production binaries pay nothing while CI exercises every assertion
+// through the ordinary test suite. A violated assertion panics — these are
+// programming errors, never runtime conditions.
+//
+// The static side of the same contract is enforced by cmd/bixlint (see
+// internal/analysis): the tailmask analyzer proves every words mutation is
+// normalized or annotated, and these checks verify the dynamic half.
+package invariant
+
+// Enabled reports whether assertions are compiled in (the bixdebug build
+// tag). It is a constant, so `if invariant.Enabled { ... }` blocks are
+// eliminated entirely in production builds.
+const Enabled = enabled

@@ -1,0 +1,22 @@
+//go:build !bixdebug
+
+package invariant
+
+const enabled = false
+
+// The production variants are empty and inlinable: the compiler removes
+// both the calls and their argument evaluation where it can prove them
+// side-effect free. Hot paths guard composite checks with
+// `if invariant.Enabled { ... }` to make the elimination unconditional.
+
+// Assert is a no-op unless built with -tags bixdebug.
+func Assert(bool, string) {}
+
+// TailZero is a no-op unless built with -tags bixdebug.
+func TailZero([]uint64, int) {}
+
+// DigitsInBase is a no-op unless built with -tags bixdebug.
+func DigitsInBase([]uint64, []uint64) {}
+
+// OptNoWorse is a no-op unless built with -tags bixdebug.
+func OptNoWorse(int, int, string) {}

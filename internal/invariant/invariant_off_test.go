@@ -1,0 +1,17 @@
+//go:build !bixdebug
+
+package invariant
+
+import "testing"
+
+// Without the bixdebug tag every assertion must be an inert no-op, even on
+// inputs that would violate the invariant.
+func TestDisabledNoOps(t *testing.T) {
+	if Enabled {
+		t.Fatal("Enabled = true without the bixdebug tag")
+	}
+	Assert(false, "ignored")
+	TailZero([]uint64{^uint64(0)}, 1)
+	DigitsInBase([]uint64{99}, []uint64{2})
+	OptNoWorse(100, 1, "ignored")
+}

@@ -1,0 +1,46 @@
+//go:build bixdebug
+
+package invariant
+
+import "fmt"
+
+const enabled = true
+
+// Assert panics with msg when cond is false.
+func Assert(cond bool, msg string) {
+	if !cond {
+		panic("invariant: " + msg)
+	}
+}
+
+// TailZero panics unless the unused high bits of the last word are zero for
+// an n-bit vector packed into 64-bit words. It is the dynamic half of the
+// bitvec tail-mask invariant.
+func TailZero(words []uint64, n int) {
+	if r := n % 64; r != 0 && len(words) > 0 {
+		if hi := words[len(words)-1] &^ ((uint64(1) << uint(r)) - 1); hi != 0 {
+			panic(fmt.Sprintf("invariant: tail bits set beyond length %d: last word %#x", n, words[len(words)-1]))
+		}
+	}
+}
+
+// DigitsInBase panics unless every digit is strictly below its component
+// base, the precondition for indexing a component's bitmap slots.
+func DigitsInBase(digits, base []uint64) {
+	if len(digits) != len(base) {
+		panic(fmt.Sprintf("invariant: %d digits for %d components", len(digits), len(base)))
+	}
+	for i, d := range digits {
+		if d >= base[i] {
+			panic(fmt.Sprintf("invariant: digit %d of component %d out of base %d", d, i+1, base[i]))
+		}
+	}
+}
+
+// OptNoWorse panics when the optimized evaluator used more bitmap
+// operations than the baseline it claims to improve on.
+func OptNoWorse(optOps, naiveOps int, what string) {
+	if optOps > naiveOps {
+		panic(fmt.Sprintf("invariant: %s: optimized evaluator used %d ops, baseline %d", what, optOps, naiveOps))
+	}
+}

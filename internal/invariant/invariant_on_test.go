@@ -1,0 +1,46 @@
+//go:build bixdebug
+
+package invariant
+
+import "testing"
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestEnabledOn(t *testing.T) {
+	if !Enabled {
+		t.Fatal("Enabled = false under the bixdebug tag")
+	}
+}
+
+func TestTailZero(t *testing.T) {
+	TailZero(nil, 0)
+	TailZero([]uint64{^uint64(0)}, 64)            // full word: no tail
+	TailZero([]uint64{0x7FFF_FFFF_FFFF_FFFF}, 63) // 63 valid bits, bit 63 clear
+	mustPanic(t, "bit beyond 63-bit tail", func() { TailZero([]uint64{1 << 63}, 63) })
+	mustPanic(t, "bit beyond 65-bit tail", func() { TailZero([]uint64{0, 2}, 65) })
+}
+
+func TestDigitsInBase(t *testing.T) {
+	DigitsInBase([]uint64{4, 0}, []uint64{5, 10})
+	mustPanic(t, "digit at base", func() { DigitsInBase([]uint64{5, 0}, []uint64{5, 10}) })
+	mustPanic(t, "length mismatch", func() { DigitsInBase([]uint64{1}, []uint64{5, 10}) })
+}
+
+func TestOptNoWorse(t *testing.T) {
+	OptNoWorse(3, 3, "equal is fine")
+	OptNoWorse(2, 9, "better is fine")
+	mustPanic(t, "opt worse", func() { OptNoWorse(4, 3, "test") })
+}
+
+func TestAssert(t *testing.T) {
+	Assert(true, "fine")
+	mustPanic(t, "false assert", func() { Assert(false, "boom") })
+}

@@ -23,18 +23,18 @@ type Index struct {
 	mu sync.RWMutex
 
 	card uint64
-	base *core.Index
+	base *core.Index // guarded by mu
 	enc  core.Encoding
 	// design picks the base sequence at (re)build time, from the current
 	// cardinality; fixed at New.
 	design func(card uint64) (core.Base, error)
 
-	dead *bitvec.Vector // tombstones over base rows
+	dead *bitvec.Vector // guarded by mu; tombstones over base rows
 
-	deltaVals  []uint64
-	deltaNulls []bool
-	deltaDead  []bool
-	deltaLive  int
+	deltaVals  []uint64 // guarded by mu
+	deltaNulls []bool   // guarded by mu
+	deltaDead  []bool   // guarded by mu
+	deltaLive  int      // guarded by mu
 }
 
 // New creates an empty mutable index with the given attribute cardinality
@@ -65,6 +65,10 @@ func FromIndex(ix *core.Index) *Index {
 	}
 }
 
+// rebuild replaces the base index and resets tombstones and the append
+// segment. Callers hold mu (or, in New, the index is not yet shared).
+//
+//bix:lockheld
 func (m *Index) rebuild(vals []uint64, nulls []bool) error {
 	base, err := m.design(m.card)
 	if err != nil {

@@ -23,10 +23,10 @@ type CachedStore struct {
 	capacity int
 
 	mu     sync.Mutex
-	lru    *list.List // of cacheEntry, front = most recent
-	byKey  map[cacheKey]*list.Element
-	hits   int64
-	misses int64
+	lru    *list.List                 // guarded by mu; of cacheEntry, front = most recent
+	byKey  map[cacheKey]*list.Element // guarded by mu
+	hits   int64                      // guarded by mu
+	misses int64                      // guarded by mu
 }
 
 type cacheKey struct{ comp, slot int }

@@ -8,75 +8,75 @@ import "time"
 var (
 	// QueriesTotal counts evaluator invocations (one per Index.Eval;
 	// EvalBetween counts as its two one-sided evaluations).
-	QueriesTotal = Default().Counter("bitmap_queries_total",
+	QueriesTotal = Default().Counter("bix_queries_total",
 		"Selection predicate evaluations.")
 	// ScansTotal counts distinct stored bitmaps read, the paper's I/O cost
 	// measure. Buffered and pool-resident bitmaps are excluded, matching
 	// core.Stats.Scans.
-	ScansTotal = Default().Counter("bitmap_scans_total",
+	ScansTotal = Default().Counter("bix_scans_total",
 		"Distinct stored bitmaps read (paper I/O cost measure).")
 
 	// Boolean operation counts by kind, the paper's CPU cost measure.
-	AndsTotal = Default().Counter("bitmap_ops_total",
+	AndsTotal = Default().Counter("bix_ops_total",
 		"Bitmap boolean operations executed, by kind.", Label{"kind", "and"})
-	OrsTotal = Default().Counter("bitmap_ops_total",
+	OrsTotal = Default().Counter("bix_ops_total",
 		"Bitmap boolean operations executed, by kind.", Label{"kind", "or"})
-	XorsTotal = Default().Counter("bitmap_ops_total",
+	XorsTotal = Default().Counter("bix_ops_total",
 		"Bitmap boolean operations executed, by kind.", Label{"kind", "xor"})
-	NotsTotal = Default().Counter("bitmap_ops_total",
+	NotsTotal = Default().Counter("bix_ops_total",
 		"Bitmap boolean operations executed, by kind.", Label{"kind", "not"})
 
 	// QueryLatency observes wall-clock seconds per evaluator invocation.
-	QueryLatency = Default().Histogram("query_latency_seconds",
+	QueryLatency = Default().Histogram("bix_query_latency_seconds",
 		"Evaluator wall-clock latency in seconds.", LatencyBuckets)
 	// QueryScans observes bitmaps scanned per query (the per-query
 	// distribution behind ScansTotal).
-	QueryScans = Default().Histogram("query_scans",
+	QueryScans = Default().Histogram("bix_query_scans",
 		"Bitmaps scanned per query.", ScanBuckets)
 
 	// Storage-layer physical costs, fed by Store.readFile / extract.
-	StorageQueriesTotal = Default().Counter("storage_queries_total",
+	StorageQueriesTotal = Default().Counter("bix_storage_queries_total",
 		"Queries evaluated against on-disk stores.")
-	StorageFilesReadTotal = Default().Counter("storage_files_read_total",
+	StorageFilesReadTotal = Default().Counter("bix_storage_files_read_total",
 		"Stored files read.")
-	StorageBytesReadTotal = Default().Counter("storage_bytes_read_total",
+	StorageBytesReadTotal = Default().Counter("bix_storage_bytes_read_total",
 		"On-disk bytes read (compressed size when compressed).")
-	StorageReadNSTotal = Default().Counter("storage_read_ns_total",
+	StorageReadNSTotal = Default().Counter("bix_storage_read_ns_total",
 		"Nanoseconds spent reading stored files.")
-	StorageDecompressNSTotal = Default().Counter("storage_decompress_ns_total",
+	StorageDecompressNSTotal = Default().Counter("bix_storage_decompress_ns_total",
 		"Nanoseconds spent inflating compressed files.")
-	StorageExtractNSTotal = Default().Counter("storage_extract_ns_total",
+	StorageExtractNSTotal = Default().Counter("bix_storage_extract_ns_total",
 		"Nanoseconds spent extracting columns from row-major files.")
 
 	// LRU bitmap pool (storage.CachedStore).
-	CacheHitsTotal = Default().Counter("cache_hits_total",
+	CacheHitsTotal = Default().Counter("bix_cache_hits_total",
 		"Bitmap reads served from the LRU pool.")
-	CacheMissesTotal = Default().Counter("cache_misses_total",
+	CacheMissesTotal = Default().Counter("bix_cache_misses_total",
 		"Bitmap reads that missed the LRU pool.")
-	CacheEvictionsTotal = Default().Counter("cache_evictions_total",
+	CacheEvictionsTotal = Default().Counter("bix_cache_evictions_total",
 		"Bitmaps evicted from the LRU pool.")
-	CacheResident = Default().Gauge("cache_resident_bitmaps",
+	CacheResident = Default().Gauge("bix_cache_resident_bitmaps",
 		"Bitmaps currently resident in the LRU pool.")
 
 	// Static buffer assignments (internal/buffer).
-	BufferHitsTotal = Default().Counter("buffer_hits_total",
+	BufferHitsTotal = Default().Counter("bix_buffer_hits_total",
 		"Bitmap references satisfied by a static buffer assignment.")
-	BufferMissesTotal = Default().Counter("buffer_misses_total",
+	BufferMissesTotal = Default().Counter("bix_buffer_misses_total",
 		"Bitmap references not covered by a static buffer assignment.")
 
 	// SlowQueriesTotal counts traces at or over a SlowLog threshold.
-	SlowQueriesTotal = Default().Counter("slow_queries_total",
+	SlowQueriesTotal = Default().Counter("bix_slow_queries_total",
 		"Queries at or over the slow-query threshold.")
 )
 
-// LatencyBuckets is the upper-bound layout of query_latency_seconds:
+// LatencyBuckets is the upper-bound layout of bix_query_latency_seconds:
 // 10µs to 1s, roughly quarter-decade steps.
 var LatencyBuckets = []float64{
 	1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
 	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1,
 }
 
-// ScanBuckets is the upper-bound layout of query_scans. 2(n-1)+4/3 scans
+// ScanBuckets is the upper-bound layout of bix_query_scans. 2(n-1)+4/3 scans
 // is the paper's expected cost, so real workloads land in the low buckets;
 // the tail catches single-component base-C probes.
 var ScanBuckets = []float64{0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128}
@@ -92,11 +92,4 @@ func RecordEval(scans, ands, ors, xors, nots int, elapsed time.Duration) {
 	NotsTotal.Add(int64(nots))
 	QueryLatency.Observe(elapsed.Seconds())
 	QueryScans.Observe(float64(scans))
-}
-
-// PlansTotal returns the execution counter for one engine plan, e.g.
-// engine_plans_total{method="P3-bitmapmerge"}.
-func PlansTotal(method string) *Counter {
-	return Default().Counter("engine_plans_total",
-		"Query plan executions, by method.", Label{"method", method})
 }

@@ -45,7 +45,7 @@ type metric struct {
 // is a programming error, not a runtime condition.
 type Registry struct {
 	mu   sync.Mutex
-	byID map[string]*metric
+	byID map[string]*metric // guarded by mu
 }
 
 // New creates an empty registry.

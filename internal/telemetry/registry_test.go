@@ -159,16 +159,16 @@ func TestRecordEvalFeedsDefaultRegistry(t *testing.T) {
 	before := Default().Snapshot()
 	RecordEval(3, 2, 1, 0, 1, 1500*time.Microsecond)
 	after := Default().Snapshot()
-	if d := after.Counters["bitmap_scans_total"] - before.Counters["bitmap_scans_total"]; d != 3 {
+	if d := after.Counters["bix_scans_total"] - before.Counters["bix_scans_total"]; d != 3 {
 		t.Fatalf("scans delta = %d, want 3", d)
 	}
-	if d := after.Counters["bitmap_queries_total"] - before.Counters["bitmap_queries_total"]; d != 1 {
+	if d := after.Counters["bix_queries_total"] - before.Counters["bix_queries_total"]; d != 1 {
 		t.Fatalf("queries delta = %d, want 1", d)
 	}
-	if d := after.Counters[`bitmap_ops_total{kind="and"}`] - before.Counters[`bitmap_ops_total{kind="and"}`]; d != 2 {
+	if d := after.Counters[`bix_ops_total{kind="and"}`] - before.Counters[`bix_ops_total{kind="and"}`]; d != 2 {
 		t.Fatalf("and delta = %d, want 2", d)
 	}
-	if after.Histograms["query_latency_seconds"].Count <= before.Histograms["query_latency_seconds"].Count {
+	if after.Histograms["bix_query_latency_seconds"].Count <= before.Histograms["bix_query_latency_seconds"].Count {
 		t.Fatal("latency histogram did not record")
 	}
 }

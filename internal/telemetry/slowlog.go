@@ -22,9 +22,9 @@ type SlowLog struct {
 	w         io.Writer // may be nil: retain only
 
 	mu   sync.Mutex
-	ring []SlowEntry
-	next int
-	full bool
+	ring []SlowEntry // guarded by mu
+	next int         // guarded by mu
+	full bool        // guarded by mu
 }
 
 // NewSlowLog creates a slow-query log. Traces at or over threshold are

@@ -80,7 +80,7 @@ func (f *atomicFloat) Add(v float64) {
 func (f *atomicFloat) Value() float64 { return math.Float64frombits(f.bits.Load()) }
 
 // metricID renders the canonical identity of a metric: the name plus its
-// sorted label set, e.g. `bitmap_ops_total{kind="and"}`. It doubles as the
+// sorted label set, e.g. `bix_ops_total{kind="and"}`. It doubles as the
 // Prometheus sample line prefix and the JSON snapshot key.
 func metricID(name string, labels []Label) string {
 	if len(labels) == 0 {

@@ -56,10 +56,10 @@ type Trace struct {
 	start time.Time
 
 	mu     sync.Mutex
-	order  []Phase
-	phases map[Phase]*phaseAgg
-	total  time.Duration // set by Finish
-	done   bool
+	order  []Phase             // guarded by mu
+	phases map[Phase]*phaseAgg // guarded by mu
+	total  time.Duration       // guarded by mu; set by Finish
+	done   bool                // guarded by mu
 }
 
 // NewTrace starts a trace for the named query.

@@ -19,6 +19,7 @@ import (
 	"math/bits"
 
 	"bitmapindex/internal/bitvec"
+	"bitmapindex/internal/invariant"
 )
 
 const (
@@ -45,6 +46,8 @@ func (b *Bitmap) SizeBytes() int { return 8 * len(b.words) }
 func (b *Bitmap) groups() int { return (b.nbits + groupBits - 1) / groupBits }
 
 // group extracts the g-th 63-bit group from a plain vector's words.
+//
+//bix:hotpath
 func group(words []uint64, nbits, g int) uint64 {
 	lo := g * groupBits
 	wi, off := lo/64, uint(lo%64)
@@ -94,6 +97,7 @@ type reader struct {
 	fillVal  uint64
 }
 
+//bix:hotpath
 func (r *reader) next() uint64 {
 	if r.fillLeft > 0 {
 		r.fillLeft--
@@ -135,6 +139,7 @@ func (b *Bitmap) Decompress() *bitvec.Vector {
 	if err := v.SetPayload(b.nbits, payload); err != nil {
 		panic("wah: internal: " + err.Error())
 	}
+	invariant.TailZero(v.Words(), v.Len())
 	return v
 }
 
@@ -185,6 +190,8 @@ func (b *Bitmap) Not() *Bitmap {
 }
 
 // Count returns the number of set bits without decompressing.
+//
+//bix:hotpath
 func (b *Bitmap) Count() int {
 	c := 0
 	for _, w := range b.words {
