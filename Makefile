@@ -1,0 +1,37 @@
+# Local mirror of .github/workflows/ci.yml. `make ci` is the one-shot
+# pre-push gate; the individual targets exist for tighter loops.
+
+GO ?= go
+
+.PHONY: all build vet test lint sarif race bixdebug fuzz ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+lint:
+	$(GO) run ./cmd/bixlint ./...
+
+sarif:
+	$(GO) run ./cmd/bixlint -format sarif ./... > bixlint.sarif
+	@echo wrote bixlint.sarif
+
+race:
+	$(GO) test -race ./...
+
+bixdebug:
+	$(GO) test -tags bixdebug ./internal/invariant ./internal/bitvec ./internal/wah ./internal/core
+	$(GO) test -race -tags bixdebug ./internal/invariant ./internal/bitvec ./internal/wah ./internal/core ./internal/engine ./internal/buffer ./internal/telemetry ./internal/mutable
+
+# The full gate: build + vet + lint + race-enabled tests, same order as CI.
+# Equivalent to `go run ./cmd/bixlint -ci`.
+ci:
+	$(GO) run ./cmd/bixlint -ci
+	$(MAKE) bixdebug

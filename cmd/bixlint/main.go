@@ -1,25 +1,34 @@
 // Command bixlint runs this repository's static-analysis suite: custom
-// analyzers for the bitvec tail-mask invariant, allocation-free hot paths,
-// dropped I/O errors, telemetry naming and label cardinality, and lock
-// annotations. It is built entirely on the standard library and needs no
+// analyzers for the bitvec tail-mask invariant (now alias-aware),
+// allocation-free hot paths, dropped I/O errors, telemetry naming and
+// label cardinality, and three flow-sensitive concurrency analyzers
+// (lockheld, lockorder, unlockpath, gocapture) built on a CFG/dataflow
+// engine. It is built entirely on the standard library and needs no
 // tools outside the Go distribution.
 //
 // Usage:
 //
-//	bixlint [-list] [packages]
+//	bixlint [flags] [packages]
 //
-//	bixlint ./...          check every package in the module
-//	bixlint ./internal/core ./cmd/bixstore
-//	bixlint -list          print the analyzer suite and exit
+//	bixlint ./...                     check every package in the module
+//	bixlint -format sarif ./...       emit SARIF 2.1.0 on stdout
+//	bixlint -baseline lint.baseline ./...
+//	bixlint -write-baseline lint.baseline ./...
+//	bixlint -vet ./...                also run `go vet`
+//	bixlint -ci                       build + vet + lint + race-enabled tests
+//	bixlint -list                     print the analyzer suite and exit
 //
-// Exit status: 0 when clean, 1 when any analyzer reports a finding, 2 when
-// the module fails to load or type-check.
+// Exit status: 0 when clean, 1 when any analyzer (or, with -vet/-ci, any
+// delegated tool) reports a finding, 2 when the module fails to load or
+// type-check.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 
@@ -27,50 +36,155 @@ import (
 )
 
 func main() {
-	list := flag.Bool("list", false, "list the analyzers and exit")
+	var opts options
+	flag.BoolVar(&opts.list, "list", false, "list the analyzers and exit")
+	flag.StringVar(&opts.format, "format", "text", "output format: text or sarif")
+	flag.StringVar(&opts.baseline, "baseline", "", "suppress findings listed in this baseline file")
+	flag.StringVar(&opts.writeBaseline, "write-baseline", "", "write current findings to this baseline file and exit 0")
+	flag.BoolVar(&opts.vet, "vet", false, "also run `go vet` on the same patterns")
+	flag.BoolVar(&opts.ci, "ci", false, "run the full local gate: go build, go vet, bixlint, go test -race")
 	flag.Parse()
-	if *list {
-		for _, a := range analysis.All {
-			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
-		}
-		return
-	}
-	os.Exit(run(flag.Args()))
+	os.Exit(run(opts, flag.Args(), os.Stdout, os.Stderr))
 }
 
-func run(patterns []string) int {
+type options struct {
+	list          bool
+	format        string
+	baseline      string
+	writeBaseline string
+	vet           bool
+	ci            bool
+}
+
+func run(opts options, patterns []string, stdout, stderr io.Writer) int {
+	if opts.list {
+		for _, a := range analysis.All {
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if opts.format != "text" && opts.format != "sarif" {
+		fmt.Fprintf(stderr, "bixlint: unknown -format %q (want text or sarif)\n", opts.format)
+		return 2
+	}
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+	if opts.ci {
+		// Build and vet gate the lint: there is no point type-checking a
+		// module that does not compile.
+		if code := runTool(stderr, "go", "build", "./..."); code != 0 {
+			return code
+		}
+		if code := runTool(stderr, "go", "vet", "./..."); code != 0 {
+			return code
+		}
+	} else if opts.vet {
+		if code := runTool(stderr, append([]string{"go", "vet"}, patterns...)...); code != 0 {
+			return code
+		}
+	}
+
 	loader, err := analysis.NewLoader(".")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "bixlint:", err)
+		fmt.Fprintln(stderr, "bixlint:", err)
 		return 2
 	}
 	pkgs, err := load(loader, patterns)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "bixlint:", err)
+		fmt.Fprintln(stderr, "bixlint:", err)
 		return 2
 	}
 	if len(loader.TypeErrors) > 0 {
 		for _, e := range loader.TypeErrors {
-			fmt.Fprintln(os.Stderr, "bixlint:", e)
+			fmt.Fprintln(stderr, "bixlint:", e)
 		}
 		return 2
 	}
 	findings := analysis.Run(pkgs, analysis.All)
-	cwd, _ := os.Getwd()
-	for _, f := range findings {
-		if cwd != "" {
-			if rel, err := filepath.Rel(cwd, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-				f.Pos.Filename = rel
-			}
+	root, _ := os.Getwd()
+
+	if opts.writeBaseline != "" {
+		f, err := os.Create(opts.writeBaseline)
+		if err != nil {
+			fmt.Fprintln(stderr, "bixlint:", err)
+			return 2
 		}
-		fmt.Println(f)
+		werr := analysis.WriteBaseline(f, findings, root)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(stderr, "bixlint:", werr)
+			return 2
+		}
+		fmt.Fprintf(stderr, "bixlint: wrote %d baseline entr(ies) to %s\n", len(findings), opts.writeBaseline)
+		return 0
+	}
+
+	if opts.baseline != "" {
+		f, err := os.Open(opts.baseline)
+		if err != nil {
+			fmt.Fprintln(stderr, "bixlint:", err)
+			return 2
+		}
+		suppressed, berr := analysis.ReadBaseline(f)
+		_ = f.Close()
+		if berr != nil {
+			fmt.Fprintln(stderr, "bixlint:", berr)
+			return 2
+		}
+		var stale []string
+		findings, stale = analysis.FilterBaseline(findings, suppressed, root)
+		for _, s := range stale {
+			fmt.Fprintf(stderr, "bixlint: stale baseline entry: %s\n", s)
+		}
+	}
+
+	if opts.format == "sarif" {
+		if err := analysis.WriteSARIF(stdout, findings, analysis.All, root); err != nil {
+			fmt.Fprintln(stderr, "bixlint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			if root != "" {
+				if rel, err := filepath.Rel(root, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+					f.Pos.Filename = rel
+				}
+			}
+			fmt.Fprintln(stdout, f)
+		}
 	}
 	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "bixlint: %d finding(s)\n", len(findings))
+		fmt.Fprintf(stderr, "bixlint: %d finding(s)\n", len(findings))
 		return 1
+	}
+
+	if opts.ci {
+		// The race detector is the dynamic backstop for everything the
+		// concurrency analyzers approximate statically.
+		if code := runTool(stderr, "go", "test", "-race", "./..."); code != 0 {
+			return code
+		}
+		fmt.Fprintln(stderr, "bixlint: ci gate clean (build, vet, lint, race)")
+	}
+	return 0
+}
+
+// runTool shells out to a delegated tool (go build/vet/test), mapping
+// any failure onto the findings exit code.
+func runTool(stderr io.Writer, args ...string) int {
+	fmt.Fprintln(stderr, "bixlint: running", strings.Join(args, " "))
+	cmd := exec.Command(args[0], args[1:]...)
+	cmd.Stdout = stderr
+	cmd.Stderr = stderr
+	if err := cmd.Run(); err != nil {
+		if _, ok := err.(*exec.ExitError); ok {
+			return 1
+		}
+		fmt.Fprintln(stderr, "bixlint:", err)
+		return 2
 	}
 	return 0
 }

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"bitmapindex/internal/analysis"
+)
+
+func TestListPrintsEverySuiteAnalyzer(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run(options{list: true}, nil, &out, &errw); code != 0 {
+		t.Fatalf("-list exited %d, want 0 (stderr: %s)", code, errw.String())
+	}
+	for _, a := range analysis.All {
+		if !strings.Contains(out.String(), a.Name) {
+			t.Errorf("-list output missing analyzer %s", a.Name)
+		}
+	}
+	if got := strings.Count(out.String(), "\n"); got != len(analysis.All) {
+		t.Errorf("-list printed %d lines, want %d", got, len(analysis.All))
+	}
+}
+
+func TestUnknownFormatIsUsageError(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run(options{format: "yaml"}, nil, &out, &errw); code != 2 {
+		t.Fatalf("unknown format exited %d, want 2", code)
+	}
+	if !strings.Contains(errw.String(), "unknown -format") {
+		t.Errorf("stderr %q should mention the unknown format", errw.String())
+	}
+}
+
+func TestSARIFOnCleanPackage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks a real package; skipped in -short")
+	}
+	var out, errw bytes.Buffer
+	code := run(options{format: "sarif"}, []string{"../../internal/bitvec"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("sarif run exited %d, want 0 (stderr: %s)", code, errw.String())
+	}
+	var log map[string]any
+	if err := json.Unmarshal(out.Bytes(), &log); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if v, _ := log["version"].(string); v != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", v)
+	}
+}

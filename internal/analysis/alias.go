@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// aliasTracker is a small intraprocedural (package-scoped) alias
+// approximation for slice and pointer values: starting from a predicate
+// identifying "source" expressions (e.g. calls to bitvec's Words), it
+// computes the closure of objects that may alias a source result under
+//
+//   - plain and short-variable assignment (including the matching
+//     positions of multi-assignments),
+//   - var declarations with initializers,
+//   - slice expressions w[i:j] (same backing array),
+//   - parenthesization,
+//   - append(alias, ...) results (append may return the same backing
+//     array when capacity suffices), and
+//   - calls to package-local functions that return one of their
+//     parameters (the call result aliases the argument), registered by
+//     the client through returnsParam.
+//
+// The closure runs to a fixpoint over the whole package, so chains like
+// `w := v.Words(); u := w[1:]; x := u` are all tracked. It
+// over-approximates: an object that aliased a source on any path is
+// treated as aliasing it everywhere, which is the safe direction for the
+// read-only-slice rule.
+type aliasTracker struct {
+	pkg      *Package
+	isSource func(ast.Expr) bool
+	// returnsParam reports, for a package-local call, which parameter
+	// indices the callee may return (aliasing its argument). Nil means no
+	// interprocedural return tracking.
+	returnsParam func(fn *types.Func) []int
+
+	objs map[types.Object]bool
+}
+
+func newAliasTracker(pkg *Package, isSource func(ast.Expr) bool) *aliasTracker {
+	return &aliasTracker{pkg: pkg, isSource: isSource, objs: make(map[types.Object]bool)}
+}
+
+// aliased reports whether e may evaluate to (a view of) a source value.
+func (t *aliasTracker) aliased(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return t.aliased(e.X)
+	case *ast.SliceExpr:
+		return t.aliased(e.X)
+	case *ast.Ident:
+		if obj := t.pkg.Info.Uses[e]; obj != nil && t.objs[obj] {
+			return true
+		}
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "append" && len(e.Args) > 0 {
+			if _, ok := t.pkg.Info.Uses[id].(*types.Builtin); ok {
+				return t.aliased(e.Args[0])
+			}
+		}
+		if t.returnsParam != nil {
+			if fn := calleeFunc(t.pkg.Info, e); fn != nil {
+				for _, i := range t.returnsParam(fn) {
+					if i < len(e.Args) && t.aliased(e.Args[i]) {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return t.isSource(e)
+}
+
+// define marks the object bound by lhs as an alias.
+func (t *aliasTracker) define(lhs ast.Expr) bool {
+	id, ok := lhs.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := t.pkg.Info.Defs[id]
+	if obj == nil {
+		obj = t.pkg.Info.Uses[id]
+	}
+	if obj == nil || t.objs[obj] {
+		return false
+	}
+	t.objs[obj] = true
+	return true
+}
+
+// solve runs the closure to a fixpoint over every file of the package.
+func (t *aliasTracker) solve() {
+	for changed := true; changed; {
+		changed = false
+		for _, f := range t.pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch s := n.(type) {
+				case *ast.AssignStmt:
+					if len(s.Lhs) == len(s.Rhs) {
+						for i, rhs := range s.Rhs {
+							if t.aliased(rhs) && t.define(s.Lhs[i]) {
+								changed = true
+							}
+						}
+					}
+				case *ast.ValueSpec:
+					if len(s.Names) == len(s.Values) {
+						for i, v := range s.Values {
+							if t.aliased(v) && t.define(s.Names[i]) {
+								changed = true
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// calleeFunc resolves a call to its static *types.Func, or nil for
+// builtins, function values and interface methods.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}

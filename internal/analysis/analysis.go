@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 	"sort"
 	"strings"
 )
@@ -38,7 +39,53 @@ type Analyzer struct {
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	Batch    *Batch // all packages of this Run, for module-wide analyses
 	findings *[]Finding
+}
+
+// Batch is the set of packages loaded for one Run, with lazily built
+// module-wide indexes shared by every pass: the function-declaration map
+// used to resolve calls across packages (lockorder's acquisition graph,
+// tailmask's parameter summaries) and per-analysis memo tables.
+type Batch struct {
+	Pkgs []*Package
+
+	declsOnce bool
+	decls     map[*types.Func]*ast.FuncDecl
+	declPkg   map[*types.Func]*Package
+
+	lockSummaries  map[*types.Func]StringSet          // lockorder may-acquire memo
+	sliceParams    map[*types.Func]*sliceParamSummary // tailmask memo
+	lockGraph      []lockOrderEdge                    // module acquisition graph
+	lockGraphBuilt bool
+}
+
+// NewBatch indexes a package set for module-wide analyses.
+func NewBatch(pkgs []*Package) *Batch {
+	return &Batch{
+		Pkgs:          pkgs,
+		lockSummaries: make(map[*types.Func]StringSet),
+		sliceParams:   make(map[*types.Func]*sliceParamSummary),
+	}
+}
+
+// funcDecl resolves a function object to its declaration, if it was
+// declared in one of the batch's packages.
+func (b *Batch) funcDecl(fn *types.Func) (*ast.FuncDecl, *Package) {
+	if !b.declsOnce {
+		b.declsOnce = true
+		b.decls = make(map[*types.Func]*ast.FuncDecl)
+		b.declPkg = make(map[*types.Func]*Package)
+		for _, pkg := range b.Pkgs {
+			for _, d := range funcDecls(pkg) {
+				if obj, ok := pkg.Info.Defs[d.Name].(*types.Func); ok {
+					b.decls[obj] = d
+					b.declPkg[obj] = pkg
+				}
+			}
+		}
+	}
+	return b.decls[fn], b.declPkg[fn]
 }
 
 // Finding is one diagnostic.
@@ -61,16 +108,21 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// All is the complete analyzer suite, in the order bixlint runs it.
-var All = []*Analyzer{TailMask, HotAlloc, ErrcheckIO, TelemetryLabels, LockHeld}
+// All is the complete analyzer suite, in the order bixlint runs it: the
+// five flow-sensitive rewrites of the original rules plus the three
+// concurrency analyzers built on the CFG/dataflow layer.
+var All = []*Analyzer{TailMask, HotAlloc, ErrcheckIO, TelemetryLabels, LockHeld,
+	LockOrder, UnlockPath, GoCapture}
 
 // Run applies each analyzer to each package and returns the findings in
-// file/line order.
+// file/line order. All packages share one Batch, so module-wide analyses
+// (lockorder's acquisition graph) see every package of the run.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 	var findings []Finding
+	batch := NewBatch(pkgs)
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
-			a.Run(&Pass{Analyzer: a, Pkg: pkg, findings: &findings})
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, Batch: batch, findings: &findings})
 		}
 	}
 	sort.Slice(findings, func(i, j int) bool {

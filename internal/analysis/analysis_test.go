@@ -122,7 +122,10 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{HotAlloc, []string{"hotalloc_bad", "hotalloc_good"}},
 		{ErrcheckIO, []string{"errcheckio_bad", "errcheckio_good"}},
 		{TelemetryLabels, []string{"telemetrylabels_bad", "telemetrylabels_good"}},
-		{LockHeld, []string{"lockheld_bad", "lockheld_good"}},
+		{LockHeld, []string{"lockheld_bad", "lockheld_good", "lockheld_flow"}},
+		{LockOrder, []string{"lockorder_bad", "lockorder_good"}},
+		{UnlockPath, []string{"unlockpath_bad", "unlockpath_good"}},
+		{GoCapture, []string{"gocapture_bad", "gocapture_good"}},
 	}
 	for _, c := range cases {
 		for _, fixture := range c.fixtures {

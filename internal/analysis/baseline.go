@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A baseline is a checked-in suppression file: one accepted finding per
+// line, in the form
+//
+//	relative/path.go [analyzer] message text
+//
+// deliberately WITHOUT line numbers, so unrelated edits above a finding
+// do not invalidate the entry. Lines starting with '#' and blank lines
+// are ignored. A baseline entry suppresses any number of identical
+// findings in the named file (same analyzer, same message).
+
+// baselineKey normalises one finding to its baseline line.
+func baselineKey(f Finding, root string) string {
+	file := f.Pos.Filename
+	if root != "" {
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+	}
+	return fmt.Sprintf("%s [%s] %s", filepath.ToSlash(file), f.Analyzer, f.Message)
+}
+
+// ReadBaseline parses a baseline stream into the set of suppressed keys.
+func ReadBaseline(r io.Reader) (map[string]bool, error) {
+	out := make(map[string]bool)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		out[line] = true
+	}
+	return out, sc.Err()
+}
+
+// FilterBaseline drops findings whose key appears in the baseline and
+// returns the survivors plus the baseline entries that matched nothing
+// (stale entries a -write-baseline refresh would remove).
+func FilterBaseline(findings []Finding, baseline map[string]bool, root string) (kept []Finding, stale []string) {
+	used := make(map[string]bool)
+	for _, f := range findings {
+		key := baselineKey(f, root)
+		if baseline[key] {
+			used[key] = true
+			continue
+		}
+		kept = append(kept, f)
+	}
+	for key := range baseline {
+		if !used[key] {
+			stale = append(stale, key)
+		}
+	}
+	sort.Strings(stale)
+	return kept, stale
+}
+
+// WriteBaseline renders findings as a baseline file, sorted and
+// deduplicated so regeneration is byte-stable.
+func WriteBaseline(w io.Writer, findings []Finding, root string) error {
+	keys := make([]string, 0, len(findings))
+	seen := make(map[string]bool)
+	for _, f := range findings {
+		key := baselineKey(f, root)
+		if !seen[key] {
+			seen[key] = true
+			keys = append(keys, key)
+		}
+	}
+	sort.Strings(keys)
+	if _, err := fmt.Fprintln(w, "# bixlint baseline: accepted findings, one per line."); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "# Format: relative/path.go [analyzer] message"); err != nil {
+		return err
+	}
+	for _, key := range keys {
+		if _, err := fmt.Fprintln(w, key); err != nil {
+			return err
+		}
+	}
+	return nil
+}

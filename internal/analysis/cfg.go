@@ -1,0 +1,448 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// This file is the control-flow half of the flow-sensitive analysis layer:
+// an intraprocedural CFG over go/ast statements. It models every statement
+// shape the repository uses — if/for/range/switch/type-switch/select,
+// labeled break and continue, goto, fallthrough, defer and explicit
+// panic — precisely enough for the lock-discipline and tail-mask analyzers
+// to reason about paths instead of bodies.
+//
+// Design notes:
+//
+//   - Block nodes are leaves with respect to control flow: a block never
+//     contains a statement that itself branches. Conditions and range
+//     operands are stored as bare expressions. Clients that walk nodes
+//     must prune *ast.FuncLit (a literal's body is its own CFG; see
+//     inspectShallow) and must treat *ast.DeferStmt and *ast.GoStmt
+//     specially: their calls do not execute at the point of the statement.
+//   - Deferred statements are additionally collected in CFG.Defers, in
+//     syntactic order, because they execute at every exit — normal return
+//     or panic — regardless of where control left the body.
+//   - An explicit panic(...) statement ends its block with an edge to
+//     Exit and marks the block PanicExit. Implicit panics (nil map
+//     writes, index errors) are not modeled; analyzers that care about
+//     panic paths get the explicit ones plus the defer guarantee.
+//   - Unreachable code (after return/break/goto) lands in fresh blocks
+//     with no predecessors, so the builder never loses statements and
+//     solvers can recognize dead code by a missing in-fact.
+type CFG struct {
+	Name   string
+	Blocks []*Block // Blocks[0] is Entry; Exit is the final block
+	Entry  *Block
+	Exit   *Block
+	Defers []*ast.DeferStmt // every defer in the body, in source order
+}
+
+// Block is one straight-line run of statements.
+type Block struct {
+	Index     int
+	Kind      string     // "entry", "exit", "if.then", "for.head", ...
+	Nodes     []ast.Node // leaf statements and control expressions, in order
+	Succs     []*Block
+	Preds     []*Block
+	PanicExit bool // block ends in an explicit panic(...) call
+}
+
+// BuildCFG constructs the control-flow graph of one function body.
+func BuildCFG(name string, body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		cfg:    &CFG{Name: name},
+		labels: make(map[string]*Block),
+	}
+	b.cfg.Entry = b.newBlock("entry")
+	b.cfg.Exit = &Block{Kind: "exit"}
+	b.cur = b.cfg.Entry
+	b.stmtList(body.List)
+	b.edge(b.cur, b.cfg.Exit) // fall off the end: implicit return
+	for _, g := range b.gotos {
+		if target, ok := b.labels[g.label]; ok {
+			b.edge(g.from, target)
+		}
+	}
+	b.cfg.Exit.Index = len(b.cfg.Blocks)
+	b.cfg.Blocks = append(b.cfg.Blocks, b.cfg.Exit)
+	return b.cfg
+}
+
+type frame struct {
+	label    string
+	brk      *Block // break target
+	cont     *Block // continue target; nil for switch/select frames
+	fallInto *Block // fallthrough target within a switch, per-clause
+	isLoop   bool
+	isSwitch bool
+}
+
+type gotoFixup struct {
+	from  *Block
+	label string
+}
+
+type cfgBuilder struct {
+	cfg          *CFG
+	cur          *Block
+	frames       []frame
+	labels       map[string]*Block
+	gotos        []gotoFixup
+	pendingLabel string
+}
+
+func (b *cfgBuilder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.cfg.Blocks), Kind: kind}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// jump ends the current block with an edge to target and starts an
+// unreachable successor for anything that follows.
+func (b *cfgBuilder) jump(target *Block) {
+	b.edge(b.cur, target)
+	b.cur = b.newBlock("unreachable")
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the pending label from an enclosing LabeledStmt so
+// that the loop/switch frame built next can answer labeled break/continue.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		// A labeled statement starts a new block so that goto (and labeled
+		// continue targeting a loop head created below) has a landing site.
+		lbl := b.newBlock("label." + s.Label.Name)
+		b.edge(b.cur, lbl)
+		b.cur = lbl
+		b.labels[s.Label.Name] = lbl
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		cond := b.cur
+		then := b.newBlock("if.then")
+		join := b.newBlock("if.done")
+		b.edge(cond, then)
+		b.cur = then
+		b.stmt(s.Body)
+		b.edge(b.cur, join)
+		if s.Else != nil {
+			els := b.newBlock("if.else")
+			b.edge(cond, els)
+			b.cur = els
+			b.stmt(s.Else)
+			b.edge(b.cur, join)
+		} else {
+			b.edge(cond, join)
+		}
+		b.cur = join
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock("for.head")
+		b.edge(b.cur, head)
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+		}
+		body := b.newBlock("for.body")
+		join := b.newBlock("for.done")
+		b.edge(head, body)
+		if s.Cond != nil {
+			b.edge(head, join)
+		}
+		cont := head
+		if s.Post != nil {
+			post := b.newBlock("for.post")
+			post.Nodes = append(post.Nodes, s.Post)
+			b.edge(post, head)
+			cont = post
+		}
+		b.frames = append(b.frames, frame{label: label, brk: join, cont: cont, isLoop: true})
+		b.cur = body
+		b.stmt(s.Body)
+		b.edge(b.cur, cont)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = join
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock("range.head")
+		// The ranged operand (and the key/value assignment it implies)
+		// lives in the head, evaluated once per iteration decision.
+		head.Nodes = append(head.Nodes, s.X)
+		b.edge(b.cur, head)
+		body := b.newBlock("range.body")
+		join := b.newBlock("range.done")
+		b.edge(head, body)
+		b.edge(head, join)
+		b.frames = append(b.frames, frame{label: label, brk: join, cont: head, isLoop: true})
+		b.cur = body
+		b.stmt(s.Body)
+		b.edge(b.cur, head)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = join
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		b.switchStmt(s)
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.cur
+		join := b.newBlock("select.done")
+		var blocks []*Block
+		for i := range s.Body.List {
+			cc := s.Body.List[i].(*ast.CommClause)
+			kind := "select.case"
+			if cc.Comm == nil {
+				kind = "select.default"
+			}
+			blk := b.newBlock(kind)
+			b.edge(head, blk)
+			blocks = append(blocks, blk)
+		}
+		// A select with no cases blocks forever; with cases, control only
+		// reaches join through a clause (there is no head->join edge even
+		// without default — some clause always runs).
+		b.frames = append(b.frames, frame{label: label, brk: join})
+		for i, raw := range s.Body.List {
+			cc := raw.(*ast.CommClause)
+			b.cur = blocks[i]
+			if cc.Comm != nil {
+				b.add(cc.Comm)
+			}
+			b.stmtList(cc.Body)
+			b.edge(b.cur, join)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = join
+
+	case *ast.BranchStmt:
+		b.branch(s)
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.cfg.Exit)
+
+	case *ast.DeferStmt:
+		b.cfg.Defers = append(b.cfg.Defers, s)
+		b.add(s)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				b.cur.PanicExit = true
+				b.jump(b.cfg.Exit)
+			}
+		}
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// Assign, IncDec, Go, Send, Decl, ... — straight-line statements.
+		b.add(s)
+	}
+}
+
+func (b *cfgBuilder) switchStmt(s ast.Stmt) {
+	label := b.takeLabel()
+	var init ast.Stmt
+	var tag ast.Node
+	var body *ast.BlockStmt
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		init, body = s.Init, s.Body
+		if s.Tag != nil {
+			tag = s.Tag
+		}
+	case *ast.TypeSwitchStmt:
+		init, body = s.Init, s.Body
+		tag = s.Assign
+	}
+	if init != nil {
+		b.add(init)
+	}
+	if tag != nil {
+		b.add(tag)
+	}
+	head := b.cur
+	join := b.newBlock("switch.done")
+	var blocks []*Block
+	hasDefault := false
+	for i := range body.List {
+		cc := body.List[i].(*ast.CaseClause)
+		kind := "switch.case"
+		if cc.List == nil {
+			kind = "switch.default"
+			hasDefault = true
+		}
+		blk := b.newBlock(kind)
+		b.edge(head, blk)
+		blocks = append(blocks, blk)
+	}
+	if !hasDefault {
+		b.edge(head, join)
+	}
+	for i, raw := range body.List {
+		cc := raw.(*ast.CaseClause)
+		fallInto := join
+		if i+1 < len(blocks) {
+			fallInto = blocks[i+1]
+		}
+		b.frames = append(b.frames, frame{label: label, brk: join, fallInto: fallInto, isSwitch: true})
+		b.cur = blocks[i]
+		for _, e := range cc.List {
+			b.add(e) // case expressions are evaluated on this path
+		}
+		b.stmtList(cc.Body)
+		b.edge(b.cur, join)
+		b.frames = b.frames[:len(b.frames)-1]
+	}
+	b.cur = join
+}
+
+func (b *cfgBuilder) branch(s *ast.BranchStmt) {
+	name := ""
+	if s.Label != nil {
+		name = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if name != "" && f.label != name {
+				continue
+			}
+			b.jump(f.brk)
+			return
+		}
+		b.jump(b.cfg.Exit) // malformed input; be safe
+	case token.CONTINUE:
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if !f.isLoop || (name != "" && f.label != name) {
+				continue
+			}
+			b.jump(f.cont)
+			return
+		}
+		b.jump(b.cfg.Exit)
+	case token.GOTO:
+		if target, ok := b.labels[name]; ok {
+			b.jump(target)
+			return
+		}
+		// Forward goto: record a fixup from the current block, then start
+		// an unreachable continuation.
+		from := b.cur
+		b.cur = b.newBlock("unreachable")
+		b.gotos = append(b.gotos, gotoFixup{from: from, label: name})
+	case token.FALLTHROUGH:
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			if b.frames[i].isSwitch {
+				b.jump(b.frames[i].fallInto)
+				return
+			}
+		}
+	}
+}
+
+// inspectShallow walks n without descending into function literals, whose
+// bodies belong to their own CFG.
+func inspectShallow(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(m)
+	})
+}
+
+// funcLits collects the function literals lexically inside n (including
+// nested ones), in source order.
+func funcLits(n ast.Node) []*ast.FuncLit {
+	var out []*ast.FuncLit
+	ast.Inspect(n, func(m ast.Node) bool {
+		if lit, ok := m.(*ast.FuncLit); ok {
+			out = append(out, lit)
+		}
+		return true
+	})
+	return out
+}
+
+// Dot renders the CFG in Graphviz dot syntax, deterministically: blocks in
+// index order, successors in creation order, each node printed with
+// go/printer. Used by the golden CFG tests and handy for debugging
+// (`dot -Tsvg`).
+func (c *CFG) Dot(fset *token.FileSet) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", c.Name)
+	for _, blk := range c.Blocks {
+		var lines []string
+		lines = append(lines, fmt.Sprintf("%d: %s", blk.Index, blk.Kind))
+		for _, n := range blk.Nodes {
+			var nb strings.Builder
+			if err := printer.Fprint(&nb, fset, n); err != nil {
+				nb.WriteString("?")
+			}
+			// Multi-line statements are summarized by their first line to
+			// keep goldens readable and stable.
+			text := nb.String()
+			if i := strings.IndexByte(text, '\n'); i >= 0 {
+				text = text[:i] + " ..."
+			}
+			lines = append(lines, text)
+		}
+		if blk.PanicExit {
+			lines = append(lines, "(panic)")
+		}
+		label := strings.Join(lines, "\\n")
+		label = strings.ReplaceAll(label, `"`, `\"`)
+		fmt.Fprintf(&sb, "  n%d [shape=box,label=\"%s\"];\n", blk.Index, label)
+	}
+	for _, blk := range c.Blocks {
+		for _, succ := range blk.Succs {
+			fmt.Fprintf(&sb, "  n%d -> n%d;\n", blk.Index, succ.Index)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

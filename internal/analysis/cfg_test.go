@@ -1,0 +1,242 @@
+package analysis
+
+import (
+	"flag"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite CFG golden dot files")
+
+// cfgSources are the control-flow shapes the builder must model exactly:
+// labeled break/continue out of nested loops, goto, select with default,
+// defer inside a loop, and explicit panic edges. Each compiles as a
+// function body and is pinned by a golden dot dump under testdata/cfg/.
+var cfgSources = map[string]string{
+	"straightline": `package p
+func f(a, b int) int {
+	x := a + b
+	x *= 2
+	return x
+}`,
+	"if_else": `package p
+func f(a int) int {
+	if a > 0 {
+		a++
+	} else {
+		a--
+	}
+	return a
+}`,
+	"nested_labeled_break_continue": `package p
+func f(m [][]int) int {
+	sum := 0
+outer:
+	for i := 0; i < len(m); i++ {
+	inner:
+		for j := 0; j < len(m[i]); j++ {
+			if m[i][j] < 0 {
+				break outer
+			}
+			if m[i][j] == 0 {
+				continue outer
+			}
+			if m[i][j] == 1 {
+				continue inner
+			}
+			sum += m[i][j]
+		}
+	}
+	return sum
+}`,
+	"goto_forward_backward": `package p
+func f(n int) int {
+	i := 0
+loop:
+	if i < n {
+		i++
+		if i == 7 {
+			goto done
+		}
+		goto loop
+	}
+done:
+	return i
+}`,
+	"select_with_default": `package p
+func f(c chan int) int {
+	select {
+	case v := <-c:
+		return v
+	case c <- 1:
+		return 1
+	default:
+		return 0
+	}
+}`,
+	"defer_in_loop": `package p
+func f(files []func() error) (err error) {
+	for _, close := range files {
+		defer close()
+	}
+	return nil
+}`,
+	"panic_edge": `package p
+func f(v int) int {
+	if v < 0 {
+		panic("negative")
+	}
+	return v
+}`,
+	"switch_fallthrough": `package p
+func f(v int) int {
+	switch v {
+	case 0:
+		v++
+		fallthrough
+	case 1:
+		v += 2
+	default:
+		v = -1
+	}
+	return v
+}`,
+	"range_loop": `package p
+func f(xs []int) int {
+	sum := 0
+	for _, x := range xs {
+		if x == 0 {
+			continue
+		}
+		sum += x
+	}
+	return sum
+}`,
+}
+
+func buildTestCFG(t *testing.T, name, src string) (*CFG, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, name+".go", src, 0)
+	if err != nil {
+		t.Fatalf("parse %s: %v", name, err)
+	}
+	for _, d := range file.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok && fn.Body != nil {
+			return BuildCFG(fn.Name.Name, fn.Body), fset
+		}
+	}
+	t.Fatalf("no function in %s", name)
+	return nil, nil
+}
+
+func TestCFGGolden(t *testing.T) {
+	for name, src := range cfgSources {
+		t.Run(name, func(t *testing.T) {
+			cfg, fset := buildTestCFG(t, name, src)
+			got := cfg.Dot(fset)
+			golden := filepath.Join("testdata", "cfg", name+".dot")
+			if *updateGolden {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("CFG dot mismatch for %s:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+			}
+		})
+	}
+}
+
+// TestCFGStructure checks graph-level properties the goldens alone don't
+// make obvious: panic blocks route to exit, defers are collected, every
+// edge is mirrored in Preds, and reachability behaves.
+func TestCFGStructure(t *testing.T) {
+	t.Run("panic_routes_to_exit", func(t *testing.T) {
+		cfg, _ := buildTestCFG(t, "panic_edge", cfgSources["panic_edge"])
+		found := false
+		for _, blk := range cfg.Blocks {
+			if !blk.PanicExit {
+				continue
+			}
+			found = true
+			ok := false
+			for _, s := range blk.Succs {
+				if s == cfg.Exit {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Errorf("panic block %d has no edge to exit", blk.Index)
+			}
+		}
+		if !found {
+			t.Fatal("no PanicExit block built for explicit panic")
+		}
+	})
+	t.Run("defers_collected", func(t *testing.T) {
+		cfg, _ := buildTestCFG(t, "defer_in_loop", cfgSources["defer_in_loop"])
+		if len(cfg.Defers) != 1 {
+			t.Fatalf("want 1 defer, got %d", len(cfg.Defers))
+		}
+	})
+	t.Run("preds_mirror_succs", func(t *testing.T) {
+		for name, src := range cfgSources {
+			cfg, _ := buildTestCFG(t, name, src)
+			for _, blk := range cfg.Blocks {
+				for _, s := range blk.Succs {
+					mirrored := false
+					for _, p := range s.Preds {
+						if p == blk {
+							mirrored = true
+						}
+					}
+					if !mirrored {
+						t.Errorf("%s: edge %d->%d not mirrored in Preds", name, blk.Index, s.Index)
+					}
+				}
+			}
+		}
+	})
+	t.Run("labeled_break_skips_inner_join", func(t *testing.T) {
+		cfg, _ := buildTestCFG(t, "nested_labeled_break_continue",
+			cfgSources["nested_labeled_break_continue"])
+		// The exit must be reachable from entry.
+		seen := make(map[*Block]bool)
+		var walk func(*Block)
+		walk = func(b *Block) {
+			if seen[b] {
+				return
+			}
+			seen[b] = true
+			for _, s := range b.Succs {
+				walk(s)
+			}
+		}
+		walk(cfg.Entry)
+		if !seen[cfg.Exit] {
+			t.Fatal("exit unreachable from entry")
+		}
+	})
+}
+
+// TestCFGDotDeterministic: two builds of the same source render
+// byte-identical dot output.
+func TestCFGDotDeterministic(t *testing.T) {
+	for name, src := range cfgSources {
+		a, fsa := buildTestCFG(t, name, src)
+		b, fsb := buildTestCFG(t, name, src)
+		if da, db := a.Dot(fsa), b.Dot(fsb); da != db {
+			t.Errorf("%s: dot output not deterministic", name)
+		}
+	}
+}

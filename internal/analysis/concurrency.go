@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// Shared machinery for the lock-discipline analyzers (lockheld,
+// unlockpath, lockorder, gocapture): classifying sync.Mutex/RWMutex call
+// sites and resolving the identity of the mutex they act on.
+
+type lockOp int
+
+const (
+	opLock lockOp = iota
+	opRLock
+	opUnlock
+	opRUnlock
+)
+
+func (o lockOp) String() string {
+	switch o {
+	case opLock:
+		return "Lock"
+	case opRLock:
+		return "RLock"
+	case opUnlock:
+		return "Unlock"
+	case opRUnlock:
+		return "RUnlock"
+	}
+	return "?"
+}
+
+// acquires reports whether the operation takes the mutex.
+func (o lockOp) acquires() bool { return o == opLock || o == opRLock }
+
+// releases returns the acquisition op this op undoes, or -1.
+func (o lockOp) releases() lockOp {
+	switch o {
+	case opUnlock:
+		return opLock
+	case opRUnlock:
+		return opRLock
+	}
+	return -1
+}
+
+// lockRef is one resolved mutex operation.
+type lockRef struct {
+	op   lockOp
+	name string       // receiver's short name ("mu"), for `guarded by` matching
+	obj  types.Object // variable or field holding the mutex; may be nil
+	key  string       // stable module-wide identity, for the acquisition graph
+	call *ast.CallExpr
+}
+
+// lockCall classifies call as a sync.Mutex/RWMutex operation. Only methods
+// resolved to package sync count, so a user type with its own Lock method
+// is never misread as a mutex.
+func lockCall(info *types.Info, call *ast.CallExpr) (lockRef, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockRef{}, false
+	}
+	var op lockOp
+	switch sel.Sel.Name {
+	case "Lock":
+		op = opLock
+	case "RLock":
+		op = opRLock
+	case "Unlock":
+		op = opUnlock
+	case "RUnlock":
+		op = opRUnlock
+	default:
+		return lockRef{}, false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockRef{}, false
+	}
+	ref := lockRef{op: op, call: call}
+	switch x := sel.X.(type) {
+	case *ast.SelectorExpr: // v.mu.Lock() or pkg.mu.Lock()
+		ref.name = x.Sel.Name
+		if s, ok := info.Selections[x]; ok && s.Kind() == types.FieldVal {
+			ref.obj = s.Obj()
+			recv := s.Recv()
+			if p, ok := recv.(*types.Pointer); ok {
+				recv = p.Elem()
+			}
+			ref.key = types.TypeString(recv, nil) + "." + ref.name
+		} else if o := info.Uses[x.Sel]; o != nil {
+			ref.obj = o
+			if o.Pkg() != nil {
+				ref.key = o.Pkg().Path() + "." + ref.name
+			}
+		}
+	case *ast.Ident: // mu.Lock() — package-level or local mutex,
+		// or t.Lock() through an embedded sync.Mutex.
+		ref.name = x.Name
+		if o := info.Uses[x]; o != nil {
+			ref.obj = o
+			switch {
+			case o.Pkg() != nil && o.Parent() == o.Pkg().Scope():
+				ref.key = o.Pkg().Path() + "." + ref.name
+			default:
+				// Function-local mutex: identity is the object itself.
+				ref.key = fmt.Sprintf("local.%s@%d", ref.name, o.Pos())
+			}
+		}
+	default:
+		// Mutex reached through an index or call result; no stable
+		// identity, but the short name may still be recoverable.
+		return lockRef{}, false
+	}
+	if ref.key == "" {
+		return lockRef{}, false
+	}
+	return ref, true
+}
+
+// collectGuarded maps each struct field carrying a `// guarded by <mu>`
+// comment to the name of its mutex.
+func collectGuarded(pkg *Package) map[types.Object]string {
+	guarded := make(map[types.Object]string)
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu, ok := guardComment(field)
+				if !ok {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pkg.Info.Defs[name]; obj != nil {
+						guarded[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+// guardedAccess returns the guarded-field selections within node (pruning
+// function literals), paired with their guarding mutex names.
+type guardedUse struct {
+	sel *ast.SelectorExpr
+	mu  string
+}
+
+func guardedUses(info *types.Info, guarded map[types.Object]string, node ast.Node) []guardedUse {
+	var out []guardedUse
+	inspectShallow(node, func(n ast.Node) bool {
+		if e, ok := n.(*ast.SelectorExpr); ok {
+			if s, ok := info.Selections[e]; ok && s.Kind() == types.FieldVal {
+				if mu, ok := guarded[s.Obj()]; ok {
+					out = append(out, guardedUse{e, mu})
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// deferredReleases returns, for each mutex short name, the set of
+// acquisition ops whose deferred release is registered anywhere in the
+// function — `defer mu.Unlock()` and `defer mu.RUnlock()`. Deferred
+// releases run at every exit, normal or panicking, so analyzers treat
+// them as covering all paths (a defer inside a conditional is credited
+// optimistically; the race-detector CI gate backstops that gap).
+func deferredReleases(info *types.Info, c *CFG) map[string]map[lockOp]bool {
+	out := make(map[string]map[lockOp]bool)
+	for _, d := range c.Defers {
+		ref, ok := lockCall(info, d.Call)
+		if !ok {
+			continue
+		}
+		if rel := ref.op.releases(); rel >= 0 {
+			if out[ref.key] == nil {
+				out[ref.key] = make(map[lockOp]bool)
+			}
+			out[ref.key][rel] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+package analysis
+
+import "sort"
+
+// This file is the value half of the flow-sensitive layer: a forward
+// worklist solver over the CFG of cfg.go, plus the one small lattice every
+// current client needs — finite sets of strings, joined either by union
+// (may-analyses: "a lock may still be held here") or intersection
+// (must-analyses: "this lock is held on every path reaching here").
+//
+// The solver is deliberately minimal. Facts are opaque to it; clients
+// supply a transfer function over whole blocks and a join. nil is the
+// "unreached" fact and is the identity of every join, which makes the same
+// solver serve may- and must-analyses without a separate TOP encoding:
+// a must-analysis simply never joins against unreached predecessors.
+
+// FlowFact is one dataflow fact. Implementations must be treated as
+// immutable by Transfer (copy before mutating).
+type FlowFact interface {
+	EqualFact(FlowFact) bool
+}
+
+// FlowProblem describes one forward dataflow problem.
+type FlowProblem struct {
+	// Entry is the fact at function entry.
+	Entry FlowFact
+	// Transfer maps the fact at block entry to the fact at block exit.
+	Transfer func(b *Block, in FlowFact) FlowFact
+	// Join merges facts along converging edges; either argument may be
+	// nil (unreached), in which case the other is returned unchanged by
+	// the solver before Join is ever called.
+	Join func(a, b FlowFact) FlowFact
+}
+
+// SolveForward runs the worklist algorithm and returns the fact at the
+// entry of each reachable block. Unreachable blocks are absent from the
+// result, which is how clients recognize dead code.
+func SolveForward(c *CFG, p FlowProblem) map[*Block]FlowFact {
+	in := make(map[*Block]FlowFact, len(c.Blocks))
+	in[c.Entry] = p.Entry
+	// Deterministic worklist: a FIFO seeded with entry; duplicates are
+	// suppressed by the queued set. Termination needs facts to form a
+	// finite-height lattice, which string sets over a fixed universe do.
+	queue := []*Block{c.Entry}
+	queued := map[*Block]bool{c.Entry: true}
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		queued[b] = false
+		out := p.Transfer(b, in[b])
+		for _, s := range b.Succs {
+			cur, ok := in[s]
+			var merged FlowFact
+			if !ok {
+				merged = out
+			} else {
+				merged = p.Join(cur, out)
+			}
+			if ok && merged.EqualFact(cur) {
+				continue
+			}
+			in[s] = merged
+			if !queued[s] {
+				queued[s] = true
+				queue = append(queue, s)
+			}
+		}
+	}
+	return in
+}
+
+// StringSet is a finite set of strings — the lattice element used by the
+// lock analyses (elements are mutex keys, or mutex keys tagged with an
+// acquisition site).
+type StringSet map[string]bool
+
+// NewStringSet builds a set from its arguments.
+func NewStringSet(elems ...string) StringSet {
+	s := make(StringSet, len(elems))
+	for _, e := range elems {
+		s[e] = true
+	}
+	return s
+}
+
+// EqualFact implements FlowFact.
+func (s StringSet) EqualFact(o FlowFact) bool {
+	t, ok := o.(StringSet)
+	if !ok || len(s) != len(t) {
+		return false
+	}
+	for k := range s {
+		if !t[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy.
+func (s StringSet) Clone() StringSet {
+	t := make(StringSet, len(s))
+	for k := range s {
+		t[k] = true
+	}
+	return t
+}
+
+// With returns s ∪ {e} without mutating s.
+func (s StringSet) With(e string) StringSet {
+	if s[e] {
+		return s
+	}
+	t := s.Clone()
+	t[e] = true
+	return t
+}
+
+// Without returns s \ drop, where drop selects elements to remove.
+func (s StringSet) Without(drop func(string) bool) StringSet {
+	any := false
+	for k := range s {
+		if drop(k) {
+			any = true
+			break
+		}
+	}
+	if !any {
+		return s
+	}
+	t := make(StringSet, len(s))
+	for k := range s {
+		if !drop(k) {
+			t[k] = true
+		}
+	}
+	return t
+}
+
+// Sorted returns the elements in sorted order (deterministic reporting).
+func (s StringSet) Sorted() []string {
+	out := make([]string, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// UnionSets is the join of a may-analysis.
+func UnionSets(a, b FlowFact) FlowFact {
+	x, y := a.(StringSet), b.(StringSet)
+	if len(x) == 0 {
+		return y
+	}
+	if len(y) == 0 {
+		return x
+	}
+	out := x.Clone()
+	for k := range y {
+		out[k] = true
+	}
+	return out
+}
+
+// IntersectSets is the join of a must-analysis.
+func IntersectSets(a, b FlowFact) FlowFact {
+	x, y := a.(StringSet), b.(StringSet)
+	out := make(StringSet)
+	for k := range x {
+		if y[k] {
+			out[k] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,337 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds a module-wide mutex acquisition graph and reports
+// cycles — the static shadow of a deadlock. A node is a mutex identity
+// (package path + type + field for struct mutexes, package path + name for
+// package-level ones); an edge A → B means some function acquires B while
+// A is definitely held, either directly (`a.mu.Lock(); b.mu.Lock()`) or
+// through a call to a module function whose transitive may-acquire summary
+// contains B. A self-edge A → A is the degenerate cycle: re-acquiring a
+// sync.Mutex the goroutine already holds deadlocks immediately, and a
+// recursive RLock can deadlock against a waiting writer.
+//
+// Held sets are must-held (intersection over paths), so the common
+// `for { mu.Lock(); ...; mu.Unlock() }` loop does not feed the previous
+// iteration's lock into the next. Call summaries are flow-insensitive
+// may-acquire: if g ever locks B, calling g while holding A orders A
+// before B on some interleaving, which is what lock ordering is about.
+//
+// The graph spans every package of the run (Pass.Batch); each package's
+// pass reports only the cycle edges whose acquisition site lies in that
+// package, so a module run reports each edge exactly once, in file order.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "the module-wide mutex acquisition graph must be acyclic (deadlock freedom)",
+	Run:  runLockOrder,
+}
+
+// lockOrderEdge is one "B acquired while A held" observation.
+type lockOrderEdge struct {
+	from, to string
+	pos      token.Pos
+	pkg      *Package
+	via      string // callee name when the acquisition is inside a call
+}
+
+// batchLockGraph builds (once per Batch) the full acquisition graph.
+func batchLockGraph(pass *Pass) []lockOrderEdge {
+	b := pass.Batch
+	if b.lockGraph != nil || b.lockGraphBuilt {
+		return b.lockGraph
+	}
+	b.lockGraphBuilt = true
+	for _, pkg := range b.Pkgs {
+		for _, fn := range funcDecls(pkg) {
+			bodies := []*ast.BlockStmt{fn.Body}
+			for _, lit := range funcLits(fn.Body) {
+				bodies = append(bodies, lit.Body)
+			}
+			for _, body := range bodies {
+				collectLockEdges(pass, pkg, fn.Name.Name, body)
+			}
+		}
+	}
+	// Deterministic order for reporting.
+	sort.Slice(b.lockGraph, func(i, j int) bool {
+		x, y := b.lockGraph[i], b.lockGraph[j]
+		if x.from != y.from {
+			return x.from < y.from
+		}
+		if x.to != y.to {
+			return x.to < y.to
+		}
+		return x.pos < y.pos
+	})
+	return b.lockGraph
+}
+
+// collectLockEdges runs the must-held analysis over one body and records
+// acquisition-order edges on the batch.
+func collectLockEdges(pass *Pass, pkg *Package, fnName string, body *ast.BlockStmt) {
+	info := pkg.Info
+	cfg := BuildCFG(fnName, body)
+	transfer := func(blk *Block, in FlowFact) FlowFact {
+		s := in.(StringSet)
+		for _, n := range blk.Nodes {
+			s = lockTransferKey(info, n, s)
+		}
+		return s
+	}
+	facts := SolveForward(cfg, FlowProblem{Entry: NewStringSet(), Transfer: transfer, Join: IntersectSets})
+	for _, blk := range cfg.Blocks {
+		in, ok := facts[blk]
+		if !ok {
+			continue
+		}
+		s := in.(StringSet)
+		for _, n := range blk.Nodes {
+			held := s // held set at this node's program point
+			switch n.(type) {
+			case *ast.DeferStmt, *ast.GoStmt:
+				// A goroutine body starts with nothing held, and a defer
+				// runs at exit; neither orders locks at this point.
+			default:
+				inspectShallow(n, func(m ast.Node) bool {
+					call, ok := m.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if ref, ok := lockCall(info, call); ok && ref.op.acquires() {
+						for a := range held {
+							pass.Batch.lockGraph = append(pass.Batch.lockGraph,
+								lockOrderEdge{from: a, to: ref.key, pos: call.Pos(), pkg: pkg})
+						}
+						return true
+					}
+					if callee := calleeFunc(info, call); callee != nil && len(held) > 0 {
+						for _, acq := range lockSummary(pass, callee).Sorted() {
+							for a := range held {
+								pass.Batch.lockGraph = append(pass.Batch.lockGraph,
+									lockOrderEdge{from: a, to: acq, pos: call.Pos(), pkg: pkg, via: callee.Name()})
+							}
+						}
+					}
+					return true
+				})
+			}
+			s = lockTransferKey(info, n, held)
+		}
+	}
+}
+
+// lockTransferKey is lockTransfer keyed by module-wide mutex identity
+// instead of short name.
+func lockTransferKey(info *types.Info, n ast.Node, s StringSet) StringSet {
+	switch n.(type) {
+	case *ast.DeferStmt, *ast.GoStmt:
+		return s
+	}
+	inspectShallow(n, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok {
+			if ref, ok := lockCall(info, call); ok {
+				if ref.op.acquires() {
+					s = s.With(ref.key)
+				} else {
+					key := ref.key
+					s = s.Without(func(k string) bool { return k == key })
+				}
+			}
+		}
+		return true
+	})
+	return s
+}
+
+// lockSummary computes (memoized on the Batch) the transitive may-acquire
+// set of a module function. Recursion is cut by seeding the memo with the
+// empty set.
+func lockSummary(pass *Pass, fn *types.Func) StringSet {
+	if s, ok := pass.Batch.lockSummaries[fn]; ok {
+		return s
+	}
+	sum := NewStringSet()
+	pass.Batch.lockSummaries[fn] = sum
+	decl, declPkg := pass.Batch.funcDecl(fn)
+	if decl == nil || decl.Body == nil {
+		return sum
+	}
+	info := declPkg.Info
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if ref, ok := lockCall(info, call); ok && ref.op.acquires() {
+			sum[ref.key] = true
+			return true
+		}
+		if callee := calleeFunc(info, call); callee != nil && callee != fn {
+			for k := range lockSummary(pass, callee) {
+				sum[k] = true
+			}
+		}
+		return true
+	})
+	return sum
+}
+
+func runLockOrder(pass *Pass) {
+	edges := batchLockGraph(pass)
+	if len(edges) == 0 {
+		return
+	}
+	// Nodes and adjacency for cycle detection.
+	adj := make(map[string]map[string]bool)
+	for _, e := range edges {
+		if adj[e.from] == nil {
+			adj[e.from] = make(map[string]bool)
+		}
+		adj[e.from][e.to] = true
+	}
+	inCycle := cyclicEdges(adj)
+	seen := make(map[string]bool) // dedupe identical (from,to,pos) observations
+	for _, e := range edges {
+		if e.pkg != pass.Pkg {
+			continue
+		}
+		if e.from == e.to {
+			k := fmt.Sprintf("self|%s|%d", e.from, e.pos)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			if e.via != "" {
+				pass.Reportf(e.pos,
+					"calls %s while holding %s, which %s acquires again (self-deadlock: sync mutexes are not reentrant)",
+					e.via, shortLockName(e.from), e.via)
+			} else {
+				pass.Reportf(e.pos,
+					"acquires %s while already holding it (self-deadlock: sync mutexes are not reentrant)",
+					shortLockName(e.from))
+			}
+			continue
+		}
+		if !inCycle[e.from+"->"+e.to] {
+			continue
+		}
+		k := fmt.Sprintf("cycle|%s|%s|%d", e.from, e.to, e.pos)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		via := ""
+		if e.via != "" {
+			via = fmt.Sprintf(" (via call to %s)", e.via)
+		}
+		pass.Reportf(e.pos,
+			"acquires %s while holding %s%s, closing a lock-order cycle (potential deadlock); acquire module mutexes in one global order",
+			shortLockName(e.to), shortLockName(e.from), via)
+	}
+}
+
+// cyclicEdges returns the set of edges ("from->to") that lie inside a
+// strongly connected component of size > 1, i.e. that participate in a
+// cycle. Self-edges are handled separately by the caller.
+func cyclicEdges(adj map[string]map[string]bool) map[string]bool {
+	// Tarjan's SCC, iterative over sorted nodes for determinism.
+	var nodes []string
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	for _, tos := range adj {
+		for t := range tos {
+			nodes = append(nodes, t)
+		}
+	}
+	sort.Strings(nodes)
+	nodes = dedupeSorted(nodes)
+
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	comp := make(map[string]int)
+	var stack []string
+	counter, compID := 0, 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = counter
+		low[v] = counter
+		counter++
+		stack = append(stack, v)
+		onStack[v] = true
+		var succs []string
+		for w := range adj[v] {
+			succs = append(succs, w)
+		}
+		sort.Strings(succs)
+		for _, w := range succs {
+			if _, ok := index[w]; !ok {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp[w] = compID
+				if w == v {
+					break
+				}
+			}
+			compID++
+		}
+	}
+	for _, n := range nodes {
+		if _, ok := index[n]; !ok {
+			strongconnect(n)
+		}
+	}
+	compSize := make(map[int]int)
+	for _, c := range comp {
+		compSize[c]++
+	}
+	out := make(map[string]bool)
+	for from, tos := range adj {
+		for to := range tos {
+			if from != to && comp[from] == comp[to] && compSize[comp[from]] > 1 {
+				out[from+"->"+to] = true
+			}
+		}
+	}
+	return out
+}
+
+func dedupeSorted(s []string) []string {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// shortLockName renders a mutex key for messages: the type-qualified tail
+// of the identity ("CachedStore.mu") rather than the full import path.
+func shortLockName(key string) string {
+	if i := strings.LastIndexByte(key, '/'); i >= 0 {
+		return key[i+1:]
+	}
+	return key
+}

@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// badFixtureFindings runs a set of analyzers over fixtures that are
+// guaranteed to report, giving the output tests real findings to format.
+func badFixtureFindings(t *testing.T) []Finding {
+	t.Helper()
+	pkgs := []*Package{
+		loadFixture(t, "unlockpath_bad"),
+		loadFixture(t, "lockorder_bad"),
+		loadFixture(t, "gocapture_bad"),
+	}
+	findings := Run(pkgs, []*Analyzer{UnlockPath, LockOrder, GoCapture})
+	if len(findings) == 0 {
+		t.Fatal("bad fixtures produced no findings")
+	}
+	return findings
+}
+
+func renderText(findings []Finding) []byte {
+	var buf bytes.Buffer
+	for _, f := range findings {
+		fmt.Fprintln(&buf, f)
+	}
+	return buf.Bytes()
+}
+
+// TestOutputByteStable: two independent full runs (fresh Batch, fresh
+// passes) must produce byte-identical text output — the ordering
+// contract CI diffs and baselines depend on.
+func TestOutputByteStable(t *testing.T) {
+	first := renderText(badFixtureFindings(t))
+	second := renderText(badFixtureFindings(t))
+	if !bytes.Equal(first, second) {
+		t.Errorf("lint output is not byte-stable across runs:\n--- first ---\n%s--- second ---\n%s", first, second)
+	}
+	// Findings must arrive sorted by file, then line.
+	findings := badFixtureFindings(t)
+	for i := 1; i < len(findings); i++ {
+		a, b := findings[i-1].Pos, findings[i].Pos
+		if a.Filename > b.Filename || (a.Filename == b.Filename && a.Line > b.Line) {
+			t.Errorf("findings out of order: %s before %s", a, b)
+		}
+	}
+}
+
+// TestSARIFRequiredFields validates the SARIF 2.1.0 subset that
+// code-scanning consumers require, by decoding the generic JSON rather
+// than our own structs.
+func TestSARIFRequiredFields(t *testing.T) {
+	findings := badFixtureFindings(t)
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, findings, All, ""); err != nil {
+		t.Fatalf("WriteSARIF: %v", err)
+	}
+	var log map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v", err)
+	}
+	if v, _ := log["version"].(string); v != "2.1.0" {
+		t.Errorf("version = %q, want 2.1.0", v)
+	}
+	if s, _ := log["$schema"].(string); !strings.Contains(s, "sarif-2.1.0") {
+		t.Errorf("$schema = %q, want a sarif-2.1.0 schema URI", s)
+	}
+	runs, _ := log["runs"].([]any)
+	if len(runs) != 1 {
+		t.Fatalf("runs has %d entries, want 1", len(runs))
+	}
+	run := runs[0].(map[string]any)
+	driver := run["tool"].(map[string]any)["driver"].(map[string]any)
+	if name, _ := driver["name"].(string); name != "bixlint" {
+		t.Errorf("driver.name = %q, want bixlint", name)
+	}
+	rules, _ := driver["rules"].([]any)
+	if len(rules) != len(All) {
+		t.Errorf("driver declares %d rules, want %d (one per analyzer)", len(rules), len(All))
+	}
+	ruleIDs := make(map[string]bool)
+	for _, r := range rules {
+		rm := r.(map[string]any)
+		id, _ := rm["id"].(string)
+		if id == "" {
+			t.Error("rule with empty id")
+		}
+		ruleIDs[id] = true
+	}
+	results, _ := run["results"].([]any)
+	if len(results) != len(findings) {
+		t.Fatalf("results has %d entries, want %d", len(results), len(findings))
+	}
+	for i, r := range results {
+		rm := r.(map[string]any)
+		id, _ := rm["ruleId"].(string)
+		if !ruleIDs[id] {
+			t.Errorf("result %d: ruleId %q not declared in driver.rules", i, id)
+		}
+		msg, _ := rm["message"].(map[string]any)
+		if text, _ := msg["text"].(string); text == "" {
+			t.Errorf("result %d: empty message.text", i)
+		}
+		locs, _ := rm["locations"].([]any)
+		if len(locs) == 0 {
+			t.Fatalf("result %d: no locations", i)
+		}
+		phys := locs[0].(map[string]any)["physicalLocation"].(map[string]any)
+		art := phys["artifactLocation"].(map[string]any)
+		if uri, _ := art["uri"].(string); uri == "" || strings.Contains(uri, "\\") {
+			t.Errorf("result %d: bad artifactLocation.uri %q", i, art["uri"])
+		}
+		region := phys["region"].(map[string]any)
+		if line, _ := region["startLine"].(float64); line < 1 {
+			t.Errorf("result %d: startLine %v, want >= 1", i, region["startLine"])
+		}
+	}
+}
+
+// TestBaselineRoundTrip: writing the current findings as a baseline and
+// reading it back suppresses exactly those findings, with no stale
+// entries; an edited message resurfaces and goes stale.
+func TestBaselineRoundTrip(t *testing.T) {
+	findings := badFixtureFindings(t)
+	var buf bytes.Buffer
+	if err := WriteBaseline(&buf, findings, ""); err != nil {
+		t.Fatalf("WriteBaseline: %v", err)
+	}
+	baseline, err := ReadBaseline(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadBaseline: %v", err)
+	}
+	kept, stale := FilterBaseline(findings, baseline, "")
+	if len(kept) != 0 {
+		t.Errorf("round-trip kept %d findings, want 0: %v", len(kept), kept)
+	}
+	if len(stale) != 0 {
+		t.Errorf("round-trip produced %d stale entries, want 0: %v", len(stale), stale)
+	}
+	// Regeneration is byte-stable.
+	var buf2 bytes.Buffer
+	if err := WriteBaseline(&buf2, findings, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("baseline output is not byte-stable")
+	}
+	// A changed message no longer matches and its old entry is stale.
+	mutated := make([]Finding, len(findings))
+	copy(mutated, findings)
+	mutated[0].Message += " (changed)"
+	kept, stale = FilterBaseline(mutated, baseline, "")
+	if len(kept) != 1 {
+		t.Errorf("mutated finding: kept %d, want 1", len(kept))
+	}
+	if len(stale) != 1 {
+		t.Errorf("mutated finding: %d stale entries, want 1", len(stale))
+	}
+}

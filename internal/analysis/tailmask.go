@@ -11,13 +11,19 @@ import (
 // cross-checks) silently assumes it.
 //
 // Inside package bitvec, any function that writes the words field of a
-// Vector must either call maskTail (or tailMask, for the in-place masking
-// idiom `words[i] &= v.tailMask()`) or carry a `//bix:maskok (reason)`
-// directive explaining why the write cannot set tail bits.
+// Vector — directly, or through a local alias of the slice — must either
+// call maskTail (or tailMask, for the in-place masking idiom
+// `words[i] &= v.tailMask()`) or carry a `//bix:maskok (reason)` directive
+// explaining why the write cannot set tail bits.
 //
 // Outside package bitvec, the backing words are off limits entirely:
-// Words() hands out the slice for read-only scanning, and any write through
-// it — directly or via an alias — is reported.
+// Words() hands out the slice for read-only scanning, and any write
+// through it is reported. The alias tracking is a package-wide closure
+// (see alias.go): assignments, re-slicings (`u := w[1:]`), append results
+// and the results of module functions that return one of their slice
+// parameters all stay tainted, and passing a tainted slice to a module
+// function that writes its parameter's elements is reported at the call
+// site.
 var TailMask = &Analyzer{
 	Name: "tailmask",
 	Doc:  "writes to bitvec backing words must preserve the tail-mask invariant",
@@ -49,29 +55,43 @@ func isWordsField(pass *Pass, sel *ast.SelectorExpr) bool {
 		named.Obj().Pkg() != nil && named.Obj().Pkg().Name() == "bitvec"
 }
 
-// wordsWrite returns the position of a write to a Vector's words within the
-// statement-level node, or nil.
-func wordsWriteTargets(pass *Pass, n ast.Node) []ast.Node {
+// isWordsCall reports whether e is a call of bitvec.Vector's Words method.
+func isWordsCall(pass *Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Words" {
+		return false
+	}
+	fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Name() == "bitvec"
+}
+
+// sliceWrites finds element writes within the statement-level node whose
+// base satisfies tainted: index assignments, ++/-- on elements, and copy
+// with a tainted destination. The base of `w[i] = x` is w; slicing the
+// destination of copy is unwrapped.
+func sliceWrites(pass *Pass, n ast.Node, tainted func(ast.Expr) bool) []ast.Node {
 	var hits []ast.Node
-	addLHS := func(lhs ast.Expr) {
-		switch e := lhs.(type) {
-		case *ast.IndexExpr:
-			if sel, ok := e.X.(*ast.SelectorExpr); ok && isWordsField(pass, sel) {
-				hits = append(hits, e)
-			}
-		case *ast.SelectorExpr:
-			if isWordsField(pass, e) {
-				hits = append(hits, e)
-			}
+	base := func(e ast.Expr) (ast.Expr, bool) {
+		if ix, ok := e.(*ast.IndexExpr); ok {
+			return ix.X, true
 		}
+		return nil, false
 	}
 	switch s := n.(type) {
 	case *ast.AssignStmt:
 		for _, lhs := range s.Lhs {
-			addLHS(lhs)
+			if b, ok := base(lhs); ok && tainted(b) {
+				hits = append(hits, lhs)
+			}
 		}
 	case *ast.IncDecStmt:
-		addLHS(s.X)
+		if b, ok := base(s.X); ok && tainted(b) {
+			hits = append(hits, s.X)
+		}
 	case *ast.CallExpr:
 		if id, ok := s.Fun.(*ast.Ident); ok && id.Name == "copy" && len(s.Args) > 0 {
 			if _, ok := pass.Pkg.Info.Uses[id].(*types.Builtin); ok {
@@ -79,7 +99,7 @@ func wordsWriteTargets(pass *Pass, n ast.Node) []ast.Node {
 				if sl, ok := dst.(*ast.SliceExpr); ok {
 					dst = sl.X
 				}
-				if sel, ok := dst.(*ast.SelectorExpr); ok && isWordsField(pass, sel) {
+				if tainted(dst) {
 					hits = append(hits, s)
 				}
 			}
@@ -88,7 +108,24 @@ func wordsWriteTargets(pass *Pass, n ast.Node) []ast.Node {
 	return hits
 }
 
+// tailMaskInPackage applies the in-package rule: every function writing
+// Vector.words (directly, via `v.words = ...`, or through an alias of the
+// slice) must normalize the tail or carry //bix:maskok.
 func tailMaskInPackage(pass *Pass) {
+	// Aliases of any words field or Words() result, package-wide.
+	tracker := newAliasTracker(pass.Pkg, func(e ast.Expr) bool {
+		if sel, ok := e.(*ast.SelectorExpr); ok && isWordsField(pass, sel) {
+			return true
+		}
+		return isWordsCall(pass, e)
+	})
+	tracker.solve()
+	isWordsView := func(e ast.Expr) bool {
+		if sel, ok := e.(*ast.SelectorExpr); ok && isWordsField(pass, sel) {
+			return true
+		}
+		return tracker.aliased(e)
+	}
 	for _, fn := range funcDecls(pass.Pkg) {
 		if hasDirective(fn.Doc, "maskok") {
 			continue
@@ -96,7 +133,15 @@ func tailMaskInPackage(pass *Pass) {
 		var writes []ast.Node
 		normalizes := false
 		ast.Inspect(fn.Body, func(n ast.Node) bool {
-			writes = append(writes, wordsWriteTargets(pass, n)...)
+			writes = append(writes, sliceWrites(pass, n, isWordsView)...)
+			// Whole-field replacement: v.words = src.
+			if as, ok := n.(*ast.AssignStmt); ok {
+				for _, lhs := range as.Lhs {
+					if sel, ok := lhs.(*ast.SelectorExpr); ok && isWordsField(pass, sel) {
+						writes = append(writes, sel)
+					}
+				}
+			}
 			if call, ok := n.(*ast.CallExpr); ok {
 				if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
 					if sel.Sel.Name == "maskTail" || sel.Sel.Name == "tailMask" {
@@ -113,79 +158,160 @@ func tailMaskInPackage(pass *Pass) {
 	}
 }
 
-// isWordsCall reports whether e is a call of bitvec.Vector's Words method.
-func isWordsCall(pass *Pass, e ast.Expr) bool {
-	call, ok := e.(*ast.CallExpr)
-	if !ok {
-		return false
-	}
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok || sel.Sel.Name != "Words" {
-		return false
-	}
-	fn, ok := pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
-	return ok && fn.Pkg() != nil && fn.Pkg().Name() == "bitvec"
+// sliceParamSummary records how a module function treats its slice
+// parameters: which it may return (the result aliases the argument) and
+// which it writes through (element assignment or copy). Both relations
+// are transitive through calls to other module functions.
+type sliceParamSummary struct {
+	returns []int
+	writes  []int
 }
 
-func tailMaskCrossPackage(pass *Pass) {
-	info := pass.Pkg.Info
-	// Pass 1: objects aliasing a Words() result anywhere in the package.
-	aliases := make(map[types.Object]bool)
-	for _, f := range pass.Pkg.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			as, ok := n.(*ast.AssignStmt)
-			if !ok {
-				return true
-			}
-			for i, rhs := range as.Rhs {
-				if i >= len(as.Lhs) || !isWordsCall(pass, rhs) {
-					continue
+// sliceParamInfo computes (and memoizes on the Batch) the summary for fn.
+// Cycles in the module call graph are cut by seeding the memo with an
+// empty summary before recursing — a fixpoint from below, which can only
+// under-approximate through recursion, never report falsely.
+func sliceParamInfo(pass *Pass, fn *types.Func) *sliceParamSummary {
+	if s, ok := pass.Batch.sliceParams[fn]; ok {
+		return s
+	}
+	sum := &sliceParamSummary{}
+	pass.Batch.sliceParams[fn] = sum
+	decl, declPkg := pass.Batch.funcDecl(fn)
+	if decl == nil || decl.Body == nil {
+		return sum
+	}
+	info := declPkg.Info
+	// Map parameter objects to their indices.
+	paramIx := make(map[types.Object]int)
+	i := 0
+	for _, field := range decl.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := info.Defs[name]; obj != nil {
+				if _, ok := obj.Type().Underlying().(*types.Slice); ok {
+					paramIx[obj] = i
 				}
-				if id, ok := as.Lhs[i].(*ast.Ident); ok {
-					if obj := info.Defs[id]; obj != nil {
-						aliases[obj] = true
-					} else if obj := info.Uses[id]; obj != nil {
-						aliases[obj] = true
+			}
+			i++
+		}
+	}
+	if len(paramIx) == 0 {
+		return sum
+	}
+	paramOf := func(e ast.Expr) (int, bool) {
+		for {
+			switch v := e.(type) {
+			case *ast.ParenExpr:
+				e = v.X
+			case *ast.SliceExpr:
+				e = v.X
+			case *ast.Ident:
+				if obj := info.Uses[v]; obj != nil {
+					ix, ok := paramIx[obj]
+					return ix, ok
+				}
+				return 0, false
+			default:
+				return 0, false
+			}
+		}
+	}
+	addUnique := func(s []int, v int) []int {
+		for _, x := range s {
+			if x == v {
+				return s
+			}
+		}
+		return append(s, v)
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				if ix, ok := paramOf(r); ok {
+					sum.returns = addUnique(sum.returns, ix)
+				}
+				// return g(p): the result aliases p if g returns its arg.
+				if call, ok := r.(*ast.CallExpr); ok {
+					if callee := calleeFunc(info, call); callee != nil && callee != fn {
+						for _, ri := range sliceParamInfo(pass, callee).returns {
+							if ri < len(call.Args) {
+								if ix, ok := paramOf(call.Args[ri]); ok {
+									sum.returns = addUnique(sum.returns, ix)
+								}
+							}
+						}
 					}
 				}
 			}
-			return true
-		})
-	}
-	isAliased := func(e ast.Expr) bool {
-		if isWordsCall(pass, e) {
-			return true
+		case *ast.CallExpr:
+			// g(p) where g writes its parameter: p is written too.
+			if callee := calleeFunc(info, s); callee != nil && callee != fn {
+				for _, wi := range sliceParamInfo(pass, callee).writes {
+					if wi < len(s.Args) {
+						if ix, ok := paramOf(s.Args[wi]); ok {
+							sum.writes = addUnique(sum.writes, ix)
+						}
+					}
+				}
+			}
 		}
-		id, ok := e.(*ast.Ident)
-		return ok && aliases[info.Uses[id]]
-	}
+		tainted := func(e ast.Expr) bool { _, ok := paramOf(e); return ok }
+		for range sliceWrites(&Pass{Pkg: declPkg}, n, tainted) {
+			// Attribute the write to whichever parameter is the base.
+			switch w := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range w.Lhs {
+					if ix, ok := lhs.(*ast.IndexExpr); ok {
+						if p, ok := paramOf(ix.X); ok {
+							sum.writes = addUnique(sum.writes, p)
+						}
+					}
+				}
+			case *ast.IncDecStmt:
+				if ix, ok := w.X.(*ast.IndexExpr); ok {
+					if p, ok := paramOf(ix.X); ok {
+						sum.writes = addUnique(sum.writes, p)
+					}
+				}
+			case *ast.CallExpr:
+				dst := w.Args[0]
+				if sl, ok := dst.(*ast.SliceExpr); ok {
+					dst = sl.X
+				}
+				if p, ok := paramOf(dst); ok {
+					sum.writes = addUnique(sum.writes, p)
+				}
+			}
+			break
+		}
+		return true
+	})
+	return sum
+}
+
+func tailMaskCrossPackage(pass *Pass) {
+	tracker := newAliasTracker(pass.Pkg, func(e ast.Expr) bool { return isWordsCall(pass, e) })
+	tracker.returnsParam = func(fn *types.Func) []int { return sliceParamInfo(pass, fn).returns }
+	tracker.solve()
 	report := func(n ast.Node) {
 		pass.Reportf(n.Pos(),
 			"mutates the backing words of a bitvec.Vector; Words() is read-only outside package bitvec")
 	}
-	// Pass 2: writes through a Words() result or one of its aliases.
 	for _, f := range pass.Pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
-			switch s := n.(type) {
-			case *ast.AssignStmt:
-				for _, lhs := range s.Lhs {
-					if ix, ok := lhs.(*ast.IndexExpr); ok && isAliased(ix.X) {
-						report(ix)
-					}
-				}
-			case *ast.IncDecStmt:
-				if ix, ok := s.X.(*ast.IndexExpr); ok && isAliased(ix.X) {
-					report(ix)
-				}
-			case *ast.CallExpr:
-				if id, ok := s.Fun.(*ast.Ident); ok && id.Name == "copy" && len(s.Args) > 0 {
-					if _, ok := info.Uses[id].(*types.Builtin); ok {
-						dst := s.Args[0]
-						if sl, ok := dst.(*ast.SliceExpr); ok {
-							dst = sl.X
-						}
-						if isAliased(dst) {
-							report(s)
+			for _, hit := range sliceWrites(pass, n, tracker.aliased) {
+				report(hit)
+			}
+			// Passing an alias into a module function that writes through
+			// that parameter is a write by proxy.
+			if call, ok := n.(*ast.CallExpr); ok {
+				if callee := calleeFunc(pass.Pkg.Info, call); callee != nil {
+					for _, wi := range sliceParamInfo(pass, callee).writes {
+						if wi < len(call.Args) && tracker.aliased(call.Args[wi]) {
+							pass.Reportf(call.Pos(),
+								"passes the backing words of a bitvec.Vector to %s, which writes its slice parameter; Words() is read-only outside package bitvec",
+								callee.Name())
 						}
 					}
 				}

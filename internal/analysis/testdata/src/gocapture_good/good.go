@@ -1,0 +1,51 @@
+// Package gocapturegood launches goroutines the way the repository's
+// kernels do: indices arrive through channels or parameters, and guarded
+// fields are locked inside the goroutine that touches them.
+package gocapturegood
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// WorkerPool is the core.EvalBatch shape: workers receive indices from a
+// channel; nothing loop-scoped is captured.
+func WorkerPool(jobs []int, workers int, out []int) {
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = jobs[i] * jobs[i]
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// ParamPass hands the loop variable to the goroutine as an argument — a
+// per-call copy, not a capture.
+func ParamPass(jobs []int, out chan<- int) {
+	for _, j := range jobs {
+		go func(v int) {
+			out <- v * v
+		}(j)
+	}
+}
+
+// GuardedTouch locks inside the goroutine that accesses the field.
+func GuardedTouch(c *counter) {
+	go func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.n++
+	}()
+}

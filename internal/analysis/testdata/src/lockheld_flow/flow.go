@@ -1,0 +1,76 @@
+// Package lockheldflow exercises the path-sensitive upgrade of the
+// lockheld analyzer: the lock must be held at the access, on every path —
+// a lock that was merely "somewhere in the body" is no longer enough.
+package lockheldflow
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// UseAfterUnlock locks, releases, then touches the field: the textual
+// check passed this, the flow-sensitive one must not.
+func (b *box) UseAfterUnlock() int {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	return b.n // want "guarded by mu"
+}
+
+// OneArmOnly locks on one branch only; the access after the join is not
+// protected on the other path.
+func (b *box) OneArmOnly(cond bool) int {
+	if cond {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+	}
+	return b.n // want "guarded by mu"
+}
+
+// BothArms locks on every path before the access: fine.
+func (b *box) BothArms(cond bool) int {
+	if cond {
+		b.mu.Lock()
+	} else {
+		b.mu.Lock()
+	}
+	defer b.mu.Unlock()
+	return b.n
+}
+
+// DeferredUnlockCoversAll: the deferred release runs at exit, after the
+// access — the classic repository idiom stays clean.
+func (b *box) DeferredUnlockCoversAll() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.n > 10 {
+		return 10
+	}
+	return b.n
+}
+
+// EarlyReturnBeforeLock reads before any lock on the early path.
+func (b *box) EarlyReturnBeforeLock(skip bool) int {
+	if skip {
+		return b.n // want "guarded by mu"
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+
+// CallbackUnderLock: a function literal defined while the lock is held
+// inherits the lock state (synchronous callbacks like bitvec's Ones
+// visitor run under the caller's locks).
+func (b *box) CallbackUnderLock(visit func(func() int)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	visit(func() int { return b.n })
+}
+
+// CallbackWithoutLock: the same literal without the lock is reported.
+func (b *box) CallbackWithoutLock(visit func(func() int)) {
+	visit(func() int { return b.n }) // want "guarded by mu"
+}

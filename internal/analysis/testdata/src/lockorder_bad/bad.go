@@ -1,0 +1,61 @@
+// Package lockorderbad contains the two deadlock shapes the lockorder
+// analyzer exists for: an A→B / B→A acquisition cycle (here split across
+// a direct acquisition and a call) and a re-acquisition of a mutex the
+// goroutine already holds.
+package lockorderbad
+
+import "sync"
+
+type accounts struct {
+	mu      sync.Mutex
+	balance int
+}
+
+type audit struct {
+	mu  sync.Mutex
+	log []string
+}
+
+// TransferThenAudit takes accounts.mu then audit.mu.
+func TransferThenAudit(a *accounts, l *audit) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.balance--
+	l.mu.Lock() // want "closing a lock-order cycle"
+	defer l.mu.Unlock()
+	l.log = append(l.log, "transfer")
+}
+
+// AuditThenTransfer takes the same two mutexes in the opposite order,
+// the second one through a call.
+func AuditThenTransfer(a *accounts, l *audit) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.log = append(l.log, "audit")
+	debit(a) // want "closing a lock-order cycle"
+}
+
+// debit acquires accounts.mu; callers holding audit.mu order the locks
+// audit→accounts.
+func debit(a *accounts) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.balance--
+}
+
+// DoubleLock re-acquires a mutex the goroutine already holds: immediate
+// self-deadlock, sync mutexes are not reentrant.
+func DoubleLock(a *accounts) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.mu.Lock() // want "self-deadlock"
+	a.balance++
+	a.mu.Unlock()
+}
+
+// LockThenCallLocker holds the mutex across a call that takes it again.
+func LockThenCallLocker(a *accounts) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	debit(a) // want "self-deadlock"
+}

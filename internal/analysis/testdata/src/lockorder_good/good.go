@@ -1,0 +1,64 @@
+// Package lockordergood acquires its mutexes in one global order
+// (accounts before audit, everywhere) and never holds one across a call
+// that re-acquires it — the acquisition graph is a DAG.
+package lockordergood
+
+import "sync"
+
+type accounts struct {
+	mu      sync.Mutex
+	balance int
+}
+
+type audit struct {
+	mu  sync.Mutex
+	log []string
+}
+
+// Transfer and Refund both order accounts.mu before audit.mu: one
+// direction, no cycle.
+func Transfer(a *accounts, l *audit) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.balance--
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.log = append(l.log, "transfer")
+}
+
+func Refund(a *accounts, l *audit) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.balance++
+	record(l)
+}
+
+// record acquires audit.mu; every caller holds accounts.mu first, which
+// matches Transfer's order.
+func record(l *audit) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.log = append(l.log, "refund")
+}
+
+// SequentialLocks release the first mutex before taking it again: the
+// must-held set is empty at the second acquisition, so no self-edge.
+func SequentialLocks(a *accounts) {
+	a.mu.Lock()
+	a.balance--
+	a.mu.Unlock()
+	a.mu.Lock()
+	a.balance++
+	a.mu.Unlock()
+}
+
+// LoopLocks: the per-iteration lock/unlock pair does not feed the
+// previous iteration's acquisition into the next (must-held, not
+// may-held).
+func LoopLocks(a *accounts, n int) {
+	for i := 0; i < n; i++ {
+		a.mu.Lock()
+		a.balance += i
+		a.mu.Unlock()
+	}
+}

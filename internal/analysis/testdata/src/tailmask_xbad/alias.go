@@ -1,0 +1,33 @@
+// Aliases of the backing words stay tainted through re-slicing and
+// module-function calls; writes through any of them are reported.
+package xbad
+
+import "bitmapindex/internal/bitvec"
+
+// SmashSlice writes through a re-slice of the Words() result.
+func SmashSlice(v *bitvec.Vector) {
+	w := v.Words()
+	u := w[1:]
+	u[0] = 9 // want "read-only"
+}
+
+// fill writes the elements of its parameter.
+func fill(dst []uint64) {
+	for i := range dst {
+		dst[i] = 7
+	}
+}
+
+// SmashViaCall hands the backing words to a function that writes them.
+func SmashViaCall(v *bitvec.Vector) {
+	fill(v.Words()) // want "writes its slice parameter"
+}
+
+// view returns (a view of) its parameter.
+func view(w []uint64) []uint64 { return w[1:] }
+
+// SmashViaReturn writes through a call result that aliases the words.
+func SmashViaReturn(v *bitvec.Vector) {
+	u := view(v.Words())
+	u[0] = 3 // want "read-only"
+}

@@ -1,0 +1,33 @@
+// Read-only flows through aliases and calls stay clean, and a genuine
+// copy of the words may be mutated freely.
+package xgood
+
+import "bitmapindex/internal/bitvec"
+
+// sum only reads its parameter.
+func sum(ws []uint64) uint64 {
+	var t uint64
+	for _, w := range ws {
+		t += w
+	}
+	return t
+}
+
+// ReadViaCall passes the words to a reader: fine.
+func ReadViaCall(v *bitvec.Vector) uint64 {
+	return sum(v.Words())
+}
+
+// ReadSlice reads through a re-slice: fine.
+func ReadSlice(v *bitvec.Vector) uint64 {
+	u := v.Words()[1:]
+	return sum(u)
+}
+
+// CloneAndMutate copies the words into a fresh slice first; the copy is
+// the caller's to mutate.
+func CloneAndMutate(v *bitvec.Vector) []uint64 {
+	w := append([]uint64(nil), v.Words()...)
+	w[0] = 1
+	return w
+}

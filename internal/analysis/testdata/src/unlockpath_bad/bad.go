@@ -1,0 +1,59 @@
+// Package unlockpathbad leaks locks: early returns, panic edges and
+// mismatched release modes all leave a mutex held at function exit.
+package unlockpathbad
+
+import (
+	"errors"
+	"sync"
+)
+
+type store struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	m  map[string]int
+}
+
+// EarlyReturnLeaks releases on the success path only.
+func (s *store) EarlyReturnLeaks(k string) (int, error) {
+	s.mu.Lock() // want "without a matching mu.Unlock"
+	v, ok := s.m[k]
+	if !ok {
+		return 0, errors.New("missing") // leaves mu held
+	}
+	s.mu.Unlock()
+	return v, nil
+}
+
+// PanicLeaks panics between Lock and Unlock with no defer.
+func (s *store) PanicLeaks(k string) int {
+	s.mu.Lock() // want "without a matching mu.Unlock"
+	v, ok := s.m[k]
+	if !ok {
+		panic("missing key")
+	}
+	s.mu.Unlock()
+	return v
+}
+
+// WrongRelease pairs RLock with Unlock: the read lock is never released.
+func (s *store) WrongRelease() int {
+	s.rw.RLock() // want "without a matching rw.RUnlock"
+	n := len(s.m)
+	s.rw.Unlock()
+	return n
+}
+
+// BreakLeaks exits the loop holding the lock.
+func (s *store) BreakLeaks(keys []string) int {
+	total := 0
+	for _, k := range keys {
+		s.mu.Lock() // want "without a matching mu.Unlock"
+		v, ok := s.m[k]
+		if !ok {
+			break // leaves mu held
+		}
+		total += v
+		s.mu.Unlock()
+	}
+	return total
+}

@@ -1,0 +1,75 @@
+// Package unlockpathgood releases every acquisition on every path: the
+// deferred idiom, explicit unlocks on all branches, and a declared
+// lock-transfer.
+package unlockpathgood
+
+import (
+	"errors"
+	"sync"
+)
+
+type store struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	m  map[string]int
+}
+
+// Deferred covers every exit, including the panic edge.
+func (s *store) Deferred(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.m[k]
+	if !ok {
+		panic("missing key")
+	}
+	return v
+}
+
+// AllBranches unlocks explicitly on both paths.
+func (s *store) AllBranches(k string) (int, error) {
+	s.mu.Lock()
+	v, ok := s.m[k]
+	if !ok {
+		s.mu.Unlock()
+		return 0, errors.New("missing")
+	}
+	s.mu.Unlock()
+	return v, nil
+}
+
+// ReadPath pairs RLock with RUnlock.
+func (s *store) ReadPath() int {
+	s.rw.RLock()
+	n := len(s.m)
+	s.rw.RUnlock()
+	return n
+}
+
+// LoopBalanced locks and unlocks within each iteration, breaking only
+// after the release.
+func (s *store) LoopBalanced(keys []string) int {
+	total := 0
+	for _, k := range keys {
+		s.mu.Lock()
+		v, ok := s.m[k]
+		s.mu.Unlock()
+		if !ok {
+			break
+		}
+		total += v
+	}
+	return total
+}
+
+// LockAndGet transfers the obligation to the caller, and says so.
+//
+//bix:unlockok (returns holding mu; caller must Unlock via Release)
+func (s *store) LockAndGet(k string) int {
+	s.mu.Lock()
+	return s.m[k]
+}
+
+// Release is the matching half of the transfer.
+//
+//bix:lockheld
+func (s *store) Release() { s.mu.Unlock() }

@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// UnlockPath verifies that every mutex acquisition is released on every
+// path out of the function: normal returns, falls off the end, early
+// returns from branches, labeled breaks, and explicit panic(...) exits.
+// It runs a forward may-held dataflow over the CFG — facts are
+// (mutex, mode, acquisition site) triples — and reports any acquisition
+// that can reach the exit block still held.
+//
+// `defer mu.Unlock()` discharges the obligation for all paths, including
+// panic edges, which is exactly why the repository prefers that idiom; an
+// explicit Unlock discharges only the paths that execute it. RLock must be
+// paired with RUnlock and Lock with Unlock — releasing a write lock with
+// RUnlock (or vice versa) leaves the obligation standing and is reported.
+//
+// A function that intentionally returns with the lock held (lock-transfer
+// across an API boundary) can declare it with `//bix:unlockok (reason)`.
+var UnlockPath = &Analyzer{
+	Name: "unlockpath",
+	Doc:  "every Lock/RLock must reach an Unlock/RUnlock on all paths, including panic and defer edges",
+	Run:  runUnlockPath,
+}
+
+// acqElem encodes one live acquisition as a lattice element. The fields
+// never contain '|': keys are type/package paths plus a field name, and
+// the rest are enum/int renderings.
+func acqElem(ref lockRef) string {
+	return ref.key + "|" + ref.name + "|" + strconv.Itoa(int(ref.op)) + "|" + strconv.Itoa(int(ref.call.Pos()))
+}
+
+func parseAcqElem(e string) (key, name string, op lockOp, pos token.Pos) {
+	parts := strings.SplitN(e, "|", 4)
+	opInt, _ := strconv.Atoi(parts[2])
+	posInt, _ := strconv.Atoi(parts[3])
+	return parts[0], parts[1], lockOp(opInt), token.Pos(posInt)
+}
+
+func runUnlockPath(pass *Pass) {
+	for _, fn := range funcDecls(pass.Pkg) {
+		if hasDirective(fn.Doc, "unlockok") {
+			continue
+		}
+		checkUnlockPaths(pass, fn.Name.Name, fn.Body)
+		for _, lit := range funcLits(fn.Body) {
+			checkUnlockPaths(pass, fn.Name.Name+" (func literal)", lit.Body)
+		}
+	}
+}
+
+func checkUnlockPaths(pass *Pass, name string, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	cfg := BuildCFG(name, body)
+	deferred := deferredReleases(info, cfg)
+	transfer := func(b *Block, in FlowFact) FlowFact {
+		s := in.(StringSet)
+		for _, n := range b.Nodes {
+			switch n.(type) {
+			case *ast.DeferStmt, *ast.GoStmt:
+				continue
+			}
+			inspectShallow(n, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				ref, ok := lockCall(info, call)
+				if !ok {
+					return true
+				}
+				if ref.op.acquires() {
+					s = s.With(acqElem(ref))
+				} else if rel := ref.op.releases(); rel >= 0 {
+					key := ref.key
+					s = s.Without(func(e string) bool {
+						k, _, op, _ := parseAcqElem(e)
+						return k == key && op == rel
+					})
+				}
+				return true
+			})
+		}
+		return s
+	}
+	facts := SolveForward(cfg, FlowProblem{Entry: NewStringSet(), Transfer: transfer, Join: UnionSets})
+	exitIn, ok := facts[cfg.Exit]
+	if !ok {
+		return // exit unreachable (e.g. infinite loop): no exiting path to audit
+	}
+	for _, e := range exitIn.(StringSet).Sorted() {
+		key, lockName, op, pos := parseAcqElem(e)
+		if deferred[key][op] {
+			continue
+		}
+		release := "Unlock"
+		if op == opRLock {
+			release = "RUnlock"
+		}
+		pass.Reportf(pos,
+			"%s: %s.%s() can reach function exit without a matching %s.%s() on every path (including panic edges); release it on all paths or defer the %s",
+			name, lockName, op, lockName, release, release)
+	}
+}
