@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test lint sarif race bixdebug fuzz ci
+.PHONY: all build vet test lint sarif race bixdebug scaling fuzz ci
 
 all: build
 
@@ -28,7 +28,10 @@ race:
 
 bixdebug:
 	$(GO) test -tags bixdebug ./internal/invariant ./internal/bitvec ./internal/wah ./internal/core
-	$(GO) test -race -tags bixdebug ./internal/invariant ./internal/bitvec ./internal/wah ./internal/core ./internal/engine ./internal/buffer ./internal/telemetry ./internal/mutable
+	$(GO) test -race -tags bixdebug ./internal/invariant ./internal/bitvec ./internal/wah ./internal/core ./internal/engine ./internal/buffer ./internal/telemetry ./internal/mutable ./internal/storage
+
+scaling:
+	$(GO) run ./cmd/bixbench -scaling -rows 262144 -segbits 14 -workers 1,2 -json /tmp/bixbench-scaling.json
 
 # The full gate: build + vet + lint + race-enabled tests, same order as CI.
 # Equivalent to `go run ./cmd/bixlint -ci`.

@@ -37,6 +37,8 @@ var wantAPI = []string{
 	"BufferHitStats", "MetricsHandler", "NewQueryTrace", "NewSlowQueryLog",
 	"QueryPhase", "QueryTrace", "SlowQueryLog", "Telemetry",
 	"TelemetryRegistry", "TelemetrySnapshot", "WriteMetrics",
+	// Segmented evaluation surface (PR 4).
+	"SegConfig", "DefaultSegBits",
 }
 
 // exportedDecls parses the non-test files of the root package and returns

@@ -202,7 +202,7 @@ func benchBatch(b *testing.B, workers int) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ix.EvalBatch(queries, workers, nil)
+		ix.EvalBatch(queries, workers, nil, nil)
 	}
 }
 

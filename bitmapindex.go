@@ -229,6 +229,15 @@ func NewStreamingBuilder(card uint64, base Base, enc Encoding) (*Builder, error)
 // many-query entry point.
 type BatchQuery = core.Query
 
+// SegConfig tunes segmented (intra-query parallel) evaluation; the zero
+// value selects the default segment width and GOMAXPROCS workers. Pass it
+// to Index.SegmentedEval / SegmentedCount / SegmentedAny.
+type SegConfig = core.SegConfig
+
+// DefaultSegBits is log2 of the default segment width in bits used by
+// segmented evaluation.
+const DefaultSegBits = core.DefaultSegBits
+
 // MutableIndex layers batch maintenance (tombstone deletes, an append
 // segment, and Compact) over the immutable index — the read-mostly
 // warehouse lifecycle.

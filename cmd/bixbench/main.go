@@ -7,6 +7,11 @@
 //	bixbench -run fig8
 //	bixbench -all [-rows 200000] [-quick] [-o report.txt]
 //	bixbench -all -json bench.json [-metrics :8318]
+//	bixbench -scaling [-rows 16777216] [-segbits 18] [-workers 1,2,4] [-json scaling.json]
+//
+// -scaling benchmarks the segmented (intra-query parallel) evaluator
+// against the serial one over a knee-design range-encoded index,
+// cross-checking every parallel result bitmap against the serial bitmap.
 //
 // -json writes a machine-readable BENCH_*.json style summary next to the
 // text report: per-experiment wall times plus a query microbenchmark
@@ -23,6 +28,8 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"bitmapindex"
@@ -43,6 +50,9 @@ type options struct {
 	Out     string
 	JSON    string // write a machine-readable summary here
 	Metrics string // serve /metrics on this address while running
+	Scaling bool   // run the segmented-evaluation scaling benchmark
+	SegBits int    // segment width for -scaling (0 = library default)
+	Workers string // comma-separated worker counts for -scaling
 }
 
 func main() {
@@ -57,6 +67,9 @@ func main() {
 	flag.BoolVar(&o.CSV, "csv", false, "emit comma-separated rows (with #-comment headers) for plotting")
 	flag.StringVar(&o.JSON, "json", "", "write a machine-readable benchmark summary to this file")
 	flag.StringVar(&o.Metrics, "metrics", "", "serve the telemetry registry at this address (e.g. :8318) during the run")
+	flag.BoolVar(&o.Scaling, "scaling", false, "benchmark segmented (intra-query parallel) evaluation vs serial")
+	flag.IntVar(&o.SegBits, "segbits", 0, "segment width (log2 bits) for -scaling; 0 selects the library default")
+	flag.StringVar(&o.Workers, "workers", "1,2,4", "comma-separated worker counts for -scaling")
 	flag.Parse()
 	if err := realMain(o); err != nil {
 		fmt.Fprintln(os.Stderr, "bixbench:", err)
@@ -73,6 +86,28 @@ type benchReport struct {
 	Quick       bool             `json:"quick"`
 	Experiments []benchExpResult `json:"experiments"`
 	QueryBench  *queryBench      `json:"query_bench,omitempty"`
+	Scaling     *scalingReport   `json:"scaling,omitempty"`
+}
+
+// scalingReport summarizes the -scaling benchmark: one heavy range query
+// evaluated serially and then segment-parallel at each worker count.
+// Speedups are relative to the serial evaluator on this machine; check
+// Cores before reading anything into them — on a single-core runner the
+// parallel path can only measure its own overhead.
+type scalingReport struct {
+	Rows      int            `json:"rows"`
+	Card      int            `json:"card"`
+	SegBits   int            `json:"segbits"`
+	Cores     int            `json:"cores"`
+	Op        string         `json:"op"`
+	SerialSec float64        `json:"serial_seconds_per_query"`
+	Points    []scalingPoint `json:"points"`
+}
+
+type scalingPoint struct {
+	Workers int     `json:"workers"`
+	Sec     float64 `json:"seconds_per_query"`
+	Speedup float64 `json:"speedup_vs_serial"`
 }
 
 type benchExpResult struct {
@@ -135,6 +170,24 @@ func realMain(o options) (err error) {
 		}()
 		w = f
 	}
+	if o.Scaling {
+		sr, serr := runScaling(o, w)
+		if serr != nil {
+			return serr
+		}
+		if o.JSON != "" {
+			report := benchReport{
+				Schema:    "bixbench/v1",
+				GoVersion: runtime.Version(),
+				Rows:      o.Rows,
+				Seed:      o.Seed,
+				Quick:     o.Quick,
+				Scaling:   sr,
+			}
+			return writeJSONReport(o.JSON, report)
+		}
+		return nil
+	}
 	cfg := experiments.Config{Rows: o.Rows, Seed: o.Seed, Quick: o.Quick, CSV: o.CSV}
 	var todo []experiments.Experiment
 	switch {
@@ -178,19 +231,101 @@ func realMain(o options) (err error) {
 			return err
 		}
 		report.QueryBench = qb
-		f, err := os.Create(o.JSON)
-		if err != nil {
-			return err
-		}
-		enc := json.NewEncoder(f)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(report); err != nil {
-			_ = f.Close() // the encode error takes precedence
-			return err
-		}
-		return f.Close()
+		return writeJSONReport(o.JSON, report)
 	}
 	return nil
+}
+
+func writeJSONReport(path string, report benchReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		_ = f.Close() // the encode error takes precedence
+		return err
+	}
+	return f.Close()
+}
+
+// parseWorkers parses the -workers list, e.g. "1,2,4".
+func parseWorkers(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -workers entry %q (want positive integers, e.g. \"1,2,4\")", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-workers list is empty")
+	}
+	return out, nil
+}
+
+// runScaling builds a knee-design range-encoded index over uniform data
+// and times one heavy range query (A <= card/2, the worst case for scans)
+// serially and segment-parallel at each requested worker count, verifying
+// every parallel result against the serial bitmap.
+func runScaling(o options, w io.Writer) (*scalingReport, error) {
+	workerCounts, err := parseWorkers(o.Workers)
+	if err != nil {
+		return nil, err
+	}
+	const card = 100
+	col := data.Uniform(o.Rows, card, o.Seed)
+	ix, err := bitmapindex.New(col.Values, card)
+	if err != nil {
+		return nil, err
+	}
+	op, v := bitmapindex.Le, uint64(card/2)
+	serialSec, want := timePerQuery(func() *bitmapindex.Bitmap {
+		return ix.Eval(op, v, nil)
+	})
+	sr := &scalingReport{
+		Rows:      o.Rows,
+		Card:      card,
+		SegBits:   o.SegBits,
+		Cores:     runtime.GOMAXPROCS(0),
+		Op:        fmt.Sprintf("A <= %d", v),
+		SerialSec: serialSec,
+	}
+	fmt.Fprintf(w, "segmented scaling: rows=%d card=%d segbits=%d cores=%d op=%q\n",
+		sr.Rows, card, o.SegBits, sr.Cores, sr.Op)
+	fmt.Fprintf(w, "  serial      %12.6fs/query\n", serialSec)
+	for _, nw := range workerCounts {
+		cfg := bitmapindex.SegConfig{SegBits: o.SegBits, Workers: nw}
+		sec, got := timePerQuery(func() *bitmapindex.Bitmap {
+			return ix.SegmentedEval(op, v, nil, cfg)
+		})
+		if !got.Equal(want) {
+			return nil, fmt.Errorf("segmented result at %d workers differs from serial", nw)
+		}
+		p := scalingPoint{Workers: nw, Sec: sec, Speedup: serialSec / sec}
+		sr.Points = append(sr.Points, p)
+		fmt.Fprintf(w, "  workers=%-3d %12.6fs/query  speedup %.2fx\n", p.Workers, p.Sec, p.Speedup)
+	}
+	return sr, nil
+}
+
+// timePerQuery runs f for at least 3 repetitions and ~150ms and returns
+// the mean seconds per call plus the last result.
+func timePerQuery(f func() *bitmapindex.Bitmap) (float64, *bitmapindex.Bitmap) {
+	var res *bitmapindex.Bitmap
+	reps := 0
+	t0 := time.Now()
+	for reps < 3 || time.Since(t0) < 150*time.Millisecond {
+		res = f()
+		reps++
+	}
+	return time.Since(t0).Seconds() / float64(reps), res
 }
 
 // runQueryBench evaluates one range query per distinct value against a

@@ -80,3 +80,57 @@ func TestRealMainJSON(t *testing.T) {
 		t.Error("latency buckets missing")
 	}
 }
+
+// TestRealMainScaling runs the segmented-evaluation scaling benchmark at a
+// small size and checks both the text output and the JSON section.
+func TestRealMainScaling(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "s.txt")
+	jsonOut := filepath.Join(dir, "scaling.json")
+	o := options{Scaling: true, Rows: 1 << 15, Seed: 1, SegBits: 12, Workers: "1,2", Out: out, JSON: jsonOut}
+	if err := realMain(o); err != nil {
+		t.Fatal(err)
+	}
+	text, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(text), "segmented scaling") {
+		t.Fatalf("scaling report missing header:\n%s", text)
+	}
+	raw, err := os.ReadFile(jsonOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("scaling.json is not valid JSON: %v\n%s", err, raw)
+	}
+	if rep.Scaling == nil {
+		t.Fatal("JSON report has no scaling section")
+	}
+	s := rep.Scaling
+	if s.Rows != 1<<15 || s.SegBits != 12 || s.Cores < 1 || s.SerialSec <= 0 {
+		t.Fatalf("bad scaling header: %+v", s)
+	}
+	if len(s.Points) != 2 || s.Points[0].Workers != 1 || s.Points[1].Workers != 2 {
+		t.Fatalf("bad scaling points: %+v", s.Points)
+	}
+	for _, p := range s.Points {
+		if p.Sec <= 0 || p.Speedup <= 0 {
+			t.Fatalf("non-positive measurement: %+v", p)
+		}
+	}
+}
+
+func TestParseWorkers(t *testing.T) {
+	got, err := parseWorkers(" 1, 2,8 ")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 8 {
+		t.Fatalf("parseWorkers = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "0", "a", "1,-2"} {
+		if _, err := parseWorkers(bad); err == nil {
+			t.Errorf("parseWorkers(%q): want error", bad)
+		}
+	}
+}

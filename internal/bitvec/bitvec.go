@@ -380,11 +380,16 @@ func (v *Vector) UnmarshalBinary(data []byte) error {
 }
 
 // SetPayload overwrites v with an n-bit vector decoded from the given
-// payload bytes (the PayloadBytes format).
+// payload bytes (the PayloadBytes format). The payload must be exactly
+// ceil(n/8) bytes: trailing garbage would make the "canonical round trip"
+// property ambiguous, so oversized payloads are rejected rather than
+// silently truncated. (Stray bits past n within the final byte are still
+// masked off, as PayloadBytes itself produces them for lengths that are
+// not a multiple of 8.)
 func (v *Vector) SetPayload(n int, payload []byte) error {
 	nb := (n + 7) / 8
-	if len(payload) < nb {
-		return fmt.Errorf("bitvec: payload too short: have %d bytes, need %d", len(payload), nb)
+	if len(payload) != nb {
+		return fmt.Errorf("bitvec: payload size mismatch: have %d bytes, need exactly %d", len(payload), nb)
 	}
 	v.n = n
 	v.words = make([]uint64, wordsFor(n))

@@ -16,6 +16,10 @@ func FuzzPayloadRoundTrip(f *testing.F) {
 		}
 		p, _ := v.MarshalBinary()
 		f.Add(p)
+		// Oversized payloads (trailing garbage past ceil(n/8)) must be
+		// rejected, not silently truncated; seed that shape explicitly.
+		f.Add(append(p, 0xAA))
+		f.Add(append(p, 0x00))
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var v Vector

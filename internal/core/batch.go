@@ -13,12 +13,30 @@ type Query struct {
 	V  uint64
 }
 
-// EvalBatch evaluates many predicates concurrently and returns the result
-// bitmaps in input order. The index is immutable, so queries share it
-// without locking; parallelism <= 0 selects GOMAXPROCS. Per-query
-// statistics are accumulated into stats[i] when stats is non-nil (it must
-// then have len(queries) entries).
-func (ix *Index) EvalBatch(queries []Query, parallelism int, stats []Stats) []*bitvec.Vector {
+// batchIntraMinRows is the row count above which a batch with fewer
+// queries than workers switches from inter-query to intra-query
+// (segmented) parallelism: below it, per-segment dispatch overhead
+// outweighs the idle workers. Package variable so tests can lower it.
+var batchIntraMinRows = 1 << 21
+
+// EvalBatch evaluates many predicates and returns the result bitmaps in
+// input order. The index is immutable, so queries share it without
+// locking; parallelism <= 0 selects GOMAXPROCS. Per-query statistics are
+// accumulated into stats[i] when stats is non-nil (it must then have
+// len(queries) entries).
+//
+// tmpl, when non-nil, is an options template applied to every query so
+// callers can thread Fetch/Buffered/Trace through the batch. tmpl.Stats
+// is ignored — sharing one Stats across concurrent queries would race;
+// use the stats slice, which stays per-query. When queries may run
+// concurrently (parallelism > 1), tmpl.Fetch and tmpl.Buffered must be
+// safe for concurrent use (tmpl.Trace already is).
+//
+// Parallelism is spent across queries when the batch is wide enough, and
+// within queries (SegmentedEval) when there are fewer queries than
+// workers over a large index — one heavy predicate over many rows should
+// use every core, not one.
+func (ix *Index) EvalBatch(queries []Query, parallelism int, stats []Stats, tmpl *EvalOptions) []*bitvec.Vector {
 	if stats != nil && len(stats) != len(queries) {
 		panic("core: stats length differs from queries")
 	}
@@ -29,16 +47,36 @@ func (ix *Index) EvalBatch(queries []Query, parallelism int, stats []Stats) []*b
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
+	opt := func(i int) *EvalOptions {
+		if tmpl == nil && stats == nil {
+			return nil
+		}
+		var o EvalOptions
+		if tmpl != nil {
+			o = *tmpl
+		}
+		o.Stats = nil
+		if stats != nil {
+			o.Stats = &stats[i]
+		}
+		return &o
+	}
+	if len(queries) < parallelism && ix.rows >= batchIntraMinRows {
+		// Few queries, many rows: run the queries sequentially and spend
+		// the parallelism inside each one. Sequential queries also mean a
+		// non-concurrency-safe tmpl.Fetch stays safe here, matching
+		// SegmentedEval's sequential-prefetch contract.
+		for i, q := range queries {
+			out[i] = ix.SegmentedEval(q.Op, q.V, opt(i), SegConfig{Workers: parallelism})
+		}
+		return out
+	}
 	if parallelism > len(queries) {
 		parallelism = len(queries)
 	}
 	if parallelism == 1 {
 		for i, q := range queries {
-			var opt *EvalOptions
-			if stats != nil {
-				opt = &EvalOptions{Stats: &stats[i]}
-			}
-			out[i] = ix.Eval(q.Op, q.V, opt)
+			out[i] = ix.Eval(q.Op, q.V, opt(i))
 		}
 		return out
 	}
@@ -50,11 +88,7 @@ func (ix *Index) EvalBatch(queries []Query, parallelism int, stats []Stats) []*b
 			defer wg.Done()
 			for i := range next {
 				q := queries[i]
-				var opt *EvalOptions
-				if stats != nil {
-					opt = &EvalOptions{Stats: &stats[i]}
-				}
-				out[i] = ix.Eval(q.Op, q.V, opt)
+				out[i] = ix.Eval(q.Op, q.V, opt(i))
 			}
 		}()
 	}

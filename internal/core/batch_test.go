@@ -23,7 +23,7 @@ func TestEvalBatchMatchesSequential(t *testing.T) {
 	}
 	for _, par := range []int{0, 1, 2, 7, 64, len(queries) + 5} {
 		stats := make([]Stats, len(queries))
-		got := ix.EvalBatch(queries, par, stats)
+		got := ix.EvalBatch(queries, par, stats, nil)
 		if len(got) != len(queries) {
 			t.Fatalf("par=%d: got %d results", par, len(got))
 		}
@@ -42,7 +42,7 @@ func TestEvalBatchMatchesSequential(t *testing.T) {
 
 func TestEvalBatchEdgeCases(t *testing.T) {
 	ix, _ := Build([]uint64{0, 1}, 2, Base{2}, RangeEncoded, nil)
-	if out := ix.EvalBatch(nil, 4, nil); len(out) != 0 {
+	if out := ix.EvalBatch(nil, 4, nil, nil); len(out) != 0 {
 		t.Fatal("empty batch must return empty slice")
 	}
 	defer func() {
@@ -50,7 +50,7 @@ func TestEvalBatchEdgeCases(t *testing.T) {
 			t.Fatal("mismatched stats length must panic")
 		}
 	}()
-	ix.EvalBatch([]Query{{Op: Eq, V: 0}}, 1, make([]Stats, 2))
+	ix.EvalBatch([]Query{{Op: Eq, V: 0}}, 1, make([]Stats, 2), nil)
 }
 
 func BenchmarkEvalBatchParallel(b *testing.B) {
@@ -69,6 +69,6 @@ func BenchmarkEvalBatchParallel(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ix.EvalBatch(queries, 0, nil)
+		ix.EvalBatch(queries, 0, nil, nil)
 	}
 }

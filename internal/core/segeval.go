@@ -1,0 +1,328 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bitmapindex/internal/bitvec"
+	"bitmapindex/internal/invariant"
+	"bitmapindex/internal/telemetry"
+)
+
+// segeval.go — segmented (intra-query parallel) evaluation.
+//
+// The row space is partitioned into fixed-width segments of 2^SegBits bits
+// (word-aligned by construction), the predicate is compiled once into a
+// segProgram (segprog.go), and a pool of workers replays the program over
+// the segments concurrently using the range-restricted bitvec kernels.
+// Each worker writes only its own segments' windows of the shared result
+// vector, so stitching is free: the windows are disjoint and the final
+// vector is complete once every segment is processed.
+
+// DefaultSegBits is log2 of the default segment width in bits: 2^18 bits
+// = 32 KiB per bitmap per segment, small enough that one segment's working
+// set (result + a few registers + the referenced bitmap windows) stays
+// cache-resident, large enough that per-segment dispatch overhead is noise.
+const DefaultSegBits = 18
+
+// MinSegBits is the smallest accepted segment width (one 64-bit word).
+const MinSegBits = 6
+
+// SegConfig tunes segmented evaluation.
+type SegConfig struct {
+	// SegBits is log2 of the segment width in bits. 0 selects
+	// DefaultSegBits; values below MinSegBits are clamped up.
+	SegBits int
+	// Workers bounds the number of goroutines combining segments,
+	// including the calling goroutine. <= 0 selects GOMAXPROCS. The
+	// effective count never exceeds the number of segments or the pool
+	// size.
+	Workers int
+}
+
+func (cfg SegConfig) normalized() SegConfig {
+	if cfg.SegBits == 0 {
+		cfg.SegBits = DefaultSegBits
+	}
+	if cfg.SegBits < MinSegBits {
+		cfg.SegBits = MinSegBits
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	return cfg
+}
+
+// segPool is the process-wide segment worker pool: GOMAXPROCS goroutines
+// started on first use and reused across queries. Submission is
+// non-blocking — when every pool worker is busy (e.g. with another
+// query's segments) the submitting query just runs with fewer helpers,
+// because the calling goroutine always drains segments itself. That makes
+// concurrent segmented queries degrade gracefully instead of deadlocking
+// or over-subscribing the CPU.
+var segPool struct {
+	once sync.Once
+	jobs chan func()
+}
+
+func segPoolStart() {
+	n := runtime.GOMAXPROCS(0)
+	segPool.jobs = make(chan func())
+	telemetry.SegmentWorkers.Set(int64(n))
+	for i := 0; i < n; i++ {
+		go segPoolWorker()
+	}
+}
+
+func segPoolWorker() {
+	for fn := range segPool.jobs {
+		fn()
+	}
+}
+
+// segPoolSubmit hands fn to an idle pool worker, reporting false when none
+// is idle (the jobs channel is unbuffered, so the send succeeds only if a
+// worker is blocked receiving).
+func segPoolSubmit(fn func()) bool {
+	segPool.once.Do(segPoolStart)
+	select {
+	case segPool.jobs <- fn:
+		return true
+	default:
+		return false
+	}
+}
+
+// Evaluation modes of segRun.
+const (
+	segMaterialize = iota // build the full result vector
+	segCount              // per-segment popcount, no shared result
+	segAny                // early exit on the first non-empty segment
+)
+
+// SegmentedEval evaluates (A op v) exactly like Eval but combines bitmaps
+// segment-by-segment across a worker pool, using up to cfg.Workers
+// goroutines. The result is bit-identical to Eval's and the reported
+// Stats are the same (verified under -tags bixdebug).
+//
+// All opt.Fetch and opt.Buffered calls happen sequentially on the calling
+// goroutine before any parallel work starts, so the callbacks need not be
+// safe for concurrent use — a CachedStore's per-query closures work
+// unchanged. The fetched bitmaps themselves are only read concurrently.
+func (ix *Index) SegmentedEval(op Op, v uint64, opt *EvalOptions, cfg SegConfig) *bitvec.Vector {
+	res, _, _ := ix.segRun(op, v, opt, cfg, segMaterialize)
+	return res
+}
+
+// SegmentedCount evaluates (A op v) and returns only the number of
+// qualifying records, popcounting each segment in place of stitching a
+// result vector — the fast path for COUNT(*) consumers.
+func (ix *Index) SegmentedCount(op Op, v uint64, opt *EvalOptions, cfg SegConfig) int {
+	_, n, _ := ix.segRun(op, v, opt, cfg, segCount)
+	return n
+}
+
+// SegmentedAny evaluates (A op v) and reports whether any record
+// qualifies, stopping all workers as soon as one segment turns up a set
+// bit. Reported operation counts still cover the full program, since the
+// logical per-query cost measures do not depend on the early exit.
+func (ix *Index) SegmentedAny(op Op, v uint64, opt *EvalOptions, cfg SegConfig) bool {
+	_, _, any := ix.segRun(op, v, opt, cfg, segAny)
+	return any
+}
+
+func (ix *Index) segRun(op Op, v uint64, opt *EvalOptions, cfg SegConfig, mode int) (*bitvec.Vector, int, bool) {
+	cfg = cfg.normalized()
+	var o EvalOptions
+	if opt != nil {
+		o = *opt
+	}
+	t0 := time.Now()
+	prog := ix.compileSeg(op, v)
+
+	// Prefetch every referenced bitmap sequentially on this goroutine
+	// (the documented Fetch contract), counting scans per distinct stored
+	// bitmap exactly like qctx.fetch would.
+	srcs := make([]*bitvec.Vector, len(prog.refs))
+	scans := 0
+	for i, rf := range prog.refs {
+		if rf.comp < 0 {
+			srcs[i] = ix.nn
+			continue
+		}
+		if o.Stats != nil && (o.Buffered == nil || !o.Buffered(rf.comp, rf.slot)) {
+			scans++
+		}
+		sp := o.Trace.Start(telemetry.PhaseFetch)
+		if o.Fetch != nil {
+			srcs[i] = o.Fetch(rf.comp, rf.slot)
+		} else {
+			srcs[i] = ix.comps[rf.comp][rf.slot]
+		}
+		sp.End()
+	}
+
+	nwords := (ix.rows + 63) / 64
+	segWords := 1 << (cfg.SegBits - 6)
+	nseg := (nwords + segWords - 1) / segWords
+
+	var res *bitvec.Vector
+	if mode == segMaterialize {
+		res = bitvec.New(ix.rows)
+	}
+	var next atomic.Int64
+	var total atomic.Int64
+	var found atomic.Bool
+	drain := func() {
+		// Worker-local scratch registers, allocated on the first segment
+		// this goroutine actually claims. In materialize mode register 0
+		// aliases the shared result: workers write disjoint word windows,
+		// so no synchronization is needed beyond the final wg.Wait.
+		var regs []*bitvec.Vector
+		local := 0
+		for {
+			if mode == segAny && found.Load() {
+				break
+			}
+			s := int(next.Add(1)) - 1
+			if s >= nseg {
+				break
+			}
+			if regs == nil {
+				regs = make([]*bitvec.Vector, prog.nregs)
+				if mode == segMaterialize {
+					regs[0] = res
+				}
+				for i := range regs {
+					if regs[i] == nil {
+						regs[i] = bitvec.New(ix.rows)
+					}
+				}
+			}
+			lo := s * segWords
+			hi := lo + segWords
+			if hi > nwords {
+				hi = nwords
+			}
+			ts := time.Now()
+			runSegment(prog, srcs, regs, lo, hi)
+			switch mode {
+			case segCount:
+				local += regs[0].CountRange(lo, hi)
+			case segAny:
+				if regs[0].AnyRange(lo, hi) {
+					found.Store(true)
+				}
+			}
+			o.Trace.Add(telemetry.PhaseSegments, time.Since(ts))
+		}
+		if local != 0 {
+			total.Add(int64(local))
+		}
+	}
+
+	workers := cfg.Workers
+	if workers > nseg {
+		workers = nseg
+	}
+	var wg sync.WaitGroup
+	for i := 1; i < workers; i++ {
+		wg.Add(1)
+		if !segPoolSubmit(func() { defer wg.Done(); drain() }) {
+			wg.Done()
+			break // pool saturated; the caller still drains everything
+		}
+	}
+	drain()
+	wg.Wait()
+
+	if o.Stats != nil {
+		o.Stats.Scans += scans
+		o.Stats.Ands += prog.ops.Ands
+		o.Stats.Ors += prog.ops.Ors
+		o.Stats.Xors += prog.ops.Xors
+		o.Stats.Nots += prog.ops.Nots
+	}
+	telemetry.SegmentEvalTotal.Inc()
+	telemetry.RecordEval(scans, prog.ops.Ands, prog.ops.Ors, prog.ops.Xors,
+		prog.ops.Nots, time.Since(t0))
+
+	count := int(total.Load())
+	any := found.Load()
+	if invariant.Enabled {
+		ix.segCrossCheck(op, v, prog, srcs, mode, res, count, any)
+	}
+	return res, count, any
+}
+
+// runSegment replays the compiled program over the word window [lo, hi).
+//
+//bix:hotpath
+func runSegment(p *segProgram, srcs, regs []*bitvec.Vector, lo, hi int) {
+	for i := range p.instrs {
+		in := &p.instrs[i]
+		dst := regs[in.dst]
+		var src *bitvec.Vector
+		if in.src.ref >= 0 {
+			src = srcs[in.src.ref]
+		} else if in.src.reg >= 0 {
+			src = regs[in.src.reg]
+		}
+		switch in.kind {
+		case sLoad:
+			dst.CopyRange(src, lo, hi)
+		case sZero:
+			dst.ZeroRange(lo, hi)
+		case sOnes:
+			dst.OnesRange(lo, hi)
+		case sAnd:
+			dst.AndRange(src, lo, hi)
+		case sOr:
+			dst.OrRange(src, lo, hi)
+		case sXor:
+			dst.XorRange(src, lo, hi)
+		case sAndNot:
+			dst.AndNotRange(src, lo, hi)
+		case sNot:
+			dst.NotRange(lo, hi)
+		}
+	}
+}
+
+// segCrossCheck (bixdebug only) re-evaluates the predicate with the serial
+// encoding-specific evaluator, resolving fetches from the already
+// prefetched bitmaps, and asserts the segmented outcome matches bit for
+// bit (or count for count / any for any).
+func (ix *Index) segCrossCheck(op Op, v uint64, prog *segProgram, srcs []*bitvec.Vector, mode int, res *bitvec.Vector, count int, any bool) {
+	byKey := make(map[segRef]*bitvec.Vector, len(prog.refs))
+	for i, rf := range prog.refs {
+		if rf.comp >= 0 {
+			byKey[rf] = srcs[i]
+		}
+	}
+	sopt := &EvalOptions{Fetch: func(comp, slot int) *bitvec.Vector {
+		bv, ok := byKey[segRef{comp: comp, slot: slot}]
+		invariant.Assert(ok, "core: serial evaluator fetched a bitmap the segment program did not")
+		return bv
+	}}
+	var want *bitvec.Vector
+	switch ix.enc {
+	case RangeEncoded:
+		want = ix.EvalRangeOpt(op, v, sopt)
+	case EqualityEncoded:
+		want = ix.EvalEquality(op, v, sopt)
+	default:
+		want = ix.EvalInterval(op, v, sopt)
+	}
+	switch mode {
+	case segMaterialize:
+		invariant.TailZero(res.Words(), res.Len())
+		invariant.Assert(want.Equal(res), "core: segmented result differs from serial")
+	case segCount:
+		invariant.Assert(want.Count() == count, "core: segmented count differs from serial")
+	default: // segAny
+		invariant.Assert(want.Any() == any, "core: segmented any differs from serial")
+	}
+}

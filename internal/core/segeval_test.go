@@ -1,0 +1,253 @@
+package core
+
+import (
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"bitmapindex/internal/bitvec"
+)
+
+// segSizes are row counts straddling the default segment boundary
+// (k*2^18 +/- 1), where window/tail-mask bugs live.
+var segSizes = []int{(1 << 18) - 1, 1 << 18, (1 << 18) + 1}
+
+// TestSegmentedMatchesSerialProperty is the keystone property test:
+// segmented evaluation returns the same bitmap AND the same Stats as the
+// serial evaluator for every encoding, every operator, boundary row
+// counts, several bases and several segment configurations.
+func TestSegmentedMatchesSerialProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	const card = 20
+	bases := []Base{{5, 4}, {20}, {5, 2, 2}}
+	cfgs := []SegConfig{
+		{}, // defaults: one or two segments at these sizes
+		{SegBits: 14, Workers: 3},
+		{SegBits: MinSegBits, Workers: 1},
+	}
+	for _, n := range segSizes {
+		vals := make([]uint64, n)
+		for i := range vals {
+			vals[i] = uint64(r.Intn(card))
+		}
+		for _, base := range bases {
+			for _, enc := range []Encoding{RangeEncoded, EqualityEncoded, IntervalEncoded} {
+				ix, err := Build(vals, card, base, enc, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, op := range AllOps {
+					for _, v := range []uint64{0, 7, card - 1, card + 5} {
+						var wst Stats
+						want := ix.Eval(op, v, &EvalOptions{Stats: &wst})
+						for _, cfg := range cfgs {
+							var gst Stats
+							got := ix.SegmentedEval(op, v, &EvalOptions{Stats: &gst}, cfg)
+							if !got.Equal(want) {
+								t.Fatalf("n=%d base=%v enc=%v A %s %d cfg=%+v: segmented result differs",
+									n, base, enc, op, v, cfg)
+							}
+							if gst != wst {
+								t.Fatalf("n=%d base=%v enc=%v A %s %d cfg=%+v: stats %+v, want %+v",
+									n, base, enc, op, v, cfg, gst, wst)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSegmentedLargeMultiSegment covers a run of several full segments
+// plus a ragged tail at a narrower segment width.
+func TestSegmentedLargeMultiSegment(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	n := 3<<16 + 1
+	const card = 100
+	vals := make([]uint64, n)
+	for i := range vals {
+		vals[i] = uint64(r.Intn(card))
+	}
+	ix, err := Build(vals, card, Base{10, 10}, RangeEncoded, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SegConfig{SegBits: 12, Workers: 4} // 17 segments
+	for _, op := range AllOps {
+		for v := uint64(0); v < card; v += 13 {
+			want := ix.Eval(op, v, nil)
+			if got := ix.SegmentedEval(op, v, nil, cfg); !got.Equal(want) {
+				t.Fatalf("A %s %d: segmented result differs", op, v)
+			}
+			if got := ix.SegmentedCount(op, v, nil, cfg); got != want.Count() {
+				t.Fatalf("A %s %d: SegmentedCount = %d, want %d", op, v, got, want.Count())
+			}
+			if got := ix.SegmentedAny(op, v, nil, cfg); got != want.Any() {
+				t.Fatalf("A %s %d: SegmentedAny = %v, want %v", op, v, got, want.Any())
+			}
+		}
+	}
+}
+
+// TestSegmentedCountAnyEmpty pins the count/any fast paths on empty and
+// trivial results, including a non-trivial empty result (a present-rank
+// equality that no row carries).
+func TestSegmentedCountAnyEmpty(t *testing.T) {
+	n := 1<<14 + 3
+	vals := make([]uint64, n)
+	for i := range vals {
+		vals[i] = uint64(i % 10) // values 0..9 out of card 20: ranks 10..19 are empty
+	}
+	ix, err := Build(vals, 20, Base{5, 4}, RangeEncoded, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SegConfig{SegBits: 10, Workers: 2}
+	if got := ix.SegmentedCount(Eq, 15, nil, cfg); got != 0 {
+		t.Fatalf("empty Eq count = %d", got)
+	}
+	if ix.SegmentedAny(Eq, 15, nil, cfg) {
+		t.Fatal("empty Eq reported any=true")
+	}
+	if got := ix.SegmentedCount(Lt, 0, nil, cfg); got != 0 {
+		t.Fatalf("A < 0 count = %d", got)
+	}
+	if got := ix.SegmentedCount(Ge, 0, nil, cfg); got != n {
+		t.Fatalf("A >= 0 count = %d, want %d", got, n)
+	}
+	if !ix.SegmentedAny(Le, 0, nil, cfg) {
+		t.Fatal("A <= 0 reported any=false")
+	}
+	// Trivial constants (v >= card).
+	if got := ix.SegmentedCount(Le, 99, nil, cfg); got != n {
+		t.Fatalf("trivial Le count = %d, want %d", got, n)
+	}
+	if got := ix.SegmentedCount(Gt, 99, nil, cfg); got != 0 {
+		t.Fatalf("trivial Gt count = %d", got)
+	}
+}
+
+// TestSegmentedWithNulls checks the null-masking path segment by segment.
+func TestSegmentedWithNulls(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	n := 1<<13 + 5
+	vals := make([]uint64, n)
+	nulls := make([]bool, n)
+	for i := range vals {
+		vals[i] = uint64(r.Intn(7))
+		nulls[i] = r.Intn(5) == 0
+	}
+	for _, enc := range []Encoding{RangeEncoded, EqualityEncoded, IntervalEncoded} {
+		ix, err := Build(vals, 7, Base{7}, enc, &BuildOptions{Nulls: nulls})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := SegConfig{SegBits: 9, Workers: 3}
+		for _, op := range AllOps {
+			for v := uint64(0); v < 7; v++ {
+				want := ix.Eval(op, v, nil)
+				if got := ix.SegmentedEval(op, v, nil, cfg); !got.Equal(want) {
+					t.Fatalf("enc=%v A %s %d: segmented result differs with nulls", enc, op, v)
+				}
+			}
+		}
+	}
+}
+
+// TestSegConfigNormalization pins the clamping rules.
+func TestSegConfigNormalization(t *testing.T) {
+	got := SegConfig{}.normalized()
+	if got.SegBits != DefaultSegBits || got.Workers != runtime.GOMAXPROCS(0) {
+		t.Fatalf("zero config normalized to %+v", got)
+	}
+	got = SegConfig{SegBits: 2, Workers: -3}.normalized()
+	if got.SegBits != MinSegBits || got.Workers != runtime.GOMAXPROCS(0) {
+		t.Fatalf("clamped config normalized to %+v", got)
+	}
+	// A tiny index with more workers than segments must still work.
+	ix, err := Build([]uint64{0, 1, 2, 1}, 3, Base{3}, RangeEncoded, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ix.Eval(Le, 1, nil)
+	if got := ix.SegmentedEval(Le, 1, nil, SegConfig{Workers: 64}); !got.Equal(want) {
+		t.Fatal("tiny index segmented result differs")
+	}
+}
+
+// TestEvalBatchIntraQueryPath forces the few-queries/many-rows branch and
+// checks it still returns serial-identical results and per-query stats.
+func TestEvalBatchIntraQueryPath(t *testing.T) {
+	old := batchIntraMinRows
+	batchIntraMinRows = 1 << 10
+	defer func() { batchIntraMinRows = old }()
+
+	r := rand.New(rand.NewSource(11))
+	vals := make([]uint64, 1<<12)
+	for i := range vals {
+		vals[i] = uint64(r.Intn(50))
+	}
+	ix, err := Build(vals, 50, Base{10, 5}, RangeEncoded, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []Query{{Op: Le, V: 20}, {Op: Eq, V: 7}} // fewer queries than workers
+	stats := make([]Stats, len(queries))
+	got := ix.EvalBatch(queries, 4, stats, nil)
+	for i, q := range queries {
+		var st Stats
+		want := ix.Eval(q.Op, q.V, &EvalOptions{Stats: &st})
+		if !got[i].Equal(want) {
+			t.Fatalf("query %d: intra-query batch result differs", i)
+		}
+		if stats[i] != st {
+			t.Fatalf("query %d: stats %+v, want %+v", i, stats[i], st)
+		}
+	}
+}
+
+// TestEvalBatchOptionsTemplate checks that Fetch/Buffered thread through
+// the batch and that tmpl.Stats is ignored in favor of the stats slice.
+func TestEvalBatchOptionsTemplate(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	vals := make([]uint64, 4000)
+	for i := range vals {
+		vals[i] = uint64(r.Intn(30))
+	}
+	ix, err := Build(vals, 30, Base{6, 5}, RangeEncoded, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []Query{{Op: Le, V: 10}, {Op: Gt, V: 3}, {Op: Ne, V: 7}, {Op: Eq, V: 0}}
+
+	var fetched int64
+	var tmplStats Stats
+	tmpl := &EvalOptions{
+		Stats: &tmplStats, // must be ignored
+		Fetch: func(comp, slot int) *bitvec.Vector {
+			atomic.AddInt64(&fetched, 1)
+			return ix.StoredBitmap(comp, slot)
+		},
+		Buffered: func(comp, slot int) bool { return comp == 0 && slot == 0 },
+	}
+	stats := make([]Stats, len(queries))
+	got := ix.EvalBatch(queries, 2, stats, tmpl)
+	if fetched == 0 {
+		t.Fatal("template Fetch was never called")
+	}
+	if tmplStats != (Stats{}) {
+		t.Fatalf("tmpl.Stats was written: %+v", tmplStats)
+	}
+	for i, q := range queries {
+		var st Stats
+		want := ix.Eval(q.Op, q.V, &EvalOptions{Stats: &st, Buffered: tmpl.Buffered})
+		if !got[i].Equal(want) {
+			t.Fatalf("query %d: batch result differs", i)
+		}
+		if stats[i] != st {
+			t.Fatalf("query %d: stats %+v, want %+v", i, stats[i], st)
+		}
+	}
+}

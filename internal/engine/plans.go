@@ -70,6 +70,29 @@ func (r *Relation) Select(preds []Pred, m Method) (*bitvec.Vector, Cost, error) 
 	return r.SelectTraced(preds, m, nil)
 }
 
+// SelectOptions tunes plan execution beyond the method choice.
+type SelectOptions struct {
+	// Trace, when non-nil, receives per-phase durations (plan selection,
+	// bitmap work, row filtering, result popcounts).
+	Trace *telemetry.Trace
+	// Parallel evaluates bitmap predicates with the segmented intra-query
+	// evaluator (core.SegmentedEval) instead of the serial one, so a
+	// single heavy predicate uses every core. Engine-level batches over
+	// many predicates should instead parallelize across predicates; see
+	// core.EvalBatch for the crossover heuristic.
+	Parallel bool
+	// Workers bounds segment workers when Parallel is set (0 selects
+	// GOMAXPROCS).
+	Workers int
+	// SegBits overrides the segment width when Parallel is set (0 selects
+	// the core default).
+	SegBits int
+}
+
+func (o *SelectOptions) segConfig() core.SegConfig {
+	return core.SegConfig{SegBits: o.SegBits, Workers: o.Workers}
+}
+
 // plansTotal pre-registers one execution counter per concrete plan. The
 // label values are compile-time constants (and must stay in sync with
 // Method.String), keeping the metric's cardinality statically bounded —
@@ -88,14 +111,19 @@ const plansHelp = "Query plan executions, by method."
 // be nil). Each executed plan also increments the registry's
 // bix_engine_plans_total{method=...} counter.
 func (r *Relation) SelectTraced(preds []Pred, m Method, tr *telemetry.Trace) (*bitvec.Vector, Cost, error) {
-	if len(preds) == 0 {
-		return nil, Cost{}, fmt.Errorf("engine: empty predicate list")
+	return r.SelectOpts(preds, m, &SelectOptions{Trace: tr})
+}
+
+// SelectOpts is Select with full execution options (tracing plus
+// segmented intra-query parallelism for the bitmap plan). opt may be nil.
+func (r *Relation) SelectOpts(preds []Pred, m Method, opt *SelectOptions) (*bitvec.Vector, Cost, error) {
+	if opt == nil {
+		opt = &SelectOptions{}
 	}
-	for _, p := range preds {
-		if _, err := r.Column(p.Col); err != nil {
-			return nil, Cost{}, err
-		}
+	if err := r.checkPreds(preds); err != nil {
+		return nil, Cost{}, err
 	}
+	tr := opt.Trace
 	var (
 		res *bitvec.Vector
 		c   Cost
@@ -109,9 +137,9 @@ func (r *Relation) SelectTraced(preds []Pred, m Method, tr *telemetry.Trace) (*b
 	case RIDMerge:
 		res, c, err = r.ridMerge(preds, tr)
 	case BitmapMerge:
-		res, c, err = r.bitmapMerge(preds, tr)
+		res, c, err = r.bitmapMerge(preds, opt)
 	case Auto:
-		return r.auto(preds, tr)
+		return r.auto(preds, opt)
 	default:
 		return nil, Cost{}, fmt.Errorf("engine: unknown method %v", m)
 	}
@@ -119,6 +147,18 @@ func (r *Relation) SelectTraced(preds []Pred, m Method, tr *telemetry.Trace) (*b
 		plansTotal[c.Method].Inc()
 	}
 	return res, c, err
+}
+
+func (r *Relation) checkPreds(preds []Pred) error {
+	if len(preds) == 0 {
+		return fmt.Errorf("engine: empty predicate list")
+	}
+	for _, p := range preds {
+		if _, err := r.Column(p.Col); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (r *Relation) fullScan(preds []Pred, tr *telemetry.Trace) (*bitvec.Vector, Cost, error) {
@@ -328,29 +368,41 @@ func intersectSorted(a, b []uint32) []uint32 {
 	return out
 }
 
-func (r *Relation) bitmapMerge(preds []Pred, tr *telemetry.Trace) (*bitvec.Vector, Cost, error) {
+// evalBitmapPred evaluates one predicate through the column's bitmap
+// index, honoring opt.Parallel (segmented evaluation) and accounting
+// stats into st.
+func (r *Relation) evalBitmapPred(p Pred, opt *SelectOptions, st *core.Stats) (*bitvec.Vector, error) {
+	c, _ := r.Column(p.Col)
+	if c.bitmap == nil {
+		return nil, fmt.Errorf("engine: column %q has no bitmap index", p.Col)
+	}
+	rop, rank, all, none, err := translateChecked(c, p)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case none:
+		return bitvec.New(r.Rows()), nil
+	case all:
+		return bitvec.NewOnes(r.Rows()), nil
+	case opt.Parallel:
+		return c.bitmap.SegmentedEval(rop, rank, &core.EvalOptions{Stats: st, Trace: opt.Trace}, opt.segConfig()), nil
+	default:
+		return c.bitmap.Eval(rop, rank, &core.EvalOptions{Stats: st, Trace: opt.Trace}), nil
+	}
+}
+
+func (r *Relation) bitmapMerge(preds []Pred, opt *SelectOptions) (*bitvec.Vector, Cost, error) {
+	tr := opt.Trace
 	bitmapBytes := int64((r.Rows() + 7) / 8)
 	var out *bitvec.Vector
 	var bytes int64
 	var st core.Stats
 	for _, p := range preds {
-		c, _ := r.Column(p.Col)
-		if c.bitmap == nil {
-			return nil, Cost{}, fmt.Errorf("engine: column %q has no bitmap index", p.Col)
-		}
-		rop, rank, all, none, err := translateChecked(c, p)
+		before := st
+		res, err := r.evalBitmapPred(p, opt, &st)
 		if err != nil {
 			return nil, Cost{}, err
-		}
-		var res *bitvec.Vector
-		before := st
-		switch {
-		case none:
-			res = bitvec.New(r.Rows())
-		case all:
-			res = bitvec.NewOnes(r.Rows())
-		default:
-			res = c.bitmap.Eval(rop, rank, &core.EvalOptions{Stats: &st, Trace: tr})
 		}
 		bytes += int64(st.Scans-before.Scans) * bitmapBytes
 		if out == nil {
@@ -431,7 +483,18 @@ func (r *Relation) EstimateBytes(preds []Pred, m Method) (int64, error) {
 
 // auto runs the cheapest estimable plan; the estimation pass is traced as
 // the plan phase.
-func (r *Relation) auto(preds []Pred, tr *telemetry.Trace) (*bitvec.Vector, Cost, error) {
+func (r *Relation) auto(preds []Pred, opt *SelectOptions) (*bitvec.Vector, Cost, error) {
+	best, err := r.pickPlan(preds, opt.Trace)
+	if err != nil {
+		return nil, Cost{}, err
+	}
+	return r.SelectOpts(preds, best, opt)
+}
+
+// pickPlan returns the method with the lowest estimated bytes read among
+// the plans whose indexes exist; the estimation pass is traced as the plan
+// phase.
+func (r *Relation) pickPlan(preds []Pred, tr *telemetry.Trace) (Method, error) {
 	sp := tr.Start(telemetry.PhasePlan)
 	best := Method(0)
 	bestBytes := int64(math.MaxInt64)
@@ -447,9 +510,218 @@ func (r *Relation) auto(preds []Pred, tr *telemetry.Trace) (*bitvec.Vector, Cost
 	}
 	sp.End()
 	if !found {
-		return nil, Cost{}, fmt.Errorf("engine: no executable plan")
+		return 0, fmt.Errorf("engine: no executable plan")
 	}
-	return r.SelectTraced(preds, best, tr)
+	return best, nil
+}
+
+// SelectCount evaluates the conjunction like SelectOpts but returns only
+// the number of qualifying records, pushing the count into each plan:
+// FullScan and IndexFilter count matches without building a result bitmap,
+// RIDMerge counts the intersected list, and BitmapMerge fuses the final
+// AND with the popcount (bitvec.AndCount) — with a single predicate and
+// opt.Parallel set it counts segment-by-segment (core.SegmentedCount)
+// without materializing any result vector at all. Costs report the same
+// bytes as the materializing plans; Cost.Rows is the count. opt may be
+// nil.
+func (r *Relation) SelectCount(preds []Pred, m Method, opt *SelectOptions) (int, Cost, error) {
+	if opt == nil {
+		opt = &SelectOptions{}
+	}
+	if err := r.checkPreds(preds); err != nil {
+		return 0, Cost{}, err
+	}
+	tr := opt.Trace
+	var (
+		n   int
+		c   Cost
+		err error
+	)
+	switch m {
+	case FullScan:
+		n, c, err = r.countFullScan(preds, tr)
+	case IndexFilter:
+		n, c, err = r.countIndexFilter(preds, tr)
+	case RIDMerge:
+		n, c, err = r.countRIDMerge(preds, tr)
+	case BitmapMerge:
+		n, c, err = r.countBitmapMerge(preds, opt)
+	case Auto:
+		best, perr := r.pickPlan(preds, tr)
+		if perr != nil {
+			return 0, Cost{}, perr
+		}
+		return r.SelectCount(preds, best, opt)
+	default:
+		return 0, Cost{}, fmt.Errorf("engine: unknown method %v", m)
+	}
+	if err == nil && int(c.Method) < len(plansTotal) {
+		plansTotal[c.Method].Inc()
+	}
+	return n, c, err
+}
+
+func (r *Relation) countFullScan(preds []Pred, tr *telemetry.Trace) (int, Cost, error) {
+	sp := tr.Start(telemetry.PhaseFilter)
+	cols := make([]*Column, len(preds))
+	for i, p := range preds {
+		cols[i], _ = r.Column(p.Col)
+	}
+	n := 0
+	for row := 0; row < r.Rows(); row++ {
+		ok := true
+		for i, p := range preds {
+			if !p.matches(cols[i], row) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			n++
+		}
+	}
+	sp.End()
+	return n, Cost{Method: FullScan, BytesRead: int64(r.Rows()) * int64(r.RowBytes()), Rows: n}, nil
+}
+
+func (r *Relation) countIndexFilter(preds []Pred, tr *telemetry.Trace) (int, Cost, error) {
+	probe := tr.Start(telemetry.PhaseFetch)
+	driver := -1
+	var driverRIDs []uint32
+	var driverBytes int64
+	for i, p := range preds {
+		c, _ := r.Column(p.Col)
+		if c.rids == nil {
+			continue
+		}
+		rids, bytes, err := r.ridsFor(p)
+		if err != nil {
+			probe.End()
+			return 0, Cost{}, err
+		}
+		if driver < 0 || len(rids) < len(driverRIDs) {
+			driver, driverRIDs, driverBytes = i, rids, bytes
+		}
+	}
+	probe.End()
+	if driver < 0 {
+		return 0, Cost{}, fmt.Errorf("engine: no RID index available for index-filter plan")
+	}
+	sp := tr.Start(telemetry.PhaseFilter)
+	cols := make([]*Column, len(preds))
+	for i, p := range preds {
+		cols[i], _ = r.Column(p.Col)
+	}
+	// Per-value RID lists are disjoint, so the driver list has no
+	// duplicates and counting candidates equals counting result bits.
+	n := 0
+	for _, rid := range driverRIDs {
+		ok := true
+		for i, p := range preds {
+			if i == driver {
+				continue
+			}
+			if !p.matches(cols[i], int(rid)) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			n++
+		}
+	}
+	sp.End()
+	cost := Cost{
+		Method:    IndexFilter,
+		BytesRead: driverBytes + int64(len(driverRIDs))*int64(r.RowBytes()),
+		Rows:      n,
+	}
+	return n, cost, nil
+}
+
+func (r *Relation) countRIDMerge(preds []Pred, tr *telemetry.Trace) (int, Cost, error) {
+	var result []uint32
+	var bytes int64
+	for i, p := range preds {
+		probe := tr.Start(telemetry.PhaseFetch)
+		rids, b, err := r.ridsFor(p)
+		probe.End()
+		if err != nil {
+			return 0, Cost{}, err
+		}
+		bytes += b
+		if i == 0 {
+			result = rids
+			continue
+		}
+		sp := tr.Start(telemetry.PhaseFilter)
+		result = intersectSorted(result, rids)
+		sp.End()
+	}
+	return len(result), Cost{Method: RIDMerge, BytesRead: bytes, Rows: len(result)}, nil
+}
+
+func (r *Relation) countBitmapMerge(preds []Pred, opt *SelectOptions) (int, Cost, error) {
+	tr := opt.Trace
+	bitmapBytes := int64((r.Rows() + 7) / 8)
+	var st core.Stats
+
+	// Single predicate: count straight off the evaluator. With Parallel
+	// set, no result vector is materialized at all.
+	if len(preds) == 1 {
+		p := preds[0]
+		c, _ := r.Column(p.Col)
+		if c.bitmap == nil {
+			return 0, Cost{}, fmt.Errorf("engine: column %q has no bitmap index", p.Col)
+		}
+		rop, rank, all, none, err := translateChecked(c, p)
+		if err != nil {
+			return 0, Cost{}, err
+		}
+		var n int
+		switch {
+		case none:
+			n = 0
+		case all:
+			n = r.Rows()
+		case opt.Parallel:
+			n = c.bitmap.SegmentedCount(rop, rank, &core.EvalOptions{Stats: &st, Trace: tr}, opt.segConfig())
+		default:
+			n = popcount(c.bitmap.Eval(rop, rank, &core.EvalOptions{Stats: &st, Trace: tr}), tr)
+		}
+		bytes := int64(st.Scans) * bitmapBytes
+		return n, Cost{Method: BitmapMerge, BytesRead: bytes, Rows: n, Stats: st}, nil
+	}
+
+	// Multi-predicate: materialize the running AND for all but the last
+	// predicate, then fuse the final AND with the popcount so the result
+	// vector of the conjunction is never written.
+	var out *bitvec.Vector
+	var bytes int64
+	n := 0
+	for k, p := range preds {
+		before := st
+		res, err := r.evalBitmapPred(p, opt, &st)
+		if err != nil {
+			return 0, Cost{}, err
+		}
+		bytes += int64(st.Scans-before.Scans) * bitmapBytes
+		switch {
+		case out == nil:
+			out = res
+		case k == len(preds)-1:
+			sp := tr.Start(telemetry.PhasePopcount)
+			n = bitvec.AndCount(out, res)
+			sp.End()
+			st.Ands++
+		default:
+			sp := tr.Start(telemetry.PhaseBoolOps)
+			out.And(res)
+			sp.End()
+			st.Ands++
+		}
+	}
+	return n, Cost{Method: BitmapMerge, BytesRead: bytes, Rows: n, Stats: st}, nil
 }
 
 // ridStats returns the matching-row count and index bytes for a predicate

@@ -27,6 +27,12 @@ type CachedStore struct {
 	byKey  map[cacheKey]*list.Element // guarded by mu
 	hits   int64                      // guarded by mu
 	misses int64                      // guarded by mu
+
+	// fetchHook, when non-nil, observes every Fetch callback before any
+	// pool access; tests use it to force evictions between touches of the
+	// same query. Set it before issuing queries and never mutate it while
+	// queries run.
+	fetchHook func(comp, slot int)
 }
 
 type cacheKey struct{ comp, slot int }
@@ -104,11 +110,14 @@ func (c *CachedStore) lookup(comp, slot int) (*bitvec.Vector, bool) {
 // insert adds a bitmap to the pool, evicting the least recently used
 // entries beyond capacity.
 func (c *CachedStore) insert(comp, slot int, v *bitvec.Vector) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// The gauge tracks lru.Len() on every path out of insert — including
+	// duplicate keys and capacity 0 — so it can never drift from the pool.
+	defer func() { telemetry.CacheResident.Set(int64(c.lru.Len())) }()
 	if c.capacity == 0 {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	key := cacheKey{comp, slot}
 	if el, ok := c.byKey[key]; ok {
 		c.lru.MoveToFront(el)
@@ -121,7 +130,69 @@ func (c *CachedStore) insert(comp, slot int, v *bitvec.Vector) {
 		c.lru.Remove(el)
 		telemetry.CacheEvictionsTotal.Inc()
 	}
-	telemetry.CacheResident.Set(int64(c.lru.Len()))
+}
+
+// queryOptions builds the per-query EvalOptions wiring the pool into the
+// evaluator. The returned callbacks share per-query state and are NOT safe
+// for concurrent use; they fit Eval and SegmentedEval (which prefetches
+// sequentially on the calling goroutine) but not concurrent batch workers
+// — those use the batch-scoped wiring in EvalBatch.
+func (c *CachedStore) queryOptions(q *query, m *Metrics) *core.EvalOptions {
+	// perQuery remembers residency as observed at first touch within this
+	// query, so the Buffered callback and Fetch agree even though Fetch
+	// also inserts into the pool.
+	perQuery := make(map[cacheKey]bool, 8)
+	wasResident := func(comp, slot int) bool {
+		key := cacheKey{comp, slot}
+		if r, ok := perQuery[key]; ok {
+			return r
+		}
+		_, resident := c.lookup(comp, slot)
+		perQuery[key] = resident
+		return resident
+	}
+	opt := &core.EvalOptions{
+		Buffered: wasResident,
+		Fetch: func(comp, slot int) *bitvec.Vector {
+			if c.fetchHook != nil {
+				c.fetchHook(comp, slot)
+			}
+			key := cacheKey{comp, slot}
+			resident, seen := perQuery[key]
+			if !seen {
+				resident = false
+				if v, ok := c.lookup(comp, slot); ok {
+					perQuery[key] = true
+					return v
+				}
+				perQuery[key] = false
+			}
+			if resident {
+				c.mu.Lock()
+				el, ok := c.byKey[key]
+				if !ok {
+					// Evicted since first touch within this query: the hit
+					// recorded at first touch no longer serves this read, so
+					// the refetch is a real pool miss. Count it, then fall
+					// through to read from the store.
+					c.misses++
+				}
+				c.mu.Unlock()
+				if ok {
+					return el.Value.(cacheEntry).v
+				}
+				telemetry.CacheMissesTotal.Inc()
+			}
+			v := q.fetch(comp, slot)
+			c.insert(comp, slot, v)
+			return v
+		},
+	}
+	if m != nil {
+		opt.Stats = &m.Stats
+		opt.Trace = m.Trace
+	}
+	return opt
 }
 
 // Eval evaluates (A op v) through the pool: resident bitmaps cost nothing
@@ -139,50 +210,117 @@ func (c *CachedStore) Eval(op core.Op, v uint64, m *Metrics) (res *bitvec.Vector
 	}()
 	telemetry.StorageQueriesTotal.Inc()
 	q := &query{s: c.store, m: m}
-	// perQuery remembers residency as observed at first touch within this
-	// query, so the Buffered callback and Fetch agree even though Fetch
-	// also inserts into the pool.
-	perQuery := make(map[cacheKey]bool, 8)
-	wasResident := func(comp, slot int) bool {
-		key := cacheKey{comp, slot}
-		if r, ok := perQuery[key]; ok {
-			return r
-		}
-		_, resident := c.lookup(comp, slot)
-		perQuery[key] = resident
-		return resident
-	}
-	opt := &core.EvalOptions{
-		Buffered: wasResident,
-		Fetch: func(comp, slot int) *bitvec.Vector {
-			key := cacheKey{comp, slot}
-			resident, seen := perQuery[key]
-			if !seen {
-				resident = false
-				if v, ok := c.lookup(comp, slot); ok {
-					perQuery[key] = true
-					return v
-				}
-				perQuery[key] = false
-			}
-			if resident {
-				c.mu.Lock()
-				el, ok := c.byKey[key]
-				c.mu.Unlock()
-				if ok {
-					return el.Value.(cacheEntry).v
-				}
-				// Evicted since first touch within this query; fall through.
-			}
-			v := q.fetch(comp, slot)
-			c.insert(comp, slot, v)
-			return v
-		},
-	}
+	opt := c.queryOptions(q, m)
 	if m != nil {
 		m.Queries++
-		opt.Stats = &m.Stats
-		opt.Trace = m.Trace
 	}
 	return c.store.shell.Eval(op, v, opt), nil
+}
+
+// EvalSegmented evaluates (A op v) through the pool like Eval, but with
+// intra-query segment parallelism (core.SegmentedEval). The pool's
+// per-query callbacks are not concurrency-safe, which is fine here:
+// SegmentedEval guarantees all Fetch/Buffered calls happen sequentially on
+// the calling goroutine before any parallel work starts, and the fetched
+// bitmaps are only read by the workers.
+func (c *CachedStore) EvalSegmented(op core.Op, v uint64, m *Metrics, cfg core.SegConfig) (res *bitvec.Vector, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if se, ok := r.(storageErr); ok {
+				res, err = nil, se.err
+				return
+			}
+			panic(r)
+		}
+	}()
+	telemetry.StorageQueriesTotal.Inc()
+	q := &query{s: c.store, m: m}
+	opt := c.queryOptions(q, m)
+	if m != nil {
+		m.Queries++
+	}
+	return c.store.shell.SegmentedEval(op, v, opt, cfg), nil
+}
+
+// resident reports pool residency without touching recency or the hit/miss
+// counters; it backs the batch path's Buffered callback.
+func (c *CachedStore) resident(comp, slot int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.byKey[cacheKey{comp, slot}]
+	return ok
+}
+
+// EvalBatch evaluates many predicates through the pool via core.EvalBatch,
+// which spends parallelism across queries — or within them, on a large
+// index with few queries. Physical costs and evaluator stats accumulate
+// into m; results are in input order.
+//
+// Unlike the per-query wiring of Eval, the batch-scoped Fetch is safe for
+// concurrent use: pool lookups take the pool mutex and misses read through
+// the store with a per-call fetch context, so concurrent misses never
+// share file buffers (at the cost of possibly re-reading a CS/IS file that
+// a same-query sibling fetch also reads). Residency for scan accounting is
+// probed without counters at Buffered time, which can race benignly with
+// eviction.
+func (c *CachedStore) EvalBatch(queries []core.Query, parallelism int, m *Metrics) ([]*bitvec.Vector, error) {
+	var mu sync.Mutex // guards ferr and the merge of per-fetch metrics into m
+	var ferr error
+	rows := c.store.shell.Rows()
+	fetch := func(comp, slot int) (res *bitvec.Vector) {
+		if c.fetchHook != nil {
+			c.fetchHook(comp, slot)
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				se, ok := r.(storageErr)
+				if !ok {
+					panic(r)
+				}
+				mu.Lock()
+				if ferr == nil {
+					ferr = se.err
+				}
+				mu.Unlock()
+				// Keep the evaluator running on a worker goroutine; the
+				// batch returns the recorded error instead of the results.
+				res = bitvec.New(rows)
+			}
+		}()
+		if v, ok := c.lookup(comp, slot); ok {
+			return v
+		}
+		var local Metrics
+		q := &query{s: c.store, m: &local}
+		v := q.fetch(comp, slot)
+		c.insert(comp, slot, v)
+		if m != nil {
+			mu.Lock()
+			m.FilesRead += local.FilesRead
+			m.BytesRead += local.BytesRead
+			m.ReadNS += local.ReadNS
+			m.DecompressNS += local.DecompressNS
+			m.ExtractNS += local.ExtractNS
+			mu.Unlock()
+		}
+		return v
+	}
+	tmpl := &core.EvalOptions{Fetch: fetch, Buffered: c.resident}
+	var stats []core.Stats
+	if m != nil {
+		stats = make([]core.Stats, len(queries))
+		tmpl.Trace = m.Trace
+	}
+	out := c.store.shell.EvalBatch(queries, parallelism, stats, tmpl)
+	telemetry.StorageQueriesTotal.Add(int64(len(queries)))
+	if m != nil {
+		m.Queries += len(queries)
+		for i := range stats {
+			m.Stats.Add(stats[i])
+		}
+	}
+	if ferr != nil {
+		return nil, ferr
+	}
+	return out, nil
 }

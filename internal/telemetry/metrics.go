@@ -67,6 +67,12 @@ var (
 	// SlowQueriesTotal counts traces at or over a SlowLog threshold.
 	SlowQueriesTotal = Default().Counter("bix_slow_queries_total",
 		"Queries at or over the slow-query threshold.")
+
+	// Segmented (intra-query parallel) evaluation.
+	SegmentEvalTotal = Default().Counter("bix_segment_eval_total",
+		"Segmented (intra-query parallel) evaluator invocations.")
+	SegmentWorkers = Default().Gauge("bix_segment_workers",
+		"Segment worker pool size (GOMAXPROCS when the pool started).")
 )
 
 // LatencyBuckets is the upper-bound layout of bix_query_latency_seconds:

@@ -33,6 +33,10 @@ const (
 	PhaseFilter Phase = "filter"
 	// PhasePopcount is counting (or enumerating) result bits.
 	PhasePopcount Phase = "popcount"
+	// PhaseSegments is per-segment bitmap combination inside the segmented
+	// evaluator; one call is recorded per segment processed, so Calls
+	// doubles as the segment count. Worker time overlaps wall-clock.
+	PhaseSegments Phase = "segments"
 )
 
 type phaseAgg struct {
