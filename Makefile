@@ -3,7 +3,8 @@
 
 GO ?= go
 
-.PHONY: all build vet test lint sarif race bixdebug scaling fuzz ci
+.PHONY: all build vet test lint sarif race bixdebug scaling fuzz ci \
+	bench-baseline bench-compare
 
 all: build
 
@@ -32,6 +33,20 @@ bixdebug:
 
 scaling:
 	$(GO) run ./cmd/bixbench -scaling -rows 262144 -segbits 14 -workers 1,2 -json /tmp/bixbench-scaling.json
+
+# Regenerate the checked-in benchmark baseline. Run after an intentional
+# behavior change (count metrics moved) and commit the result; count and
+# rate metrics are exact functions of (rows, seed), so the file is
+# reproducible anywhere, while its time metrics are machine-specific and
+# only compared within the loose 35% noise allowance.
+bench-baseline:
+	$(GO) run ./cmd/bixbench -suite core -rows 65536 -seed 1 -json BENCH_core.json
+
+# Run the suite fresh and diff it against the checked-in baseline. Exits
+# non-zero on any regression past the per-kind noise thresholds.
+bench-compare:
+	$(GO) run ./cmd/bixbench -suite core -rows 65536 -seed 1 -json /tmp/bixbench-new.json
+	$(GO) run ./cmd/bixbench -compare BENCH_core.json /tmp/bixbench-new.json
 
 # The full gate: build + vet + lint + race-enabled tests, same order as CI.
 # Equivalent to `go run ./cmd/bixlint -ci`.

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Noise thresholds for the regression check, by metric kind. "count"
+// metrics are deterministic for a fixed (rows, seed) — any drift is a real
+// behavior change. "rate" metrics (hit rates) tolerate small wobble, and
+// "time" metrics must absorb scheduler and machine noise, so only large
+// wall-clock slowdowns fail.
+var compareThresholds = map[string]float64{
+	"count": 1e-9,
+	"rate":  0.05,
+	"time":  0.35,
+}
+
+// compareRow is the verdict on one metric present in either report.
+type compareRow struct {
+	Suite  string
+	Metric string
+	Kind   string
+	Old    float64
+	New    float64
+	Change float64 // relative change in the "worse" direction; NaN when old == 0
+	Status string  // "ok" | "improved" | "REGRESSED" | "missing" | "new"
+}
+
+// runCompare loads two -json reports and fails (non-nil error) when any
+// suite metric regressed past its kind's noise threshold, or when a
+// baseline metric disappeared. New metrics absent from the baseline are
+// informational.
+func runCompare(oldPath, newPath string, w io.Writer) error {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return err
+	}
+	rows := compareReports(oldRep, newRep)
+	fmt.Fprintf(w, "%-14s %-24s %-6s %14s %14s %9s  %s\n",
+		"suite", "metric", "kind", "old", "new", "change", "status")
+	regressions := 0
+	for _, r := range rows {
+		change := "-"
+		if !math.IsNaN(r.Change) {
+			change = fmt.Sprintf("%+.1f%%", r.Change*100)
+		}
+		fmt.Fprintf(w, "%-14s %-24s %-6s %14.6g %14.6g %9s  %s\n",
+			r.Suite, r.Metric, r.Kind, r.Old, r.New, change, r.Status)
+		if r.Status == "REGRESSED" || r.Status == "missing" {
+			regressions++
+		}
+	}
+	if regressions > 0 {
+		return fmt.Errorf("%d metric(s) regressed vs %s", regressions, oldPath)
+	}
+	fmt.Fprintf(w, "no regressions vs %s\n", oldPath)
+	return nil
+}
+
+func loadReport(path string) (benchReport, error) {
+	var r benchReport
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(b, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Suites) == 0 {
+		return r, fmt.Errorf("%s: no suites (run bixbench -suite core -json %s)", path, path)
+	}
+	return r, nil
+}
+
+// compareReports pairs up suite metrics by (suite, metric) name and
+// classifies each. Rows come out in baseline order, then any new metrics.
+func compareReports(oldRep, newRep benchReport) []compareRow {
+	type key struct{ suite, metric string }
+	newVals := make(map[key]suiteMetric)
+	newSeen := make(map[key]bool)
+	for _, s := range newRep.Suites {
+		for _, m := range s.Metrics {
+			newVals[key{s.Name, m.Name}] = m
+		}
+	}
+	var rows []compareRow
+	for _, s := range oldRep.Suites {
+		for _, m := range s.Metrics {
+			k := key{s.Name, m.Name}
+			nm, ok := newVals[k]
+			if !ok {
+				rows = append(rows, compareRow{Suite: s.Name, Metric: m.Name, Kind: m.Kind,
+					Old: m.Value, New: math.NaN(), Change: math.NaN(), Status: "missing"})
+				continue
+			}
+			newSeen[k] = true
+			rows = append(rows, classify(s.Name, m, nm))
+		}
+	}
+	for _, s := range newRep.Suites {
+		for _, m := range s.Metrics {
+			if !newSeen[key{s.Name, m.Name}] {
+				rows = append(rows, compareRow{Suite: s.Name, Metric: m.Name, Kind: m.Kind,
+					Old: math.NaN(), New: m.Value, Change: math.NaN(), Status: "new"})
+			}
+		}
+	}
+	return rows
+}
+
+// classify computes the relative change of one paired metric in the
+// "worse" direction (positive = worse) and applies the kind threshold.
+// The baseline's kind and direction win when the two reports disagree.
+func classify(suite string, old, new_ suiteMetric) compareRow {
+	r := compareRow{Suite: suite, Metric: old.Name, Kind: old.Kind, Old: old.Value, New: new_.Value}
+	var worse float64 // relative move in the losing direction
+	switch {
+	case old.Value == 0 && new_.Value == 0:
+		worse = 0
+	case old.Value == 0:
+		// From exactly zero any nonzero value is a full-scale move; sign
+		// follows the direction of improvement.
+		worse = math.Inf(1)
+		if old.Better == "higher" {
+			worse = math.Inf(-1)
+		}
+	default:
+		worse = (new_.Value - old.Value) / math.Abs(old.Value)
+		if old.Better == "higher" {
+			worse = -worse
+		}
+	}
+	r.Change = worse
+	threshold, ok := compareThresholds[old.Kind]
+	if !ok {
+		threshold = compareThresholds["time"] // unknown kinds get the loosest bar
+	}
+	switch {
+	case worse > threshold:
+		r.Status = "REGRESSED"
+	case worse < -threshold:
+		r.Status = "improved"
+	default:
+		r.Status = "ok"
+	}
+	return r
+}

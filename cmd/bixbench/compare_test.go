@@ -1,0 +1,216 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeSuiteReport runs the core suite at smoke size and writes its -json
+// report, returning the decoded report and the file path.
+func writeSuiteReport(t *testing.T, dir, name string) (benchReport, string) {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	o := options{Suite: "core", Rows: 8192, Seed: 1, JSON: path, Out: filepath.Join(dir, name+".txt")}
+	if err := realMain(o); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("suite report is not valid JSON: %v\n%s", err, raw)
+	}
+	return rep, path
+}
+
+// TestSuiteReportShape checks the core suite produces every expected
+// suite with sorted, kind-annotated metrics and the v2 schema markers.
+func TestSuiteReportShape(t *testing.T) {
+	rep, _ := writeSuiteReport(t, t.TempDir(), "bench.json")
+	if rep.Schema != "bixbench/v2" || rep.SchemaVersion != benchSchemaVersion {
+		t.Errorf("schema = %q/%d, want bixbench/v2/%d", rep.Schema, rep.SchemaVersion, benchSchemaVersion)
+	}
+	want := map[string]bool{"eval_range": true, "eval_equality": true, "eval_interval": true, "cache": true}
+	for _, s := range rep.Suites {
+		delete(want, s.Name)
+		if len(s.Metrics) == 0 {
+			t.Errorf("suite %s has no metrics", s.Name)
+		}
+		for i, m := range s.Metrics {
+			if i > 0 && s.Metrics[i-1].Name >= m.Name {
+				t.Errorf("suite %s metrics not sorted: %q before %q", s.Name, s.Metrics[i-1].Name, m.Name)
+			}
+			if m.Kind != "count" && m.Kind != "rate" && m.Kind != "time" {
+				t.Errorf("suite %s metric %s: unknown kind %q", s.Name, m.Name, m.Kind)
+			}
+			if m.Better != "lower" && m.Better != "higher" {
+				t.Errorf("suite %s metric %s: unknown direction %q", s.Name, m.Name, m.Better)
+			}
+		}
+	}
+	for name := range want {
+		t.Errorf("suite %s missing from report", name)
+	}
+}
+
+// TestSuiteDeterministicCounts pins the regression pipeline's core
+// assumption: two runs at the same (rows, seed) agree exactly on every
+// count and rate metric.
+func TestSuiteDeterministicCounts(t *testing.T) {
+	dir := t.TempDir()
+	a, _ := writeSuiteReport(t, dir, "a.json")
+	b, _ := writeSuiteReport(t, dir, "b.json")
+	av := suiteValues(a)
+	for k, vb := range suiteValues(b) {
+		if k.kind == "time" {
+			continue
+		}
+		if va, ok := av[k]; !ok || va != vb {
+			t.Errorf("%s/%s: run A %v, run B %v", k.suite, k.metric, av[k], vb)
+		}
+	}
+}
+
+type svKey struct{ suite, metric, kind string }
+
+func suiteValues(r benchReport) map[svKey]float64 {
+	out := make(map[svKey]float64)
+	for _, s := range r.Suites {
+		for _, m := range s.Metrics {
+			out[svKey{s.Name, m.Name, m.Kind}] = m.Value
+		}
+	}
+	return out
+}
+
+// TestCompareSelfIsClean is the acceptance check's zero-exit half: a
+// report compared against itself reports no regressions.
+func TestCompareSelfIsClean(t *testing.T) {
+	_, path := writeSuiteReport(t, t.TempDir(), "self.json")
+	var out bytes.Buffer
+	if err := runCompare(path, path, &out); err != nil {
+		t.Fatalf("self-compare failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "no regressions") {
+		t.Errorf("missing clean verdict:\n%s", out.String())
+	}
+}
+
+// TestCompareDetectsInjectedRegressions is the non-zero-exit half: worsen
+// one metric of each kind past its threshold and require failure, then
+// worsen each within threshold and require success.
+func TestCompareDetectsInjectedRegressions(t *testing.T) {
+	dir := t.TempDir()
+	rep, path := writeSuiteReport(t, dir, "base.json")
+
+	inject := func(t *testing.T, name string, mutate func(*suiteMetric)) string {
+		t.Helper()
+		cp := rep
+		cp.Suites = make([]suiteResult, len(rep.Suites))
+		for i, s := range rep.Suites {
+			cp.Suites[i] = s
+			cp.Suites[i].Metrics = append([]suiteMetric(nil), s.Metrics...)
+			for j := range cp.Suites[i].Metrics {
+				mutate(&cp.Suites[i].Metrics[j])
+			}
+		}
+		p := filepath.Join(dir, name)
+		if err := writeJSONReport(p, cp); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*suiteMetric)
+		fail   bool
+	}{
+		{"count_drift.json", func(m *suiteMetric) {
+			if m.Kind == "count" && m.Better == "lower" {
+				m.Value *= 1.01 // any count drift is a regression
+			}
+		}, true},
+		{"rate_drop.json", func(m *suiteMetric) {
+			if m.Name == "hit_rate" {
+				m.Value *= 0.80 // 20% drop > 5% threshold
+			}
+		}, true},
+		{"time_blowup.json", func(m *suiteMetric) {
+			if m.Kind == "time" {
+				m.Value *= 2 // 100% slowdown > 35% threshold
+			}
+		}, true},
+		{"time_noise.json", func(m *suiteMetric) {
+			if m.Kind == "time" {
+				m.Value *= 1.2 // within the 35% noise allowance
+			}
+		}, false},
+		{"rate_noise.json", func(m *suiteMetric) {
+			if m.Name == "hit_rate" {
+				m.Value *= 0.97 // 3% wobble < 5% threshold
+			}
+		}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := inject(t, tc.name, tc.mutate)
+			var out bytes.Buffer
+			err := runCompare(path, p, &out)
+			if tc.fail && err == nil {
+				t.Fatalf("regression not detected:\n%s", out.String())
+			}
+			if !tc.fail && err != nil {
+				t.Fatalf("noise flagged as regression: %v\n%s", err, out.String())
+			}
+			if tc.fail && !strings.Contains(out.String(), "REGRESSED") {
+				t.Errorf("table missing REGRESSED row:\n%s", out.String())
+			}
+		})
+	}
+}
+
+// TestCompareMissingMetricFails pins that a metric disappearing from the
+// new report (coverage loss) fails the comparison.
+func TestCompareMissingMetricFails(t *testing.T) {
+	dir := t.TempDir()
+	rep, path := writeSuiteReport(t, dir, "base.json")
+	cp := rep
+	cp.Suites = append([]suiteResult(nil), rep.Suites...)
+	cp.Suites[0].Metrics = cp.Suites[0].Metrics[1:] // drop one metric
+	p := filepath.Join(dir, "short.json")
+	if err := writeJSONReport(p, cp); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := runCompare(path, p, &out); err == nil {
+		t.Fatalf("dropped metric not flagged:\n%s", out.String())
+	}
+}
+
+// TestCompareRejectsNonSuiteReports checks old-style reports without
+// suites are refused with a helpful error rather than comparing nothing.
+func TestCompareRejectsNonSuiteReports(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "v1.json")
+	if err := writeJSONReport(p, benchReport{Schema: "bixbench/v1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := runCompare(p, p, io.Discard); err == nil {
+		t.Fatal("report without suites must be rejected")
+	}
+}
+
+// TestCompareCLIArity checks -compare validates its positional arguments.
+func TestCompareCLIArity(t *testing.T) {
+	if err := realMain(options{Compare: true, Args: []string{"only-one.json"}}); err == nil {
+		t.Fatal("-compare with one argument must fail")
+	}
+}

@@ -48,11 +48,14 @@ type options struct {
 	Quick   bool
 	CSV     bool
 	Out     string
-	JSON    string // write a machine-readable summary here
-	Metrics string // serve /metrics on this address while running
-	Scaling bool   // run the segmented-evaluation scaling benchmark
-	SegBits int    // segment width for -scaling (0 = library default)
-	Workers string // comma-separated worker counts for -scaling
+	JSON    string   // write a machine-readable summary here
+	Metrics string   // serve /metrics on this address while running
+	Scaling bool     // run the segmented-evaluation scaling benchmark
+	SegBits int      // segment width for -scaling (0 = library default)
+	Workers string   // comma-separated worker counts for -scaling
+	Suite   string   // run a named benchmark suite set ("core")
+	Compare bool     // compare two -json reports for regressions
+	Args    []string // positional arguments (the two reports for -compare)
 }
 
 func main() {
@@ -70,23 +73,47 @@ func main() {
 	flag.BoolVar(&o.Scaling, "scaling", false, "benchmark segmented (intra-query parallel) evaluation vs serial")
 	flag.IntVar(&o.SegBits, "segbits", 0, "segment width (log2 bits) for -scaling; 0 selects the library default")
 	flag.StringVar(&o.Workers, "workers", "1,2,4", "comma-separated worker counts for -scaling")
+	flag.StringVar(&o.Suite, "suite", "", "run a named benchmark suite set (\"core\") instead of experiments")
+	flag.BoolVar(&o.Compare, "compare", false, "compare two -json reports (old.json new.json); non-zero exit on regression")
 	flag.Parse()
+	o.Args = flag.Args()
 	if err := realMain(o); err != nil {
 		fmt.Fprintln(os.Stderr, "bixbench:", err)
 		os.Exit(1)
 	}
 }
 
-// benchReport is the -json output schema.
+// benchSchemaVersion is bumped whenever the -json layout changes shape.
+// v2 added schema_version itself and the suites section; v1 reports have
+// schema_version 0 when decoded.
+const benchSchemaVersion = 2
+
+// benchReport is the -json output schema. Struct fields (not maps) keep
+// the key order stable across runs, so reports diff cleanly and baselines
+// stay reviewable.
 type benchReport struct {
-	Schema      string           `json:"schema"` // "bixbench/v1"
-	GoVersion   string           `json:"go_version"`
-	Rows        int              `json:"rows"`
-	Seed        int64            `json:"seed"`
-	Quick       bool             `json:"quick"`
-	Experiments []benchExpResult `json:"experiments"`
-	QueryBench  *queryBench      `json:"query_bench,omitempty"`
-	Scaling     *scalingReport   `json:"scaling,omitempty"`
+	Schema        string           `json:"schema"` // "bixbench/v2"
+	SchemaVersion int              `json:"schema_version"`
+	GoVersion     string           `json:"go_version"`
+	Rows          int              `json:"rows"`
+	Seed          int64            `json:"seed"`
+	Quick         bool             `json:"quick"`
+	Experiments   []benchExpResult `json:"experiments,omitempty"`
+	QueryBench    *queryBench      `json:"query_bench,omitempty"`
+	Scaling       *scalingReport   `json:"scaling,omitempty"`
+	Suites        []suiteResult    `json:"suites,omitempty"`
+}
+
+// newReport seeds a report with the run configuration.
+func newReport(o options) benchReport {
+	return benchReport{
+		Schema:        "bixbench/v2",
+		SchemaVersion: benchSchemaVersion,
+		GoVersion:     runtime.Version(),
+		Rows:          o.Rows,
+		Seed:          o.Seed,
+		Quick:         o.Quick,
+	}
 }
 
 // scalingReport summarizes the -scaling benchmark: one heavy range query
@@ -170,20 +197,35 @@ func realMain(o options) (err error) {
 		}()
 		w = f
 	}
+	if o.Compare {
+		if len(o.Args) != 2 {
+			return fmt.Errorf("-compare needs two positional arguments: old.json new.json")
+		}
+		return runCompare(o.Args[0], o.Args[1], w)
+	}
+	if o.Suite != "" {
+		if o.Suite != "core" {
+			return fmt.Errorf("unknown suite %q (available: core)", o.Suite)
+		}
+		suites, serr := runSuites(o, w)
+		if serr != nil {
+			return serr
+		}
+		if o.JSON != "" {
+			report := newReport(o)
+			report.Suites = suites
+			return writeJSONReport(o.JSON, report)
+		}
+		return nil
+	}
 	if o.Scaling {
 		sr, serr := runScaling(o, w)
 		if serr != nil {
 			return serr
 		}
 		if o.JSON != "" {
-			report := benchReport{
-				Schema:    "bixbench/v1",
-				GoVersion: runtime.Version(),
-				Rows:      o.Rows,
-				Seed:      o.Seed,
-				Quick:     o.Quick,
-				Scaling:   sr,
-			}
+			report := newReport(o)
+			report.Scaling = sr
 			return writeJSONReport(o.JSON, report)
 		}
 		return nil
@@ -203,13 +245,7 @@ func realMain(o options) (err error) {
 		flag.Usage()
 		return fmt.Errorf("nothing to do: pass -list, -run <id> or -all")
 	}
-	report := benchReport{
-		Schema:    "bixbench/v1",
-		GoVersion: runtime.Version(),
-		Rows:      o.Rows,
-		Seed:      o.Seed,
-		Quick:     o.Quick,
-	}
+	report := newReport(o)
 	ww := cfg.Writer(w)
 	for _, e := range todo {
 		t0 := time.Now()

@@ -57,8 +57,11 @@ func TestRealMainJSON(t *testing.T) {
 	if err := json.Unmarshal(raw, &rep); err != nil {
 		t.Fatalf("bench.json is not valid JSON: %v\n%s", err, raw)
 	}
-	if rep.Schema != "bixbench/v1" {
-		t.Errorf("schema = %q, want bixbench/v1", rep.Schema)
+	if rep.Schema != "bixbench/v2" {
+		t.Errorf("schema = %q, want bixbench/v2", rep.Schema)
+	}
+	if rep.SchemaVersion != benchSchemaVersion {
+		t.Errorf("schema_version = %d, want %d", rep.SchemaVersion, benchSchemaVersion)
 	}
 	if len(rep.Experiments) != 1 || rep.Experiments[0].ID != "table1" {
 		t.Errorf("experiments = %+v, want one entry for table1", rep.Experiments)

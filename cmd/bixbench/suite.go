@@ -1,0 +1,144 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"bitmapindex/internal/core"
+	"bitmapindex/internal/data"
+	"bitmapindex/internal/design"
+	"bitmapindex/internal/storage"
+)
+
+// suiteResult is one named benchmark suite in the -json report. Metrics
+// are sorted by name so reports diff cleanly and the compare mode never
+// depends on emission order.
+type suiteResult struct {
+	Name    string        `json:"name"`
+	Metrics []suiteMetric `json:"metrics"`
+}
+
+// suiteMetric is one measured quantity with the metadata the regression
+// checker needs: Kind selects the noise threshold ("count" metrics are
+// deterministic for a fixed seed, "rate" mildly noisy, "time" wall-clock
+// noisy) and Better the direction of improvement.
+type suiteMetric struct {
+	Name   string  `json:"name"`
+	Kind   string  `json:"kind"`   // "count" | "rate" | "time"
+	Better string  `json:"better"` // "lower" | "higher"
+	Value  float64 `json:"value"`
+}
+
+const suiteCard = 100
+
+// runSuites executes the canonical benchmark suite set: one query sweep
+// per bitmap encoding over a knee-design index on uniform data, plus a
+// cached-store suite exercising the buffer pool. All "count" metrics are
+// deterministic functions of (rows, seed).
+func runSuites(o options, w io.Writer) ([]suiteResult, error) {
+	col := data.Uniform(o.Rows, suiteCard, o.Seed)
+	base, err := design.Knee(suiteCard)
+	if err != nil {
+		return nil, err
+	}
+	var suites []suiteResult
+	for _, enc := range []struct {
+		name string
+		enc  core.Encoding
+	}{
+		{"eval_range", core.RangeEncoded},
+		{"eval_equality", core.EqualityEncoded},
+		{"eval_interval", core.IntervalEncoded},
+	} {
+		ix, err := core.Build(col.Values, suiteCard, base, enc.enc, nil)
+		if err != nil {
+			return nil, err
+		}
+		suites = append(suites, evalSuite(enc.name, ix))
+	}
+	cs, err := cacheSuite(col, base)
+	if err != nil {
+		return nil, err
+	}
+	suites = append(suites, *cs)
+	for i := range suites {
+		sort.Slice(suites[i].Metrics, func(a, b int) bool {
+			return suites[i].Metrics[a].Name < suites[i].Metrics[b].Name
+		})
+	}
+	for _, s := range suites {
+		fmt.Fprintf(w, "suite %s:\n", s.Name)
+		for _, m := range s.Metrics {
+			fmt.Fprintf(w, "  %-24s %14.6g  (%s, better=%s)\n", m.Name, m.Value, m.Kind, m.Better)
+		}
+	}
+	return suites, nil
+}
+
+// evalSuite sweeps every operator over every predicate constant and
+// reports the paper's two cost measures (scans, boolean operations) per
+// query plus the measured wall time per query.
+func evalSuite(name string, ix *core.Index) suiteResult {
+	var st core.Stats
+	opt := &core.EvalOptions{Stats: &st}
+	n := 0
+	t0 := time.Now()
+	for _, op := range core.AllOps {
+		for v := uint64(0); v < suiteCard; v++ {
+			ix.Eval(op, v, opt)
+			n++
+		}
+	}
+	elapsed := time.Since(t0)
+	return suiteResult{Name: name, Metrics: []suiteMetric{
+		{Name: "queries", Kind: "count", Better: "higher", Value: float64(n)},
+		{Name: "scans_per_query", Kind: "count", Better: "lower", Value: float64(st.Scans) / float64(n)},
+		{Name: "ops_per_query", Kind: "count", Better: "lower", Value: float64(st.Ops()) / float64(n)},
+		{Name: "ns_per_query", Kind: "time", Better: "lower", Value: float64(elapsed.Nanoseconds()) / float64(n)},
+	}}
+}
+
+// cacheSuite saves a range-encoded index to disk and replays a query sweep
+// through a buffer pool sized at half the stored bitmaps: the steady-state
+// hit rate and per-query read volume are deterministic for a fixed seed.
+func cacheSuite(col data.Column, base core.Base) (*suiteResult, error) {
+	ix, err := core.Build(col.Values, suiteCard, base, core.RangeEncoded, nil)
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "bixbench-suite-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	st, err := storage.Save(ix, dir, storage.Options{Scheme: storage.BitmapLevel, Compress: true})
+	if err != nil {
+		return nil, err
+	}
+	cs, err := storage.NewCached(st, ix.NumBitmaps()/2)
+	if err != nil {
+		return nil, err
+	}
+	var m storage.Metrics
+	n := 0
+	t0 := time.Now()
+	for pass := 0; pass < 2; pass++ {
+		for v := uint64(0); v < suiteCard; v += 7 {
+			if _, err := cs.Eval(core.Le, v, &m); err != nil {
+				return nil, err
+			}
+			n++
+		}
+	}
+	elapsed := time.Since(t0)
+	return &suiteResult{Name: "cache", Metrics: []suiteMetric{
+		{Name: "queries", Kind: "count", Better: "higher", Value: float64(n)},
+		{Name: "hit_rate", Kind: "rate", Better: "higher", Value: cs.HitRate()},
+		{Name: "bytes_read_per_query", Kind: "count", Better: "lower", Value: float64(m.BytesRead) / float64(n)},
+		{Name: "scans_per_query", Kind: "count", Better: "lower", Value: float64(m.Stats.Scans) / float64(n)},
+		{Name: "ns_per_query", Kind: "time", Better: "lower", Value: float64(elapsed.Nanoseconds()) / float64(n)},
+	}}, nil
+}

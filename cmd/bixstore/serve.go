@@ -1,27 +1,38 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"bitmapindex"
+	"bitmapindex/internal/profile"
 )
 
 // cmdServe exposes one on-disk index over HTTP: GET /query evaluates a
-// predicate and returns JSON including the per-phase trace, GET /metrics
-// serves the telemetry registry (Prometheus text, ?format=json for JSON).
+// predicate and returns JSON including the per-phase trace (with
+// allocation attribution), GET /metrics serves the telemetry registry
+// (Prometheus text, ?format=json for JSON), GET /debug/runtime a live
+// runtime snapshot including the queries currently executing, and
+// /debug/pprof/* the standard Go profiling endpoints — CPU samples carry
+// bix_query_id/bix_phase labels tying them to individual queries.
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	var (
-		dir   = fs.String("dir", "", "index directory (required)")
-		addr  = fs.String("addr", ":8317", "listen address")
-		cache = fs.Int("cache", 0, "bitmap cache capacity (0 = no cache)")
-		slow  = fs.Duration("slow", 0, "log queries at or over this duration to stderr (0 = off)")
+		dir     = fs.String("dir", "", "index directory (required)")
+		addr    = fs.String("addr", ":8317", "listen address")
+		cache   = fs.Int("cache", 0, "bitmap cache capacity (0 = no cache)")
+		slow    = fs.Duration("slow", 0, "log queries at or over this duration to stderr (0 = off)")
+		profOut = fs.String("profile", "", "write a whole-run profile on shutdown (cpu.out = CPU, heap.out/mem* = heap)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -37,8 +48,50 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
+
+	// Feed runtime health (heap, GC pauses, goroutines, scheduler latency)
+	// into the registry for the whole lifetime of the server.
+	sampler := profile.NewSampler(nil, time.Second)
+	sampler.Start()
+	defer sampler.Stop()
+
+	// Whole-run profile: CPU runs boot-to-shutdown, heap snapshots at
+	// shutdown. Either way the file is complete only on graceful exit.
+	writeProfile := func() error { return nil }
+	if *profOut != "" {
+		switch profile.KindForPath(*profOut) {
+		case profile.CPUProfile:
+			stop, err := profile.StartCPUProfile(*profOut)
+			if err != nil {
+				return err
+			}
+			writeProfile = stop
+		case profile.HeapProfile:
+			path := *profOut
+			writeProfile = func() error { return profile.WriteHeapProfile(path) }
+		}
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	server := &http.Server{Addr: *addr, Handler: srv.mux()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- server.ListenAndServe() }()
 	fmt.Printf("serving %s on %s (cache=%d, slow>=%v)\n", *dir, *addr, *cache, *slow)
-	return http.ListenAndServe(*addr, srv.mux())
+
+	select {
+	case err := <-errCh:
+		_ = writeProfile()
+		return err
+	case <-ctx.Done():
+	}
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer shutCancel()
+	if err := server.Shutdown(shutCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		_ = writeProfile()
+		return err
+	}
+	return writeProfile()
 }
 
 // queryServer evaluates predicates against one opened index, optionally
@@ -64,17 +117,24 @@ func newQueryServer(st *bitmapindex.Store, cache int, slow time.Duration, slowW 
 	return s, nil
 }
 
-// mux routes /query and /metrics.
+// mux routes /query, /metrics, /debug/runtime and the pprof endpoints.
 func (s *queryServer) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.Handle("/metrics", bitmapindex.MetricsHandler())
+	mux.Handle("/debug/runtime", profile.Handler())
+	mux.HandleFunc("/debug/pprof/", httppprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
 	return mux
 }
 
 // queryResponse is the JSON body of a /query evaluation.
 type queryResponse struct {
 	Query     string      `json:"query"`
+	TraceID   string      `json:"trace_id"`
 	Matches   int         `json:"matches"`
 	Rows      int         `json:"rows"`
 	Scans     int         `json:"scans"`
@@ -93,10 +153,17 @@ type opCounts struct {
 	Not int `json:"not"`
 }
 
+// phaseJSON is one trace phase: call count, summed duration with per-call
+// extremes, and the heap allocation attributed to the phase (profiled
+// traces; process-global counters, see telemetry.PhaseRecord).
 type phaseJSON struct {
-	Phase string `json:"phase"`
-	Calls int    `json:"calls"`
-	NS    int64  `json:"ns"`
+	Phase        string `json:"phase"`
+	Calls        int    `json:"calls"`
+	NS           int64  `json:"ns"`
+	MinNS        int64  `json:"min_ns"`
+	MaxNS        int64  `json:"max_ns"`
+	AllocBytes   int64  `json:"alloc_bytes,omitempty"`
+	AllocObjects int64  `json:"alloc_objects,omitempty"`
 }
 
 // handleQuery evaluates q=<op> <value>; rids=1 includes matching record
@@ -112,7 +179,7 @@ func (s *queryServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	m := bitmapindex.StoreMetrics{Trace: bitmapindex.NewQueryTrace(q)}
+	m := bitmapindex.StoreMetrics{Trace: bitmapindex.NewQueryTrace(q).Profile()}
 	res, err := s.eval(op, v, &m)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -125,6 +192,7 @@ func (s *queryServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := queryResponse{
 		Query:     q,
+		TraceID:   m.Trace.ID(),
 		Matches:   matches,
 		Rows:      s.rows,
 		Scans:     m.Stats.Scans,
@@ -134,7 +202,11 @@ func (s *queryServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 		ElapsedNS: int64(elapsed),
 	}
 	for _, p := range m.Trace.Phases() {
-		resp.Phases = append(resp.Phases, phaseJSON{Phase: string(p.Phase), Calls: p.Calls, NS: int64(p.Duration)})
+		resp.Phases = append(resp.Phases, phaseJSON{
+			Phase: string(p.Phase), Calls: p.Calls, NS: int64(p.Duration),
+			MinNS: int64(p.Min), MaxNS: int64(p.Max),
+			AllocBytes: p.AllocBytes, AllocObjects: p.AllocObjects,
+		})
 	}
 	if r.URL.Query().Get("rids") == "1" {
 		limit := 20

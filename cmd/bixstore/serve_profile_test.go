@@ -1,0 +1,108 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bitmapindex"
+)
+
+// buildLargeTestIndex builds an index big enough that each fetched bitmap
+// is a large (>32KB) heap object, which the runtime's allocation counters
+// credit immediately — so the per-phase alloc deltas in the /query JSON
+// are deterministic rather than span-refill dependent.
+func buildLargeTestIndex(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	values := filepath.Join(dir, "v.txt")
+	if err := cmdGen([]string{"-values", values, "-rows", "300000", "-C", "50"}); err != nil {
+		t.Fatal(err)
+	}
+	ixDir := filepath.Join(dir, "ix")
+	if err := cmdBuild([]string{"-dir", ixDir, "-values", values, "-C", "50", "-scheme", "BS", "-z"}); err != nil {
+		t.Fatal(err)
+	}
+	return ixDir
+}
+
+// TestServeProfilingEndpoints covers the serve-side observability surface:
+// pprof endpoints respond, /debug/runtime returns a plausible snapshot,
+// and a traced /query reports its trace ID plus per-phase allocation
+// deltas.
+func TestServeProfilingEndpoints(t *testing.T) {
+	ixDir := buildLargeTestIndex(t)
+	st, err := bitmapindex.OpenIndex(ixDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := newQueryServer(st, 0, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := srv.mux()
+	get := func(path string) (*httptest.ResponseRecorder, string) {
+		t.Helper()
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		return rec, rec.Body.String()
+	}
+
+	// pprof index and a cheap concrete profile endpoint.
+	if rec, body := get("/debug/pprof/"); rec.Code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ = %d, body %.120q", rec.Code, body)
+	}
+	if rec, _ := get("/debug/pprof/heap?debug=1"); rec.Code != 200 {
+		t.Errorf("/debug/pprof/heap = %d", rec.Code)
+	}
+	if rec, _ := get("/debug/pprof/cmdline"); rec.Code != 200 {
+		t.Errorf("/debug/pprof/cmdline = %d", rec.Code)
+	}
+
+	// Runtime snapshot.
+	rec, body := get("/debug/runtime")
+	if rec.Code != 200 {
+		t.Fatalf("/debug/runtime = %d", rec.Code)
+	}
+	var rt struct {
+		GoVersion  string `json:"go_version"`
+		Goroutines int    `json:"goroutines"`
+		HeapBytes  uint64 `json:"heap_bytes"`
+	}
+	if err := json.Unmarshal([]byte(body), &rt); err != nil {
+		t.Fatalf("bad /debug/runtime JSON: %v\n%s", err, body)
+	}
+	if rt.GoVersion == "" || rt.Goroutines < 1 || rt.HeapBytes == 0 {
+		t.Errorf("implausible runtime snapshot: %+v", rt)
+	}
+
+	// Traced query: trace ID present, and the fetch phase carries the
+	// allocation of the decompressed bitmaps it materialized.
+	rec, body = get("/query?q=%3C%3D+17")
+	if rec.Code != 200 {
+		t.Fatalf("/query = %d: %s", rec.Code, body)
+	}
+	var resp queryResponse
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatalf("bad /query JSON: %v\n%s", err, body)
+	}
+	if resp.TraceID == "" || !strings.Contains(resp.TraceID, "#") {
+		t.Errorf("trace_id = %q, want name#seq", resp.TraceID)
+	}
+	var fetchAlloc int64
+	for _, p := range resp.Phases {
+		if p.MinNS > p.MaxNS || p.NS < p.MaxNS {
+			t.Errorf("phase %s: incoherent ns aggregates %+v", p.Phase, p)
+		}
+		if p.Phase == "fetch" {
+			fetchAlloc = p.AllocBytes
+		}
+	}
+	// Each fetched bitmap is 300000/8 = 37500 bytes; a one-sided range
+	// predicate fetches at least one.
+	if fetchAlloc < 300000/8 {
+		t.Errorf("fetch phase alloc_bytes = %d, want >= %d (one decompressed bitmap)", fetchAlloc, 300000/8)
+	}
+}

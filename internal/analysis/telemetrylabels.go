@@ -5,6 +5,7 @@ import (
 	"go/constant"
 	"go/types"
 	"regexp"
+	"strings"
 )
 
 // TelemetryLabels keeps the metrics registry bounded and uniformly named.
@@ -18,6 +19,12 @@ import (
 // must be a Label literal whose fields are compile-time constants. Dynamic
 // label needs are served by pre-registering one metric per known value
 // (see internal/engine's per-plan counters).
+//
+// Names must also agree with the metric kind, Prometheus-style: a Counter
+// is cumulative and must end in _total (the bix_runtime_* family feeds
+// counters by deltas exactly so this holds), while a Gauge or Histogram is
+// a point-in-time value or a distribution and must not carry the _total
+// suffix.
 var TelemetryLabels = &Analyzer{
 	Name: "telemetry-labels",
 	Doc:  "metric registrations need constant bix_* names and constant label values",
@@ -51,25 +58,33 @@ func runTelemetryLabels(pass *Pass) {
 			if !ok || sig.Recv() == nil || !sig.Variadic() {
 				return true
 			}
-			checkMetricCall(pass, call, sig)
+			checkMetricCall(pass, call, sig, sel.Sel.Name)
 			return true
 		})
 	}
 }
 
-func checkMetricCall(pass *Pass, call *ast.CallExpr, sig *types.Signature) {
+func checkMetricCall(pass *Pass, call *ast.CallExpr, sig *types.Signature, kind string) {
 	info := pass.Pkg.Info
 	if len(call.Args) == 0 {
 		return
 	}
-	// Metric name: first argument, must be a string constant in the scheme.
+	// Metric name: first argument, must be a string constant in the scheme
+	// with the suffix its kind demands.
 	if tv, ok := info.Types[call.Args[0]]; ok {
 		if tv.Value == nil {
 			pass.Reportf(call.Args[0].Pos(), "metric name must be a compile-time constant")
 		} else if tv.Value.Kind() == constant.String {
-			if name := constant.StringVal(tv.Value); !metricNameRE.MatchString(name) {
+			name := constant.StringVal(tv.Value)
+			if !metricNameRE.MatchString(name) {
 				pass.Reportf(call.Args[0].Pos(), "metric name %q does not match the bix_* scheme (%s)",
 					name, metricNameRE)
+			} else if isTotal := strings.HasSuffix(name, "_total"); kind == "Counter" && !isTotal {
+				pass.Reportf(call.Args[0].Pos(),
+					"counter %q must end in _total (cumulative metrics carry the suffix; use a Gauge for point-in-time values)", name)
+			} else if kind != "Counter" && isTotal {
+				pass.Reportf(call.Args[0].Pos(),
+					"%s %q must not end in _total (the suffix marks cumulative counters)", strings.ToLower(kind), name)
 			}
 		}
 	}

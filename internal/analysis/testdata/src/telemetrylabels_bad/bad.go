@@ -21,3 +21,10 @@ func Spread(labels []telemetry.Label) {
 func Variable(l telemetry.Label) {
 	telemetry.Default().Counter("bix_fixture_v_total", "Variable label.", l) // want "not a variable"
 }
+
+func KindSuffixes() {
+	telemetry.Default().Counter("bix_runtime_alloc_bytes", "Counter without suffix.") // want "_total"
+	telemetry.Default().Gauge("bix_runtime_heap_bytes_total", "Gauge with suffix.")   // want "must not end in _total"
+	telemetry.Default().Histogram("bix_profile_pause_total",                          // want "must not end in _total"
+		"Histogram with suffix.", telemetry.LatencyBuckets)
+}

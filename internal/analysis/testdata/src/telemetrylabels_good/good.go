@@ -24,3 +24,18 @@ func Touch(kind int) {
 	byKind[kind%len(byKind)].Inc()
 	lat.Observe(0.001)
 }
+
+// Runtime-profiling family: counters fed by deltas carry _total, the
+// point-in-time gauges and distributions do not.
+var (
+	gcCycles = telemetry.Default().Counter("bix_runtime_gc_cycles_total", "Fixture GC cycles.")
+	heap     = telemetry.Default().Gauge("bix_runtime_heap_bytes", "Fixture heap bytes.")
+	pauses   = telemetry.Default().Histogram("bix_profile_gc_pause_seconds",
+		"Fixture pauses.", telemetry.LatencyBuckets)
+)
+
+func TouchRuntime() {
+	gcCycles.Inc()
+	heap.Set(1)
+	pauses.Observe(0.001)
+}

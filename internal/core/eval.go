@@ -6,6 +6,7 @@ import (
 
 	"bitmapindex/internal/bitvec"
 	"bitmapindex/internal/invariant"
+	"bitmapindex/internal/profile"
 	"bitmapindex/internal/telemetry"
 )
 
@@ -281,16 +282,18 @@ func (ix *Index) Eval(op Op, v uint64, opt *EvalOptions) *bitvec.Vector {
 	before := *o.Stats
 	t0 := time.Now()
 	var res *bitvec.Vector
-	switch ix.enc {
-	case RangeEncoded:
-		res = ix.EvalRangeOpt(op, v, &o)
-	case EqualityEncoded:
-		res = ix.EvalEquality(op, v, &o)
-	case IntervalEncoded:
-		res = ix.EvalInterval(op, v, &o)
-	default:
-		panic("core: unknown encoding")
-	}
+	profile.Do(o.Trace.ID(), "eval", func() {
+		switch ix.enc {
+		case RangeEncoded:
+			res = ix.EvalRangeOpt(op, v, &o)
+		case EqualityEncoded:
+			res = ix.EvalEquality(op, v, &o)
+		case IntervalEncoded:
+			res = ix.EvalInterval(op, v, &o)
+		default:
+			panic("core: unknown encoding")
+		}
+	})
 	d := *o.Stats
 	if invariant.Enabled {
 		invariant.TailZero(res.Words(), res.Len())
@@ -311,7 +314,7 @@ func (ix *Index) Eval(op Op, v uint64, opt *EvalOptions) *bitvec.Vector {
 		}
 	}
 	telemetry.RecordEval(d.Scans-before.Scans, d.Ands-before.Ands,
-		d.Ors-before.Ors, d.Xors-before.Xors, d.Nots-before.Nots, time.Since(t0))
+		d.Ors-before.Ors, d.Xors-before.Xors, d.Nots-before.Nots, time.Since(t0), o.Trace)
 	return res
 }
 

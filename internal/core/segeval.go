@@ -8,6 +8,7 @@ import (
 
 	"bitmapindex/internal/bitvec"
 	"bitmapindex/internal/invariant"
+	"bitmapindex/internal/profile"
 	"bitmapindex/internal/telemetry"
 )
 
@@ -227,15 +228,19 @@ func (ix *Index) segRun(op Op, v uint64, opt *EvalOptions, cfg SegConfig, mode i
 	if workers > nseg {
 		workers = nseg
 	}
+	// Pool workers combine segments on this query's behalf from a foreign
+	// goroutine; the pprof labels are what tie their CPU samples back to
+	// the query (phase "segment" vs the caller's own "eval").
+	qid := o.Trace.ID()
 	var wg sync.WaitGroup
 	for i := 1; i < workers; i++ {
 		wg.Add(1)
-		if !segPoolSubmit(func() { defer wg.Done(); drain() }) {
+		if !segPoolSubmit(func() { defer wg.Done(); profile.Do(qid, "segment", drain) }) {
 			wg.Done()
 			break // pool saturated; the caller still drains everything
 		}
 	}
-	drain()
+	profile.Do(qid, "eval", drain)
 	wg.Wait()
 
 	if o.Stats != nil {
@@ -247,7 +252,7 @@ func (ix *Index) segRun(op Op, v uint64, opt *EvalOptions, cfg SegConfig, mode i
 	}
 	telemetry.SegmentEvalTotal.Inc()
 	telemetry.RecordEval(scans, prog.ops.Ands, prog.ops.Ors, prog.ops.Xors,
-		prog.ops.Nots, time.Since(t0))
+		prog.ops.Nots, time.Since(t0), o.Trace)
 
 	count := int(total.Load())
 	any := found.Load()

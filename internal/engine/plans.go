@@ -60,6 +60,15 @@ type Cost struct {
 	// index evaluation the plan performed (zero for plans that touch no
 	// bitmap index), so the paper's cost measures propagate to plan level.
 	Stats core.Stats
+	// AllocBytes and AllocObjects are the heap allocation deltas measured
+	// across the plan's execution (telemetry.ReadAllocs). The counters are
+	// process-global, so the attribution is exact under serial evaluation
+	// and approximate when other goroutines allocate concurrently; small
+	// objects surface only at span-refill granularity, large (>32KB)
+	// allocations immediately. Plan selection (Auto's cost estimation) is
+	// excluded.
+	AllocBytes   int64
+	AllocObjects int64
 }
 
 // Select evaluates the conjunction of preds over the relation with the
@@ -129,6 +138,7 @@ func (r *Relation) SelectOpts(preds []Pred, m Method, opt *SelectOptions) (*bitv
 		c   Cost
 		err error
 	)
+	aB, aO := telemetry.ReadAllocs()
 	switch m {
 	case FullScan:
 		res, c, err = r.fullScan(preds, tr)
@@ -139,12 +149,16 @@ func (r *Relation) SelectOpts(preds []Pred, m Method, opt *SelectOptions) (*bitv
 	case BitmapMerge:
 		res, c, err = r.bitmapMerge(preds, opt)
 	case Auto:
-		return r.auto(preds, opt)
+		return r.auto(preds, opt) // the recursive call accounts allocations
 	default:
 		return nil, Cost{}, fmt.Errorf("engine: unknown method %v", m)
 	}
-	if err == nil && int(c.Method) < len(plansTotal) {
-		plansTotal[c.Method].Inc()
+	if err == nil {
+		b, o := telemetry.ReadAllocs()
+		c.AllocBytes, c.AllocObjects = b-aB, o-aO
+		if int(c.Method) < len(plansTotal) {
+			plansTotal[c.Method].Inc()
+		}
 	}
 	return res, c, err
 }
@@ -537,6 +551,7 @@ func (r *Relation) SelectCount(preds []Pred, m Method, opt *SelectOptions) (int,
 		c   Cost
 		err error
 	)
+	aB, aO := telemetry.ReadAllocs()
 	switch m {
 	case FullScan:
 		n, c, err = r.countFullScan(preds, tr)
@@ -551,12 +566,16 @@ func (r *Relation) SelectCount(preds []Pred, m Method, opt *SelectOptions) (int,
 		if perr != nil {
 			return 0, Cost{}, perr
 		}
-		return r.SelectCount(preds, best, opt)
+		return r.SelectCount(preds, best, opt) // the recursive call accounts allocations
 	default:
 		return 0, Cost{}, fmt.Errorf("engine: unknown method %v", m)
 	}
-	if err == nil && int(c.Method) < len(plansTotal) {
-		plansTotal[c.Method].Inc()
+	if err == nil {
+		b, o := telemetry.ReadAllocs()
+		c.AllocBytes, c.AllocObjects = b-aB, o-aO
+		if int(c.Method) < len(plansTotal) {
+			plansTotal[c.Method].Inc()
+		}
 	}
 	return n, c, err
 }

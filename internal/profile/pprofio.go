@@ -1,0 +1,70 @@
+package profile
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+)
+
+// Whole-process profile capture for the CLIs (`bixstore serve -profile
+// cpu.out|heap.out`). The kind is inferred from the file name so one flag
+// covers both, mirroring the familiar -cpuprofile/-memprofile pair.
+
+// ProfileKind selects what -profile captures.
+type ProfileKind int
+
+const (
+	// CPUProfile samples CPU usage for the whole run (labels from Do
+	// appear on the samples).
+	CPUProfile ProfileKind = iota
+	// HeapProfile writes a heap snapshot at shutdown.
+	HeapProfile
+)
+
+// KindForPath infers the profile kind from the output file name: a base
+// name starting with "heap" or "mem" selects a heap profile, anything
+// else a CPU profile (the conventional spellings are cpu.out and
+// heap.out).
+func KindForPath(path string) ProfileKind {
+	base := strings.ToLower(filepath.Base(path))
+	if strings.HasPrefix(base, "heap") || strings.HasPrefix(base, "mem") {
+		return HeapProfile
+	}
+	return CPUProfile
+}
+
+// StartCPUProfile begins a CPU profile written to path and returns the
+// function that stops the profile and closes the file.
+func StartCPUProfile(path string) (stop func() error, err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("profile: start cpu profile: %w", err)
+	}
+	return func() error {
+		pprof.StopCPUProfile()
+		return f.Close()
+	}, nil
+}
+
+// WriteHeapProfile garbage-collects (so the "inuse" numbers reflect live
+// data, the standard pre-snapshot step) and writes the heap profile to
+// path.
+func WriteHeapProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("profile: write heap profile: %w", err)
+	}
+	return f.Close()
+}

@@ -1,0 +1,221 @@
+package profile
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+	"time"
+
+	"bitmapindex/internal/telemetry"
+)
+
+// Runtime metric names sampled from runtime/metrics. All exist since Go
+// 1.22; a name the runtime does not recognize yields KindBad and is
+// skipped, so the sampler degrades instead of panicking on toolchain
+// drift.
+const (
+	rmHeapBytes   = "/memory/classes/heap/objects:bytes"
+	rmHeapObjects = "/gc/heap/objects:objects"
+	rmGoroutines  = "/sched/goroutines:goroutines"
+	rmGCCycles    = "/gc/cycles/total:gc-cycles"
+	rmAllocBytes  = "/gc/heap/allocs:bytes"
+	rmGCPauses    = "/sched/pauses/total/gc:seconds"
+	rmSchedLat    = "/sched/latencies:seconds"
+)
+
+// GCPauseBuckets is the upper-bound layout of bix_runtime_gc_pause_seconds
+// and bix_runtime_sched_latency_seconds: 1µs to 100ms.
+var GCPauseBuckets = []float64{
+	1e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1,
+}
+
+// Sampler periodically reads runtime/metrics and publishes the result to
+// a telemetry registry as the bix_runtime_* series: instantaneous gauges
+// (heap bytes/objects, goroutines), monotonic counters fed by deltas (GC
+// cycles, allocated bytes) and histograms replaying the runtime's own
+// pause/latency distributions bucket-delta by bucket-delta.
+//
+// One Sampler owns its delta state; run one per process. Start/Stop
+// manage a background goroutine; SampleOnce is the single synchronous
+// pass (used by Start's loop, tests, and callers that want a fresh
+// reading without a background goroutine).
+type Sampler struct {
+	interval time.Duration
+
+	mu      sync.Mutex       // guards samples and all prev* delta state
+	samples []metrics.Sample // guarded by mu; reused across passes
+
+	prevGCCycles   uint64 // guarded by mu
+	prevAllocBytes uint64 // guarded by mu
+	prevGCPause    []uint64
+	prevSchedLat   []uint64
+	primed         bool // guarded by mu; first pass only establishes deltas
+
+	heapBytes   *telemetry.Gauge
+	heapObjects *telemetry.Gauge
+	goroutines  *telemetry.Gauge
+	gcCycles    *telemetry.Counter
+	allocBytes  *telemetry.Counter
+	gcPause     *telemetry.Histogram
+	schedLat    *telemetry.Histogram
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewSampler creates a sampler publishing into reg (nil selects the
+// process-wide default registry) every interval (<= 0 selects 1s).
+func NewSampler(reg *telemetry.Registry, interval time.Duration) *Sampler {
+	if reg == nil {
+		reg = telemetry.Default()
+	}
+	if interval <= 0 {
+		interval = time.Second
+	}
+	names := []string{rmHeapBytes, rmHeapObjects, rmGoroutines, rmGCCycles,
+		rmAllocBytes, rmGCPauses, rmSchedLat}
+	samples := make([]metrics.Sample, len(names))
+	for i, n := range names {
+		samples[i].Name = n
+	}
+	s := &Sampler{
+		interval: interval,
+		samples:  samples,
+		heapBytes: reg.Gauge("bix_runtime_heap_bytes",
+			"Bytes of live heap objects (runtime/metrics)."),
+		heapObjects: reg.Gauge("bix_runtime_heap_objects",
+			"Live heap objects (runtime/metrics)."),
+		goroutines: reg.Gauge("bix_runtime_goroutines",
+			"Live goroutines."),
+		gcCycles: reg.Counter("bix_runtime_gc_cycles_total",
+			"Completed GC cycles."),
+		allocBytes: reg.Counter("bix_runtime_alloc_bytes_total",
+			"Cumulative heap bytes allocated."),
+		gcPause: reg.Histogram("bix_runtime_gc_pause_seconds",
+			"Stop-the-world GC pause durations.", GCPauseBuckets),
+		schedLat: reg.Histogram("bix_runtime_sched_latency_seconds",
+			"Time goroutines spent runnable before running.", GCPauseBuckets),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	return s
+}
+
+// Start launches the background sampling loop. The first pass runs
+// immediately, so gauges are live before the first interval elapses.
+func (s *Sampler) Start() {
+	go func() {
+		defer close(s.done)
+		s.SampleOnce()
+		t := time.NewTicker(s.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-t.C:
+				s.SampleOnce()
+			}
+		}
+	}()
+}
+
+// Stop halts the background loop and waits for it to exit. Safe to call
+// more than once; a Sampler that was never Started must not be Stopped.
+func (s *Sampler) Stop() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	<-s.done
+}
+
+// SampleOnce performs one synchronous sampling pass. The first pass only
+// primes the delta state (boot-to-now GC history would otherwise flood
+// the histograms); every later pass publishes.
+func (s *Sampler) SampleOnce() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	metrics.Read(s.samples)
+	for i := range s.samples {
+		v := s.samples[i].Value
+		switch s.samples[i].Name {
+		case rmHeapBytes:
+			if v.Kind() == metrics.KindUint64 {
+				s.heapBytes.Set(int64(v.Uint64()))
+			}
+		case rmHeapObjects:
+			if v.Kind() == metrics.KindUint64 {
+				s.heapObjects.Set(int64(v.Uint64()))
+			}
+		case rmGoroutines:
+			if v.Kind() == metrics.KindUint64 {
+				s.goroutines.Set(int64(v.Uint64()))
+			}
+		case rmGCCycles:
+			if v.Kind() == metrics.KindUint64 {
+				cur := v.Uint64()
+				if s.primed && cur > s.prevGCCycles {
+					s.gcCycles.Add(int64(cur - s.prevGCCycles))
+				}
+				s.prevGCCycles = cur
+			}
+		case rmAllocBytes:
+			if v.Kind() == metrics.KindUint64 {
+				cur := v.Uint64()
+				if s.primed && cur > s.prevAllocBytes {
+					s.allocBytes.Add(int64(cur - s.prevAllocBytes))
+				}
+				s.prevAllocBytes = cur
+			}
+		case rmGCPauses:
+			if v.Kind() == metrics.KindFloat64Histogram {
+				s.prevGCPause = replayHistogram(s.gcPause, v.Float64Histogram(), s.prevGCPause, s.primed)
+			}
+		case rmSchedLat:
+			if v.Kind() == metrics.KindFloat64Histogram {
+				s.prevSchedLat = replayHistogram(s.schedLat, v.Float64Histogram(), s.prevSchedLat, s.primed)
+			}
+		}
+	}
+	s.primed = true
+}
+
+// replayHistogram feeds the bucket-count growth of a runtime
+// Float64Histogram since prev into dst, observing each bucket's
+// representative value (midpoint; boundary for half-open edge buckets)
+// once per new count. Returns the updated prev snapshot.
+func replayHistogram(dst *telemetry.Histogram, h *metrics.Float64Histogram, prev []uint64, primed bool) []uint64 {
+	if prev == nil || len(prev) != len(h.Counts) {
+		prev = make([]uint64, len(h.Counts))
+		primed = false // bucket layout changed; re-prime
+	}
+	for i, c := range h.Counts {
+		if primed && c > prev[i] {
+			dst.ObserveN(bucketValue(h.Buckets, i), int64(c-prev[i]))
+		}
+		prev[i] = c
+	}
+	return prev
+}
+
+// bucketValue picks the representative observation value for runtime
+// histogram bucket i with boundaries bounds[i], bounds[i+1] (either edge
+// may be infinite).
+func bucketValue(bounds []float64, i int) float64 {
+	if i+1 >= len(bounds) {
+		if len(bounds) == 0 {
+			return 0
+		}
+		return bounds[len(bounds)-1]
+	}
+	lo, hi := bounds[i], bounds[i+1]
+	switch {
+	case math.IsInf(lo, -1) && math.IsInf(hi, 1):
+		return 0
+	case math.IsInf(lo, -1):
+		return hi
+	case math.IsInf(hi, 1):
+		return lo
+	default:
+		return (lo + hi) / 2
+	}
+}

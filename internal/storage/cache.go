@@ -4,9 +4,11 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+	"time"
 
 	"bitmapindex/internal/bitvec"
 	"bitmapindex/internal/core"
+	"bitmapindex/internal/profile"
 	"bitmapindex/internal/telemetry"
 )
 
@@ -151,6 +153,10 @@ func (c *CachedStore) queryOptions(q *query, m *Metrics) *core.EvalOptions {
 		perQuery[key] = resident
 		return resident
 	}
+	var qid string
+	if m != nil {
+		qid = m.Trace.ID()
+	}
 	opt := &core.EvalOptions{
 		Buffered: wasResident,
 		Fetch: func(comp, slot int) *bitvec.Vector {
@@ -183,7 +189,7 @@ func (c *CachedStore) queryOptions(q *query, m *Metrics) *core.EvalOptions {
 				}
 				telemetry.CacheMissesTotal.Inc()
 			}
-			v := q.fetch(comp, slot)
+			v := fillPool(qid, func() *bitvec.Vector { return q.fetch(comp, slot) })
 			c.insert(comp, slot, v)
 			return v
 		},
@@ -267,6 +273,10 @@ func (c *CachedStore) EvalBatch(queries []core.Query, parallelism int, m *Metric
 	var mu sync.Mutex // guards ferr and the merge of per-fetch metrics into m
 	var ferr error
 	rows := c.store.shell.Rows()
+	var qid string
+	if m != nil {
+		qid = m.Trace.ID()
+	}
 	fetch := func(comp, slot int) (res *bitvec.Vector) {
 		if c.fetchHook != nil {
 			c.fetchHook(comp, slot)
@@ -292,7 +302,7 @@ func (c *CachedStore) EvalBatch(queries []core.Query, parallelism int, m *Metric
 		}
 		var local Metrics
 		q := &query{s: c.store, m: &local}
-		v := q.fetch(comp, slot)
+		v := fillPool(qid, func() *bitvec.Vector { return q.fetch(comp, slot) })
 		c.insert(comp, slot, v)
 		if m != nil {
 			mu.Lock()
@@ -323,4 +333,15 @@ func (c *CachedStore) EvalBatch(queries []core.Query, parallelism int, m *Metric
 		return nil, ferr
 	}
 	return out, nil
+}
+
+// fillPool runs a pool-miss read under the "cache_fill" pprof label (so CPU
+// spent inflating and extracting bitmaps is attributed to the query that
+// missed) and charges the elapsed time to bix_cache_fill_ns_total.
+func fillPool(queryID string, read func() *bitvec.Vector) *bitvec.Vector {
+	t0 := time.Now()
+	defer func() { telemetry.CacheFillNSTotal.Add(int64(time.Since(t0))) }()
+	var v *bitvec.Vector
+	profile.Do(queryID, "cache_fill", func() { v = read() })
+	return v
 }

@@ -1,0 +1,56 @@
+package storage
+
+import (
+	"testing"
+
+	"bitmapindex/internal/core"
+	"bitmapindex/internal/profile"
+	"bitmapindex/internal/telemetry"
+)
+
+// TestCacheFillCounterAdvances checks pool misses charge their read time
+// to bix_cache_fill_ns_total while pool hits do not.
+func TestCacheFillCounterAdvances(t *testing.T) {
+	_, cs := cachedFixture(t, 1000)
+	before := telemetry.CacheFillNSTotal.Value()
+	if _, err := cs.Eval(core.Le, 17, nil); err != nil {
+		t.Fatal(err)
+	}
+	cold := telemetry.CacheFillNSTotal.Value()
+	if cold <= before {
+		t.Fatalf("cold query advanced fill counter by %d ns, want > 0", cold-before)
+	}
+	// Second identical query: everything resident, no fill time.
+	if _, err := cs.Eval(core.Le, 17, nil); err != nil {
+		t.Fatal(err)
+	}
+	if warm := telemetry.CacheFillNSTotal.Value(); warm != cold {
+		t.Fatalf("warm query advanced fill counter by %d ns, want 0", warm-cold)
+	}
+}
+
+// TestCacheFillCarriesPprofLabel checks a traced query's pool misses run
+// under the cache_fill pprof label, attributing decompress/extract CPU to
+// the query that missed.
+func TestCacheFillCarriesPprofLabel(t *testing.T) {
+	_, cs := cachedFixture(t, 1000)
+	m := &Metrics{Trace: telemetry.NewTrace("fill-probe")}
+	var observed []profile.QueryLabel
+	cs.fetchHook = func(comp, slot int) {
+		if observed == nil {
+			observed = profile.ActiveQueryLabels()
+		}
+	}
+	if _, err := cs.Eval(core.Le, 17, m); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ql := range observed {
+		if ql.QueryID == m.Trace.ID() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no pprof label for trace %q during cached eval, saw %+v", m.Trace.ID(), observed)
+	}
+}

@@ -62,10 +62,13 @@ type HistogramSnapshot struct {
 	P99     float64          `json:"p99"`
 }
 
-// BucketSnapshot is one cumulative histogram bucket.
+// BucketSnapshot is one cumulative histogram bucket. Exemplar, when
+// present, is the most recent observation recorded into this bucket with a
+// trace ID (ObserveExemplar), linking the bucket to one concrete query.
 type BucketSnapshot struct {
-	LE         float64 `json:"le"`
-	Cumulative int64   `json:"cumulative"`
+	LE         float64   `json:"le"`
+	Cumulative int64     `json:"cumulative"`
+	Exemplar   *Exemplar `json:"exemplar,omitempty"`
 }
 
 // Snapshot is a point-in-time JSON-serializable view of a registry, keyed
@@ -100,7 +103,8 @@ func (r *Registry) Snapshot() Snapshot {
 			}
 			cum := m.h.Cumulative()
 			for i, b := range m.h.bounds {
-				h.Buckets = append(h.Buckets, BucketSnapshot{LE: b, Cumulative: cum[i]})
+				h.Buckets = append(h.Buckets,
+					BucketSnapshot{LE: b, Cumulative: cum[i], Exemplar: m.h.BucketExemplar(i)})
 			}
 			s.Histograms[m.id] = h
 		}

@@ -3,22 +3,40 @@ package telemetry
 import (
 	"sort"
 	"sync/atomic"
+	"time"
 )
 
 // Histogram is a fixed-bucket histogram with atomic counters. Buckets are
 // defined by their inclusive upper bounds; an implicit +Inf bucket catches
-// the overflow, matching Prometheus histogram semantics.
+// the overflow, matching Prometheus histogram semantics. Each bucket can
+// additionally hold one exemplar — the most recent observation recorded
+// with ObserveExemplar — linking the bucket back to a concrete trace ID.
 type Histogram struct {
-	bounds []float64      // strictly increasing upper bounds
-	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
-	count  atomic.Int64
-	sum    atomicFloat
+	bounds    []float64      // strictly increasing upper bounds
+	counts    []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	count     atomic.Int64
+	sum       atomicFloat
+	exemplars []atomic.Pointer[Exemplar] // len(bounds)+1, last-write-wins per bucket
+}
+
+// Exemplar ties one observation to the trace that produced it, in the
+// spirit of OpenMetrics exemplars: a recent raw value per bucket plus the
+// trace ID to look up for detail. Exported in the JSON snapshot only (the
+// 0.0.4 text format predates exemplars).
+type Exemplar struct {
+	Value   float64   `json:"value"`
+	TraceID string    `json:"trace_id"`
+	Time    time.Time `json:"time"`
 }
 
 func newHistogram(bounds []float64) *Histogram {
 	b := append([]float64(nil), bounds...)
 	sort.Float64s(b)
-	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+	return &Histogram{
+		bounds:    b,
+		counts:    make([]atomic.Int64, len(b)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(b)+1),
+	}
 }
 
 // Observe records one observation.
@@ -27,6 +45,40 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[i].Add(1)
 	h.count.Add(1)
 	h.sum.Add(v)
+}
+
+// ObserveN records n identical observations of v in one shot — the bulk
+// path the runtime sampler uses to replay runtime/metrics histogram bucket
+// deltas without n atomic round trips.
+func (h *Histogram) ObserveN(v float64, n int64) {
+	if n <= 0 {
+		return
+	}
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(n)
+	h.count.Add(n)
+	h.sum.Add(v * float64(n))
+}
+
+// ObserveExemplar records one observation and stamps its bucket's exemplar
+// with the trace ID (last write wins; an empty ID records no exemplar).
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	if traceID != "" {
+		h.exemplars[i].Store(&Exemplar{Value: v, TraceID: traceID, Time: time.Now()})
+	}
+}
+
+// BucketExemplar returns the exemplar of bucket i (0..len(Bounds()), the
+// last being +Inf), or nil when that bucket has none yet.
+func (h *Histogram) BucketExemplar(i int) *Exemplar {
+	if i < 0 || i >= len(h.exemplars) {
+		return nil
+	}
+	return h.exemplars[i].Load()
 }
 
 // Count returns the total number of observations.

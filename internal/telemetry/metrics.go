@@ -57,6 +57,8 @@ var (
 		"Bitmaps evicted from the LRU pool.")
 	CacheResident = Default().Gauge("bix_cache_resident_bitmaps",
 		"Bitmaps currently resident in the LRU pool.")
+	CacheFillNSTotal = Default().Counter("bix_cache_fill_ns_total",
+		"Nanoseconds spent reading bitmaps into the LRU pool on misses.")
 
 	// Static buffer assignments (internal/buffer).
 	BufferHitsTotal = Default().Counter("bix_buffer_hits_total",
@@ -89,13 +91,15 @@ var ScanBuckets = []float64{0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128
 
 // RecordEval publishes one evaluator invocation to the default registry:
 // the per-query scan and operation deltas plus the wall-clock latency.
-func RecordEval(scans, ands, ors, xors, nots int, elapsed time.Duration) {
+// When tr is a live trace, its ID is recorded as the latency bucket's
+// exemplar, so the JSON export links each bucket to a recent real query.
+func RecordEval(scans, ands, ors, xors, nots int, elapsed time.Duration, tr *Trace) {
 	QueriesTotal.Inc()
 	ScansTotal.Add(int64(scans))
 	AndsTotal.Add(int64(ands))
 	OrsTotal.Add(int64(ors))
 	XorsTotal.Add(int64(xors))
 	NotsTotal.Add(int64(nots))
-	QueryLatency.Observe(elapsed.Seconds())
+	QueryLatency.ObserveExemplar(elapsed.Seconds(), tr.ID())
 	QueryScans.Observe(float64(scans))
 }

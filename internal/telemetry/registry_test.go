@@ -157,7 +157,7 @@ func kindFor(w int) string {
 
 func TestRecordEvalFeedsDefaultRegistry(t *testing.T) {
 	before := Default().Snapshot()
-	RecordEval(3, 2, 1, 0, 1, 1500*time.Microsecond)
+	RecordEval(3, 2, 1, 0, 1, 1500*time.Microsecond, NewTrace("record-eval-test"))
 	after := Default().Snapshot()
 	if d := after.Counters["bix_scans_total"] - before.Counters["bix_scans_total"]; d != 3 {
 		t.Fatalf("scans delta = %d, want 3", d)

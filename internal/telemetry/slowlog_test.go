@@ -1,0 +1,122 @@
+package telemetry
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// slowTrace builds a finished trace whose total is at least d (the trace
+// measures wall clock, so we backdate the start instead of sleeping).
+func slowTrace(name string, d time.Duration) *Trace {
+	t := NewTrace(name)
+	t.start = t.start.Add(-d)
+	t.Add(PhaseFetch, d/2)
+	return t
+}
+
+func TestSlowLogThresholdEdge(t *testing.T) {
+	l := NewSlowLog(10*time.Millisecond, nil, 4)
+	if l.Threshold() != 10*time.Millisecond {
+		t.Fatalf("threshold = %v", l.Threshold())
+	}
+	if l.Observe("fast", slowTrace("fast", time.Millisecond)) {
+		t.Error("1ms observed as slow against a 10ms threshold")
+	}
+	// At-threshold is slow: Observe keeps totals >= threshold, not just >.
+	if !l.Observe("edge", slowTrace("edge", 10*time.Millisecond)) {
+		t.Error("total exactly at threshold was not recorded")
+	}
+	if !l.Observe("slow", slowTrace("slow", time.Second)) {
+		t.Error("1s observed as fast")
+	}
+	if got := len(l.Entries()); got != 2 {
+		t.Fatalf("entries = %d, want 2", got)
+	}
+}
+
+func TestSlowLogNilTraceIgnored(t *testing.T) {
+	l := NewSlowLog(0, nil, 2)
+	if l.Observe("nil", nil) {
+		t.Error("nil trace recorded")
+	}
+	if len(l.Entries()) != 0 {
+		t.Error("nil trace left an entry")
+	}
+}
+
+// TestSlowLogRingRotation fills the ring past capacity and checks the
+// retained window is the most recent keep entries, oldest first, across
+// several full wrap-arounds.
+func TestSlowLogRingRotation(t *testing.T) {
+	const keep = 3
+	l := NewSlowLog(0, nil, keep)
+
+	// Partially filled: order preserved, no phantom entries.
+	l.Observe("q0", slowTrace("q0", time.Millisecond))
+	l.Observe("q1", slowTrace("q1", time.Millisecond))
+	got := l.Entries()
+	if len(got) != 2 || got[0].Query != "q0" || got[1].Query != "q1" {
+		t.Fatalf("partial ring = %+v", got)
+	}
+
+	for i := 2; i < 11; i++ {
+		l.Observe(fmt.Sprintf("q%d", i), slowTrace("q", time.Millisecond))
+	}
+	got = l.Entries()
+	if len(got) != keep {
+		t.Fatalf("full ring holds %d, want %d", len(got), keep)
+	}
+	for i, e := range got {
+		if want := fmt.Sprintf("q%d", 11-keep+i); e.Query != want {
+			t.Errorf("entry %d = %q, want %q", i, e.Query, want)
+		}
+	}
+}
+
+func TestSlowLogDefaultKeep(t *testing.T) {
+	for _, keep := range []int{0, -5} {
+		l := NewSlowLog(0, nil, keep)
+		for i := 0; i < 40; i++ {
+			l.Observe("q", slowTrace("q", time.Millisecond))
+		}
+		if got := len(l.Entries()); got != 32 {
+			t.Errorf("keep=%d retained %d entries, want default 32", keep, got)
+		}
+	}
+}
+
+func TestSlowLogWriterLine(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewSlowLog(time.Millisecond, &buf, 2)
+	l.Observe("A <= 7", slowTrace("A <= 7", 20*time.Millisecond))
+	line := buf.String()
+	if !strings.Contains(line, "slow query") || !strings.Contains(line, "A <= 7") {
+		t.Fatalf("log line = %q", line)
+	}
+	if !strings.Contains(line, string(PhaseFetch)+"=") {
+		t.Fatalf("log line missing phase breakdown: %q", line)
+	}
+	// Fast queries write nothing.
+	buf.Reset()
+	l.Observe("fast", slowTrace("fast", 0))
+	if buf.Len() != 0 {
+		t.Fatalf("fast query wrote %q", buf.String())
+	}
+}
+
+// TestSlowLogObserveFinishesTrace checks Observe freezes the trace: the
+// recorded total equals the trace's frozen Finish total, not a later
+// re-measurement.
+func TestSlowLogObserveFinishesTrace(t *testing.T) {
+	l := NewSlowLog(0, nil, 2)
+	tr := slowTrace("freeze", 5*time.Millisecond)
+	l.Observe("freeze", tr)
+	total := tr.Finish()
+	entries := l.Entries()
+	if len(entries) != 1 || entries[0].Total != total {
+		t.Fatalf("entry total %v != frozen trace total %v", entries[0].Total, total)
+	}
+}

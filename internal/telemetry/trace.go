@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -40,15 +41,28 @@ const (
 )
 
 type phaseAgg struct {
-	calls int
-	dur   time.Duration
+	calls     int
+	dur       time.Duration
+	min, max  time.Duration // per-call extremes (min is meaningful once calls > 0)
+	allocB    int64         // heap bytes allocated inside profiled spans
+	allocObjs int64         // heap objects allocated inside profiled spans
 }
 
 // PhaseRecord is one phase's aggregate within a finished or running trace.
+// Duration is the sum over calls; Min/Max are per-call extremes, so skew
+// across many calls of the same phase (e.g. the per-segment `segments`
+// records of the parallel evaluator) is visible without keeping every
+// sample. AllocBytes/AllocObjects are filled only for profiled traces
+// (see Profile) and attribute process-global allocation deltas to the
+// phase — exact under serial evaluation, approximate under concurrency.
 type PhaseRecord struct {
-	Phase    Phase         `json:"phase"`
-	Calls    int           `json:"calls"`
-	Duration time.Duration `json:"ns"`
+	Phase        Phase         `json:"phase"`
+	Calls        int           `json:"calls"`
+	Duration     time.Duration `json:"ns"`
+	Min          time.Duration `json:"min_ns"`
+	Max          time.Duration `json:"max_ns"`
+	AllocBytes   int64         `json:"alloc_bytes,omitempty"`
+	AllocObjects int64         `json:"alloc_objects,omitempty"`
 }
 
 // Trace records the phases of one query evaluation. The zero value is not
@@ -56,8 +70,10 @@ type PhaseRecord struct {
 // (no-ops returning zero values), so instrumented code never needs a nil
 // check. A Trace may be shared by concurrent phases.
 type Trace struct {
-	name  string
-	start time.Time
+	name     string
+	id       string
+	start    time.Time
+	profiled bool // set once before use by Profile; spans capture alloc deltas
 
 	mu     sync.Mutex
 	order  []Phase             // guarded by mu
@@ -66,9 +82,19 @@ type Trace struct {
 	done   bool                // guarded by mu
 }
 
-// NewTrace starts a trace for the named query.
+// traceSeq numbers traces process-wide so exemplars and pprof labels can
+// name one specific evaluation even when many share a query string.
+var traceSeq atomic.Int64
+
+// NewTrace starts a trace for the named query. Each trace gets a unique
+// ID derived from the name and a process-wide sequence number.
 func NewTrace(name string) *Trace {
-	return &Trace{name: name, start: time.Now(), phases: make(map[Phase]*phaseAgg, 8)}
+	return &Trace{
+		name:   name,
+		id:     fmt.Sprintf("%s#%d", name, traceSeq.Add(1)),
+		start:  time.Now(),
+		phases: make(map[Phase]*phaseAgg, 8),
+	}
 }
 
 // Name returns the query name given to NewTrace.
@@ -79,29 +105,66 @@ func (t *Trace) Name() string {
 	return t.name
 }
 
+// ID returns the trace's unique identifier ("name#seq"). Exemplars in the
+// registry's JSON export and the pprof label bix_query_id carry this ID,
+// linking latency buckets and CPU samples back to one evaluation.
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Profile enables per-phase allocation tracking: every subsequent span
+// additionally records the heap bytes/objects allocated between Start and
+// End (process-global counters, so attribution is exact only for serial
+// evaluation). Returns t for chaining. Call before handing the trace to
+// an evaluator; not safe to toggle while spans are open.
+func (t *Trace) Profile() *Trace {
+	if t != nil {
+		t.profiled = true
+	}
+	return t
+}
+
+// Profiled reports whether Profile was called.
+func (t *Trace) Profiled() bool { return t != nil && t.profiled }
+
 // Add accumulates d into phase p.
-func (t *Trace) Add(p Phase, d time.Duration) {
+func (t *Trace) Add(p Phase, d time.Duration) { t.add(p, d, 0, 0) }
+
+func (t *Trace) add(p Phase, d time.Duration, allocB, allocObjs int64) {
 	if t == nil {
 		return
 	}
 	t.mu.Lock()
 	a, ok := t.phases[p]
 	if !ok {
-		a = &phaseAgg{}
+		a = &phaseAgg{min: d, max: d}
 		t.phases[p] = a
 		t.order = append(t.order, p)
 	}
 	a.calls++
 	a.dur += d
+	if d < a.min {
+		a.min = d
+	}
+	if d > a.max {
+		a.max = d
+	}
+	a.allocB += allocB
+	a.allocObjs += allocObjs
 	t.mu.Unlock()
 }
 
 // Span is an open phase interval; End closes it and accumulates the
-// elapsed time into the trace.
+// elapsed time (and, for profiled traces, the allocation delta) into the
+// trace.
 type Span struct {
-	t  *Trace
-	p  Phase
-	t0 time.Time
+	t      *Trace
+	p      Phase
+	t0     time.Time
+	aB, aO int64 // alloc counters at Start, profiled traces only
 }
 
 // Start opens a span for phase p. On a nil trace the returned span is a
@@ -110,7 +173,11 @@ func (t *Trace) Start(p Phase) Span {
 	if t == nil {
 		return Span{}
 	}
-	return Span{t: t, p: p, t0: time.Now()}
+	s := Span{t: t, p: p, t0: time.Now()}
+	if t.profiled {
+		s.aB, s.aO = ReadAllocs()
+	}
+	return s
 }
 
 // End closes the span.
@@ -118,7 +185,13 @@ func (s Span) End() {
 	if s.t == nil {
 		return
 	}
-	s.t.Add(s.p, time.Since(s.t0))
+	d := time.Since(s.t0)
+	if !s.t.profiled {
+		s.t.Add(s.p, d)
+		return
+	}
+	b, o := ReadAllocs()
+	s.t.add(s.p, d, b-s.aB, o-s.aO)
 }
 
 // Finish freezes the trace total at the elapsed wall-clock time and
@@ -160,7 +233,11 @@ func (t *Trace) Phases() []PhaseRecord {
 	out := make([]PhaseRecord, 0, len(t.order))
 	for _, p := range t.order {
 		a := t.phases[p]
-		out = append(out, PhaseRecord{Phase: p, Calls: a.calls, Duration: a.dur})
+		out = append(out, PhaseRecord{
+			Phase: p, Calls: a.calls, Duration: a.dur,
+			Min: a.min, Max: a.max,
+			AllocBytes: a.allocB, AllocObjects: a.allocObjs,
+		})
 	}
 	return out
 }
