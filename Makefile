@@ -4,7 +4,7 @@
 GO ?= go
 
 .PHONY: all build vet test lint sarif race bixdebug scaling fuzz ci \
-	bench-baseline bench-compare
+	cover bench-baseline bench-compare
 
 all: build
 
@@ -29,7 +29,12 @@ race:
 
 bixdebug:
 	$(GO) test -tags bixdebug ./internal/invariant ./internal/bitvec ./internal/wah ./internal/core
-	$(GO) test -race -tags bixdebug ./internal/invariant ./internal/bitvec ./internal/wah ./internal/core ./internal/engine ./internal/buffer ./internal/telemetry ./internal/mutable ./internal/storage
+	$(GO) test -race -tags bixdebug ./internal/invariant ./internal/bitvec ./internal/wah ./internal/core ./internal/engine ./internal/buffer ./internal/telemetry ./internal/mutable ./internal/storage ./internal/flight
+
+# Whole-tree statement coverage; open with `go tool cover -html=coverage.out`.
+cover:
+	$(GO) test -covermode=atomic -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1
 
 scaling:
 	$(GO) run ./cmd/bixbench -scaling -rows 262144 -segbits 14 -workers 1,2 -json /tmp/bixbench-scaling.json

@@ -10,7 +10,9 @@ import (
 	"bitmapindex/internal/core"
 	"bitmapindex/internal/data"
 	"bitmapindex/internal/design"
+	"bitmapindex/internal/engine"
 	"bitmapindex/internal/storage"
+	"bitmapindex/internal/telemetry"
 )
 
 // suiteResult is one named benchmark suite in the -json report. Metrics
@@ -45,6 +47,7 @@ func runSuites(o options, w io.Writer) ([]suiteResult, error) {
 		return nil, err
 	}
 	var suites []suiteResult
+	var agg costModelAgg
 	for _, enc := range []struct {
 		name string
 		enc  core.Encoding
@@ -58,7 +61,13 @@ func runSuites(o options, w io.Writer) ([]suiteResult, error) {
 			return nil, err
 		}
 		suites = append(suites, evalSuite(enc.name, ix))
+		agg.sweep(ix)
 	}
+	cm, err := agg.suite()
+	if err != nil {
+		return nil, err
+	}
+	suites = append(suites, *cm)
 	cs, err := cacheSuite(col, base)
 	if err != nil {
 		return nil, err
@@ -99,6 +108,76 @@ func evalSuite(name string, ix *core.Index) suiteResult {
 		{Name: "ops_per_query", Kind: "count", Better: "lower", Value: float64(st.Ops()) / float64(n)},
 		{Name: "ns_per_query", Kind: "time", Better: "lower", Value: float64(elapsed.Nanoseconds()) / float64(n)},
 	}}
+}
+
+// costModelMeanTimeError is the documented acceptance bound for the live
+// time model: the mean relative error of predicted vs measured evaluation
+// time across the suite sweep must stay below it. The bound is generous —
+// per-query times at this scale are tens of microseconds and the EWMA
+// ns-per-scan calibration tracks averages, not per-query scheduler noise —
+// but it catches the model losing the plot (being off by multiples).
+const costModelMeanTimeError = 1.5
+
+// costModelAgg accumulates the cost-model accuracy check that runs
+// alongside the eval suites: every query of the sweep is replayed through
+// engine.AnalyzeIndexQuery, so predicted scans are compared to measured
+// scans per query (they must match exactly for the serial evaluators — the
+// paper's digit-level model counts the very fetches the evaluator
+// performs) and the time model's EWMA calibration is exercised. The
+// analyzed queries also feed the bix_cost_model_error_* histograms, which
+// a -metrics scrape exposes live.
+type costModelAgg struct {
+	queries    int
+	mismatches int
+	timeErrSum float64
+	timeErrN   int
+}
+
+// sweep replays every operator/constant query against ix through the
+// analyzer.
+func (a *costModelAgg) sweep(ix *core.Index) {
+	for _, op := range core.AllOps {
+		for v := uint64(0); v < suiteCard; v++ {
+			q := fmt.Sprintf("A %s %d", op, v)
+			tr := telemetry.NewTrace(q)
+			var st core.Stats
+			t0 := time.Now()
+			ix.Eval(op, v, &core.EvalOptions{Stats: &st, Trace: tr})
+			rep := engine.AnalyzeIndexQuery(q, "bench-cost-model", ix.Base(), ix.Encoding(),
+				ix.Cardinality(), op, v, st, time.Since(t0), tr)
+			a.queries++
+			if rep.ScansError != 0 {
+				a.mismatches++
+			}
+			if rep.TimeError >= 0 {
+				a.timeErrSum += rep.TimeError
+				a.timeErrN++
+			}
+		}
+	}
+}
+
+// suite renders the aggregate as the cost_model suite and enforces the
+// acceptance bounds: zero scan mismatches, mean time error under
+// costModelMeanTimeError.
+func (a *costModelAgg) suite() (*suiteResult, error) {
+	if a.mismatches > 0 {
+		return nil, fmt.Errorf("cost model: predicted scans != measured scans on %d of %d queries",
+			a.mismatches, a.queries)
+	}
+	var mean float64
+	if a.timeErrN > 0 {
+		mean = a.timeErrSum / float64(a.timeErrN)
+	}
+	if mean > costModelMeanTimeError {
+		return nil, fmt.Errorf("cost model: mean time error %.3f exceeds bound %v",
+			mean, costModelMeanTimeError)
+	}
+	return &suiteResult{Name: "cost_model", Metrics: []suiteMetric{
+		{Name: "queries", Kind: "count", Better: "higher", Value: float64(a.queries)},
+		{Name: "scan_mismatches", Kind: "count", Better: "lower", Value: float64(a.mismatches)},
+		{Name: "time_error_mean", Kind: "time", Better: "lower", Value: mean},
+	}}, nil
 }
 
 // cacheSuite saves a range-encoded index to disk and replays a query sweep

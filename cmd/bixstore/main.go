@@ -5,7 +5,7 @@
 //
 //	bixstore build -dir ./ix -values data.txt -C 50 [-base "<5,10>"] [-enc range] [-scheme BS] [-z]
 //	bixstore info  -dir ./ix
-//	bixstore query -dir ./ix -q "<= 17" [-metrics]
+//	bixstore query -dir ./ix -q "<= 17" [-metrics] [-analyze]
 //	bixstore serve -dir ./ix -addr :8317 [-cache 16] [-slow 100ms]
 //	bixstore gen   -values data.txt -rows 100000 -C 50 [-dist uniform|zipf|clustered]
 //	bixstore csv   -in table.csv -dir ./tbl [-scheme CS] [-z] [-enc range]
@@ -17,7 +17,9 @@
 // runs conjunctive queries against them.
 //
 // query -metrics appends the per-phase query trace and a Prometheus-format
-// dump of the telemetry registry to the output. serve exposes the index
+// dump of the telemetry registry to the output; query -analyze prints the
+// structured EXPLAIN ANALYZE plan report instead (cost-model predictions
+// beside the measured actuals, as JSON). serve exposes the index
 // over HTTP: GET /query?q=<pred> evaluates a predicate and returns JSON
 // (including the trace), GET /metrics serves the registry in Prometheus
 // text format (?format=json for the JSON snapshot), and queries at or over
@@ -26,6 +28,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -35,6 +38,7 @@ import (
 
 	"bitmapindex"
 	"bitmapindex/internal/data"
+	"bitmapindex/internal/engine"
 )
 
 func main() {
@@ -187,6 +191,7 @@ func runQuery(w io.Writer, args []string) error {
 		list    = fs.Bool("rids", false, "print matching record ids")
 		limit   = fs.Int("limit", 20, "max record ids to print")
 		metrics = fs.Bool("metrics", false, "print the query trace and a Prometheus metrics dump")
+		analyze = fs.Bool("analyze", false, "print the EXPLAIN ANALYZE plan report as JSON")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -203,7 +208,10 @@ func runQuery(w io.Writer, args []string) error {
 		return err
 	}
 	var m bitmapindex.StoreMetrics
-	if *metrics {
+	switch {
+	case *analyze:
+		m.Trace = bitmapindex.NewQueryTrace(*q).Profile()
+	case *metrics:
 		m.Trace = bitmapindex.NewQueryTrace(*q)
 	}
 	res, err := st.Eval(op, v, &m)
@@ -211,6 +219,17 @@ func runQuery(w io.Writer, args []string) error {
 		return err
 	}
 	count := popcount(res, m.Trace)
+	if *analyze {
+		elapsed := m.Trace.Finish()
+		ix := st.Index()
+		rep := engine.AnalyzeIndexQuery(*q, st.Describe(), ix.Base(), ix.Encoding(),
+			ix.Cardinality(), op, v, m.Stats, elapsed, m.Trace)
+		rep.Rows = count
+		rep.BytesRead = m.BytesRead
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
 	fmt.Fprintf(w, "A %s %d: %d of %d rows match\n", op, v, count, st.Index().Rows())
 	fmt.Fprintf(w, "scans: %d bitmaps, %d files, %d bytes read\n", m.Stats.Scans, m.FilesRead, m.BytesRead)
 	if *list {

@@ -7,14 +7,20 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"bitmapindex"
+	"bitmapindex/internal/engine"
+	"bitmapindex/internal/flight"
 	"bitmapindex/internal/profile"
 )
 
@@ -72,12 +78,24 @@ func cmdServe(args []string) error {
 		}
 	}
 
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving %s on %s (cache=%d, slow>=%v)\n", *dir, ln.Addr(), *cache, *slow)
+	return serveLoop(&http.Server{Handler: srv.mux()}, ln, writeProfile)
+}
+
+// serveLoop runs the server on ln until it fails or the process receives
+// SIGINT/SIGTERM, then drains gracefully: in-flight queries get up to five
+// seconds to complete before the listener's goroutines are abandoned.
+// Split from cmdServe so the signal-drain path is testable against a real
+// listener.
+func serveLoop(server *http.Server, ln net.Listener, writeProfile func() error) error {
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
-	server := &http.Server{Addr: *addr, Handler: srv.mux()}
 	errCh := make(chan error, 1)
-	go func() { errCh <- server.ListenAndServe() }()
-	fmt.Printf("serving %s on %s (cache=%d, slow>=%v)\n", *dir, *addr, *cache, *slow)
+	go func() { errCh <- server.Serve(ln) }()
 
 	select {
 	case err := <-errCh:
@@ -98,12 +116,18 @@ func cmdServe(args []string) error {
 // through a bitmap cache, and records slow queries.
 type queryServer struct {
 	eval func(op bitmapindex.Op, v uint64, m *bitmapindex.StoreMetrics) (*bitmapindex.Bitmap, error)
+	st   *bitmapindex.Store
+	desc string // one-line index-design summary (Store.Describe)
 	rows int
 	slow *bitmapindex.SlowQueryLog // nil when disabled
+
+	// testDelay, when set, runs at the start of every /query — test hook
+	// that holds a request in flight while a shutdown signal arrives.
+	testDelay func()
 }
 
 func newQueryServer(st *bitmapindex.Store, cache int, slow time.Duration, slowW io.Writer) (*queryServer, error) {
-	s := &queryServer{eval: st.Eval, rows: st.Index().Rows()}
+	s := &queryServer{eval: st.Eval, st: st, desc: st.Describe(), rows: st.Index().Rows()}
 	if cache > 0 {
 		cs, err := bitmapindex.NewCachedStore(st, cache)
 		if err != nil {
@@ -117,12 +141,14 @@ func newQueryServer(st *bitmapindex.Store, cache int, slow time.Duration, slowW 
 	return s, nil
 }
 
-// mux routes /query, /metrics, /debug/runtime and the pprof endpoints.
+// mux routes /query, /metrics, /debug/runtime, /debug/queries and the
+// pprof endpoints.
 func (s *queryServer) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.Handle("/metrics", bitmapindex.MetricsHandler())
 	mux.Handle("/debug/runtime", profile.Handler())
+	mux.HandleFunc("/debug/queries", s.handleDebugQueries)
 	mux.HandleFunc("/debug/pprof/", httppprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
@@ -167,8 +193,16 @@ type phaseJSON struct {
 }
 
 // handleQuery evaluates q=<op> <value>; rids=1 includes matching record
-// ids (capped by limit, default 20).
+// ids (capped by limit, default 20); analyze=1 returns the structured
+// EXPLAIN ANALYZE PlanReport (cost-model predictions vs this execution's
+// actuals) instead of the plain query response. Analyzed queries bypass
+// the bitmap cache: the cost model predicts the stored-bitmap scans of
+// the uncached serial evaluator, and a pool hit would otherwise be
+// misreported as model error.
 func (s *queryServer) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if s.testDelay != nil {
+		s.testDelay()
+	}
 	q := r.URL.Query().Get("q")
 	if q == "" {
 		http.Error(w, "missing q parameter", http.StatusBadRequest)
@@ -179,8 +213,13 @@ func (s *queryServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	analyze := r.URL.Query().Get("analyze") == "1"
+	eval := s.eval
+	if analyze {
+		eval = s.st.Eval
+	}
 	m := bitmapindex.StoreMetrics{Trace: bitmapindex.NewQueryTrace(q).Profile()}
-	res, err := s.eval(op, v, &m)
+	res, err := eval(op, v, &m)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -188,7 +227,26 @@ func (s *queryServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 	matches := popcount(res, m.Trace)
 	elapsed := m.Trace.Finish()
 	if s.slow != nil {
-		s.slow.Observe(q, m.Trace)
+		s.slow.ObserveWithPlan(q, s.desc, m.Trace)
+	}
+	frec := flight.Record{
+		TraceID: m.Trace.ID(), Query: q, Plan: "http-query",
+		Op: op.String(), Value: v,
+		Total: elapsed, Rows: int64(matches), BytesRead: m.BytesRead,
+		Scans: m.Stats.Scans, Ands: m.Stats.Ands, Ors: m.Stats.Ors,
+		Xors: m.Stats.Xors, Nots: m.Stats.Nots,
+	}
+	flight.Default().Add(&frec, m.Trace)
+
+	if analyze {
+		ix := s.st.Index()
+		rep := engine.AnalyzeIndexQuery(q, s.desc, ix.Base(), ix.Encoding(),
+			ix.Cardinality(), op, v, m.Stats, elapsed, m.Trace)
+		rep.Rows = matches
+		rep.BytesRead = m.BytesRead
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(rep)
+		return
 	}
 	resp := queryResponse{
 		Query:     q,
@@ -220,4 +278,76 @@ func (s *queryServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
+}
+
+// debugQueriesResponse is the JSON body of /debug/queries.
+type debugQueriesResponse struct {
+	// TotalCaptured counts every record accepted since process start,
+	// including ones the ring has since overwritten.
+	TotalCaptured uint64          `json:"total_captured"`
+	Count         int             `json:"count"`
+	Records       []flight.Record `json:"records"`
+}
+
+// handleDebugQueries serves the flight recorder: the last-N retained
+// query records (oldest first), or the retained latency outliers with
+// outliers=1. Filters: plan=<substring> and min_ns=<ns> narrow the set;
+// sort=ns orders slowest-first (default is arrival order); limit=<n>
+// keeps the most recent n (or the top n under sort=ns).
+func (s *queryServer) handleDebugQueries(w http.ResponseWriter, r *http.Request) {
+	rec := flight.Default()
+	q := r.URL.Query()
+	var records []flight.Record
+	if q.Get("outliers") == "1" {
+		records = rec.Outliers()
+	} else {
+		records = rec.Snapshot()
+	}
+
+	if plan := q.Get("plan"); plan != "" {
+		kept := records[:0]
+		for _, rc := range records {
+			if strings.Contains(rc.Plan, plan) {
+				kept = append(kept, rc)
+			}
+		}
+		records = kept
+	}
+	if ms := q.Get("min_ns"); ms != "" {
+		minNS, err := strconv.ParseInt(ms, 10, 64)
+		if err != nil {
+			http.Error(w, "bad min_ns: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		kept := records[:0]
+		for _, rc := range records {
+			if rc.Total.Nanoseconds() >= minNS {
+				kept = append(kept, rc)
+			}
+		}
+		records = kept
+	}
+	byNS := q.Get("sort") == "ns"
+	if byNS {
+		sort.Slice(records, func(i, j int) bool { return records[i].Total > records[j].Total })
+	}
+	if ls := q.Get("limit"); ls != "" {
+		limit, err := strconv.Atoi(ls)
+		if err != nil || limit < 0 {
+			http.Error(w, "bad limit", http.StatusBadRequest)
+			return
+		}
+		if limit < len(records) {
+			if byNS {
+				records = records[:limit] // top-N slowest
+			} else {
+				records = records[len(records)-limit:] // most recent N
+			}
+		}
+	}
+
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(debugQueriesResponse{
+		TotalCaptured: rec.Seq(), Count: len(records), Records: records,
+	})
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"bitmapindex/internal/bitvec"
+	"bitmapindex/internal/flight"
 	"bitmapindex/internal/invariant"
 	"bitmapindex/internal/profile"
 	"bitmapindex/internal/telemetry"
@@ -280,15 +281,20 @@ func (ix *Index) Eval(op Op, v uint64, opt *EvalOptions) *bitvec.Vector {
 		o.Stats = &local
 	}
 	before := *o.Stats
+	hits0, misses0 := telemetry.CacheHitsTotal.Value(), telemetry.CacheMissesTotal.Value()
 	t0 := time.Now()
 	var res *bitvec.Vector
+	var plan string
 	profile.Do(o.Trace.ID(), "eval", func() {
 		switch ix.enc {
 		case RangeEncoded:
+			plan = planEvalRange
 			res = ix.EvalRangeOpt(op, v, &o)
 		case EqualityEncoded:
+			plan = planEvalEquality
 			res = ix.EvalEquality(op, v, &o)
 		case IntervalEncoded:
+			plan = planEvalInterval
 			res = ix.EvalInterval(op, v, &o)
 		default:
 			panic("core: unknown encoding")
@@ -313,10 +319,32 @@ func (ix *Index) Eval(op Op, v uint64, opt *EvalOptions) *bitvec.Vector {
 			}
 		}
 	}
+	elapsed := time.Since(t0)
 	telemetry.RecordEval(d.Scans-before.Scans, d.Ands-before.Ands,
-		d.Ors-before.Ors, d.Xors-before.Xors, d.Nots-before.Nots, time.Since(t0), o.Trace)
+		d.Ors-before.Ors, d.Xors-before.Xors, d.Nots-before.Nots, elapsed, o.Trace)
+	frec := flight.Record{
+		TraceID: o.Trace.ID(), Plan: plan, Op: op.String(), Value: v,
+		Total: elapsed, Rows: -1,
+		Scans: d.Scans - before.Scans, Ands: d.Ands - before.Ands,
+		Ors: d.Ors - before.Ors, Xors: d.Xors - before.Xors,
+		Nots:      d.Nots - before.Nots,
+		CacheHits: telemetry.CacheHitsTotal.Value() - hits0,
+		CacheMisses: telemetry.CacheMissesTotal.Value() - misses0,
+	}
+	flight.Default().Add(&frec, o.Trace)
 	return res
 }
+
+// Flight-recorder plan tags of the core evaluators. The engine's plan
+// methods and the HTTP layer use their own tags; records from nested
+// layers share the same trace ID, so a /debug/queries reader can join an
+// engine-level record to the per-index evaluations beneath it.
+const (
+	planEvalRange     = "eval-range"
+	planEvalEquality  = "eval-equality"
+	planEvalInterval  = "eval-interval"
+	planEvalSegmented = "eval-segmented"
+)
 
 // trivialResult handles predicate constants outside [0, C): for those, the
 // answer does not depend on any bitmap. ok is false when the predicate

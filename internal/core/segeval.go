@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"bitmapindex/internal/bitvec"
+	"bitmapindex/internal/flight"
 	"bitmapindex/internal/invariant"
 	"bitmapindex/internal/profile"
 	"bitmapindex/internal/telemetry"
@@ -140,6 +141,7 @@ func (ix *Index) segRun(op Op, v uint64, opt *EvalOptions, cfg SegConfig, mode i
 	if opt != nil {
 		o = *opt
 	}
+	hits0, misses0 := telemetry.CacheHitsTotal.Value(), telemetry.CacheMissesTotal.Value()
 	t0 := time.Now()
 	prog := ix.compileSeg(op, v)
 
@@ -251,8 +253,22 @@ func (ix *Index) segRun(op Op, v uint64, opt *EvalOptions, cfg SegConfig, mode i
 		o.Stats.Nots += prog.ops.Nots
 	}
 	telemetry.SegmentEvalTotal.Inc()
+	elapsed := time.Since(t0)
 	telemetry.RecordEval(scans, prog.ops.Ands, prog.ops.Ors, prog.ops.Xors,
-		prog.ops.Nots, time.Since(t0), o.Trace)
+		prog.ops.Nots, elapsed, o.Trace)
+	rows := int64(-1)
+	if mode == segCount {
+		rows = total.Load()
+	}
+	frec := flight.Record{
+		TraceID: o.Trace.ID(), Plan: planEvalSegmented, Op: op.String(), Value: v,
+		Total: elapsed, Rows: rows,
+		Scans: scans, Ands: prog.ops.Ands, Ors: prog.ops.Ors,
+		Xors: prog.ops.Xors, Nots: prog.ops.Nots,
+		CacheHits:   telemetry.CacheHitsTotal.Value() - hits0,
+		CacheMisses: telemetry.CacheMissesTotal.Value() - misses0,
+	}
+	flight.Default().Add(&frec, o.Trace)
 
 	count := int(total.Load())
 	any := found.Load()

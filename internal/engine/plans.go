@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"time"
 
 	"bitmapindex/internal/bitvec"
 	"bitmapindex/internal/core"
 	"bitmapindex/internal/cost"
+	"bitmapindex/internal/flight"
 	"bitmapindex/internal/telemetry"
 )
 
@@ -96,6 +98,19 @@ type SelectOptions struct {
 	// SegBits overrides the segment width when Parallel is set (0 selects
 	// the core default).
 	SegBits int
+
+	// perPred, when non-nil, receives one predActual per bitmap predicate
+	// evaluated by the bitmap-merge plans, in predicate order: the measured
+	// scan delta and wall-clock time of that predicate alone. Filled only
+	// by ExplainAnalyze, which compares the entries against the cost
+	// model's per-predicate predictions.
+	perPred *[]predActual
+}
+
+// predActual is one bitmap predicate's measured cost within a plan.
+type predActual struct {
+	Scans int
+	NS    int64
 }
 
 func (o *SelectOptions) segConfig() core.SegConfig {
@@ -139,6 +154,7 @@ func (r *Relation) SelectOpts(preds []Pred, m Method, opt *SelectOptions) (*bitv
 		err error
 	)
 	aB, aO := telemetry.ReadAllocs()
+	t0 := time.Now()
 	switch m {
 	case FullScan:
 		res, c, err = r.fullScan(preds, tr)
@@ -149,7 +165,7 @@ func (r *Relation) SelectOpts(preds []Pred, m Method, opt *SelectOptions) (*bitv
 	case BitmapMerge:
 		res, c, err = r.bitmapMerge(preds, opt)
 	case Auto:
-		return r.auto(preds, opt) // the recursive call accounts allocations
+		return r.auto(preds, opt) // the recursive call accounts and records
 	default:
 		return nil, Cost{}, fmt.Errorf("engine: unknown method %v", m)
 	}
@@ -159,8 +175,36 @@ func (r *Relation) SelectOpts(preds []Pred, m Method, opt *SelectOptions) (*bitv
 		if int(c.Method) < len(plansTotal) {
 			plansTotal[c.Method].Inc()
 		}
+		recordPlanFlight(preds, &c, time.Since(t0), tr)
 	}
 	return res, c, err
+}
+
+// recordPlanFlight lands one plan-level flight record for an executed
+// plan. Core evaluations beneath a bitmap plan land their own records
+// under the same trace ID, so /debug/queries readers can join a plan to
+// its per-index evaluations.
+func recordPlanFlight(preds []Pred, c *Cost, elapsed time.Duration, tr *telemetry.Trace) {
+	frec := flight.Record{
+		TraceID: tr.ID(), Query: predsSummary(preds), Plan: c.Method.String(),
+		Total: elapsed, Rows: int64(c.Rows), BytesRead: c.BytesRead,
+		Scans: c.Stats.Scans, Ands: c.Stats.Ands, Ors: c.Stats.Ors,
+		Xors: c.Stats.Xors, Nots: c.Stats.Nots,
+		AllocBytes: c.AllocBytes, AllocObjects: c.AllocObjects,
+	}
+	flight.Default().Add(&frec, tr)
+}
+
+// predsSummary renders the conjunction compactly ("A <= 7 AND B = 2").
+func predsSummary(preds []Pred) string {
+	if len(preds) == 1 {
+		return preds[0].String()
+	}
+	parts := make([]string, len(preds))
+	for i, p := range preds {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, " AND ")
 }
 
 func (r *Relation) checkPreds(preds []Pred) error {
@@ -414,9 +458,17 @@ func (r *Relation) bitmapMerge(preds []Pred, opt *SelectOptions) (*bitvec.Vector
 	var st core.Stats
 	for _, p := range preds {
 		before := st
+		var t0 time.Time
+		if opt.perPred != nil {
+			t0 = time.Now()
+		}
 		res, err := r.evalBitmapPred(p, opt, &st)
 		if err != nil {
 			return nil, Cost{}, err
+		}
+		if opt.perPred != nil {
+			*opt.perPred = append(*opt.perPred,
+				predActual{Scans: st.Scans - before.Scans, NS: time.Since(t0).Nanoseconds()})
 		}
 		bytes += int64(st.Scans-before.Scans) * bitmapBytes
 		if out == nil {
@@ -552,6 +604,7 @@ func (r *Relation) SelectCount(preds []Pred, m Method, opt *SelectOptions) (int,
 		err error
 	)
 	aB, aO := telemetry.ReadAllocs()
+	t0 := time.Now()
 	switch m {
 	case FullScan:
 		n, c, err = r.countFullScan(preds, tr)
@@ -566,7 +619,7 @@ func (r *Relation) SelectCount(preds []Pred, m Method, opt *SelectOptions) (int,
 		if perr != nil {
 			return 0, Cost{}, perr
 		}
-		return r.SelectCount(preds, best, opt) // the recursive call accounts allocations
+		return r.SelectCount(preds, best, opt) // the recursive call accounts and records
 	default:
 		return 0, Cost{}, fmt.Errorf("engine: unknown method %v", m)
 	}
@@ -576,6 +629,7 @@ func (r *Relation) SelectCount(preds []Pred, m Method, opt *SelectOptions) (int,
 		if int(c.Method) < len(plansTotal) {
 			plansTotal[c.Method].Inc()
 		}
+		recordPlanFlight(preds, &c, time.Since(t0), tr)
 	}
 	return n, c, err
 }
@@ -697,6 +751,7 @@ func (r *Relation) countBitmapMerge(preds []Pred, opt *SelectOptions) (int, Cost
 		if err != nil {
 			return 0, Cost{}, err
 		}
+		t0 := time.Now()
 		var n int
 		switch {
 		case none:
@@ -707,6 +762,10 @@ func (r *Relation) countBitmapMerge(preds []Pred, opt *SelectOptions) (int, Cost
 			n = c.bitmap.SegmentedCount(rop, rank, &core.EvalOptions{Stats: &st, Trace: tr}, opt.segConfig())
 		default:
 			n = popcount(c.bitmap.Eval(rop, rank, &core.EvalOptions{Stats: &st, Trace: tr}), tr)
+		}
+		if opt.perPred != nil {
+			*opt.perPred = append(*opt.perPred,
+				predActual{Scans: st.Scans, NS: time.Since(t0).Nanoseconds()})
 		}
 		bytes := int64(st.Scans) * bitmapBytes
 		return n, Cost{Method: BitmapMerge, BytesRead: bytes, Rows: n, Stats: st}, nil
@@ -720,9 +779,17 @@ func (r *Relation) countBitmapMerge(preds []Pred, opt *SelectOptions) (int, Cost
 	n := 0
 	for k, p := range preds {
 		before := st
+		var t0 time.Time
+		if opt.perPred != nil {
+			t0 = time.Now()
+		}
 		res, err := r.evalBitmapPred(p, opt, &st)
 		if err != nil {
 			return 0, Cost{}, err
+		}
+		if opt.perPred != nil {
+			*opt.perPred = append(*opt.perPred,
+				predActual{Scans: st.Scans - before.Scans, NS: time.Since(t0).Nanoseconds()})
 		}
 		bytes += int64(st.Scans-before.Scans) * bitmapBytes
 		switch {

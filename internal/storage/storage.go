@@ -320,6 +320,19 @@ func (s *Store) Options() Options {
 // and descriptor are excluded).
 func (s *Store) ValueBytes() int64 { return s.valueBytes }
 
+// Describe returns a one-line plan summary of the store's physical design
+// — scheme, compression, encoding and base — the string slow-log entries
+// and flight-recorder records carry so a retained query names the index
+// design that served it (e.g. "bitvector/zlib range-encoded base <4,3>").
+func (s *Store) Describe() string {
+	comp := "raw"
+	if s.meta.Compress {
+		comp = "zlib"
+	}
+	return fmt.Sprintf("%s/%s %s-encoded base %s",
+		s.meta.Scheme, comp, s.meta.Encoding, core.Base(s.meta.Base).String())
+}
+
 // readFile reads (and if needed inflates) one file, accounting into m.
 func (s *Store) readFile(name string, m *Metrics) ([]byte, int64, error) {
 	t0 := time.Now()

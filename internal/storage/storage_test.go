@@ -97,6 +97,9 @@ func TestOpenAfterReopen(t *testing.T) {
 	if st.Options() != (Options{Scheme: ComponentLevel, Compress: true}) {
 		t.Fatalf("Options = %v", st.Options())
 	}
+	if got := st.Describe(); got != "CS/zlib range-encoded base <5,6>" {
+		t.Fatalf("Describe = %q", got)
+	}
 }
 
 func TestBSReadsOnlyNeededFiles(t *testing.T) {

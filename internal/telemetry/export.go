@@ -7,6 +7,8 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
+	"time"
 )
 
 // WritePrometheus renders every registered metric in the Prometheus text
@@ -50,6 +52,81 @@ func histSeries(name string, labels []Label, le string) string {
 }
 
 func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteOpenMetrics renders every registered metric in the OpenMetrics 1.0
+// text format. It differs from WritePrometheus in three ways mandated by
+// the spec: counter families are announced without their _total suffix,
+// histogram _bucket lines carry the bucket's exemplar (`# {trace_id="..."}
+// value timestamp`) when one was recorded via ObserveExemplar, and the
+// exposition ends with `# EOF`. Prometheus scrapes that do not negotiate
+// OpenMetrics keep the plain 0.0.4 output and never see exemplars.
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	prevName := ""
+	for _, m := range r.snapshotMetrics() {
+		if m.name != prevName {
+			family := m.name
+			if m.kind == counterKind {
+				family = strings.TrimSuffix(family, "_total")
+			}
+			fmt.Fprintf(bw, "# HELP %s %s\n", family, m.help)
+			fmt.Fprintf(bw, "# TYPE %s %s\n", family, m.kind)
+			prevName = m.name
+		}
+		switch m.kind {
+		case counterKind:
+			fmt.Fprintf(bw, "%s %d\n", m.id, m.c.Value())
+		case gaugeKind:
+			fmt.Fprintf(bw, "%s %d\n", m.id, m.g.Value())
+		case histogramKind:
+			writeOpenMetricsHistogram(bw, m)
+		}
+	}
+	fmt.Fprintf(bw, "# EOF\n")
+	return bw.Flush()
+}
+
+func writeOpenMetricsHistogram(w io.Writer, m *metric) {
+	cum := m.h.Cumulative()
+	writeBucket := func(i int, le string) {
+		fmt.Fprintf(w, "%s %d", histSeries(m.name+"_bucket", m.labels, le), cum[i])
+		if ex := m.h.BucketExemplar(i); ex != nil {
+			fmt.Fprintf(w, " # {trace_id=%q} %s %s",
+				ex.TraceID, formatFloat(ex.Value), formatOMTime(ex.Time))
+		}
+		fmt.Fprintf(w, "\n")
+	}
+	for i, bound := range m.h.bounds {
+		writeBucket(i, formatFloat(bound))
+	}
+	writeBucket(len(cum)-1, "+Inf")
+	fmt.Fprintf(w, "%s %s\n", metricID(m.name+"_sum", m.labels), formatFloat(m.h.Sum()))
+	fmt.Fprintf(w, "%s %d\n", metricID(m.name+"_count", m.labels), m.h.Count())
+}
+
+// formatOMTime renders an OpenMetrics timestamp: Unix seconds with
+// millisecond precision.
+func formatOMTime(t time.Time) string {
+	return strconv.FormatFloat(float64(t.UnixMilli())/1e3, 'f', 3, 64)
+}
+
+// wantsOpenMetrics reports whether the scrape negotiated the OpenMetrics
+// exposition, either by Accept header (how Prometheus asks since 2.5 when
+// exemplar scraping is on) or by an explicit format=openmetrics override.
+func wantsOpenMetrics(req *http.Request) bool {
+	if req.URL.Query().Get("format") == "openmetrics" {
+		return true
+	}
+	for _, accept := range req.Header.Values("Accept") {
+		for _, part := range strings.Split(accept, ",") {
+			mediaType, _, _ := strings.Cut(strings.TrimSpace(part), ";")
+			if strings.TrimSpace(mediaType) == "application/openmetrics-text" {
+				return true
+			}
+		}
+	}
+	return false
+}
 
 // HistogramSnapshot is the JSON form of one histogram: cumulative bucket
 // counts plus count, sum and interpolated quantiles.
@@ -120,13 +197,22 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 }
 
 // Handler serves the registry over HTTP: Prometheus text by default, the
-// JSON snapshot with ?format=json. Mount it wherever the host command
-// likes, conventionally at /metrics.
+// JSON snapshot with ?format=json, and OpenMetrics (with exemplars) when
+// the scrape negotiates it via the Accept header or ?format=openmetrics.
+// Mount it wherever the host command likes, conventionally at /metrics.
 func Handler(r *Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		if req.URL.Query().Get("format") == "json" {
 			w.Header().Set("Content-Type", "application/json")
 			if err := r.WriteJSON(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+			return
+		}
+		if wantsOpenMetrics(req) {
+			w.Header().Set("Content-Type",
+				"application/openmetrics-text; version=1.0.0; charset=utf-8")
+			if err := r.WriteOpenMetrics(w); err != nil {
 				http.Error(w, err.Error(), http.StatusInternalServerError)
 			}
 			return

@@ -75,6 +75,18 @@ var (
 		"Segmented (intra-query parallel) evaluator invocations.")
 	SegmentWorkers = Default().Gauge("bix_segment_workers",
 		"Segment worker pool size (GOMAXPROCS when the pool started).")
+
+	// Cost-model accuracy, fed by engine.ExplainAnalyze: |predicted -
+	// measured| / max(measured, 1) per analyzed query, split by the model
+	// dimension. Scans should sit in the zero bucket for serial evaluators
+	// (the model counts the same fetches the evaluator performs); time drifts
+	// with hardware and cache state, hence the wide layout.
+	CostModelErrorScans = Default().Histogram("bix_cost_model_error_scans",
+		"Relative error of predicted vs measured bitmap scans per analyzed query.",
+		ErrorBuckets)
+	CostModelErrorTime = Default().Histogram("bix_cost_model_error_time",
+		"Relative error of predicted vs measured evaluation time per analyzed query.",
+		ErrorBuckets)
 )
 
 // LatencyBuckets is the upper-bound layout of bix_query_latency_seconds:
@@ -83,6 +95,11 @@ var LatencyBuckets = []float64{
 	1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
 	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1,
 }
+
+// ErrorBuckets is the upper-bound layout of the bix_cost_model_error_*
+// histograms: relative error from exact (0) through 10%/25% drift up to 5x
+// off. An accurate model keeps the mass at or below 0.25.
+var ErrorBuckets = []float64{0, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5}
 
 // ScanBuckets is the upper-bound layout of bix_query_scans. 2(n-1)+4/3 scans
 // is the paper's expected cost, so real workloads land in the low buckets;

@@ -7,19 +7,25 @@ import (
 	"time"
 )
 
-// SlowEntry is one retained slow query.
+// SlowEntry is one retained slow query. TraceID carries the trace's unique
+// identifier so slow-log lines can be joined against flight-recorder
+// records and exemplar buckets; Plan is the caller's one-line plan summary
+// (evaluator kind or engine plan), empty when the caller has none.
 type SlowEntry struct {
-	Query  string        `json:"query"`
-	Total  time.Duration `json:"ns"`
-	Phases []PhaseRecord `json:"phases,omitempty"`
+	Query   string        `json:"query"`
+	TraceID string        `json:"trace_id,omitempty"`
+	Plan    string        `json:"plan,omitempty"`
+	Total   time.Duration `json:"ns"`
+	Phases  []PhaseRecord `json:"phases,omitempty"`
 }
 
 // SlowLog retains (and optionally writes) queries whose total evaluation
 // time meets a threshold. It keeps the most recent entries in a ring and
-// feeds SlowQueriesTotal. Safe for concurrent use.
+// feeds SlowQueriesTotal. Safe for concurrent use, including concurrent
+// Observe calls sharing one io.Writer.
 type SlowLog struct {
 	threshold time.Duration
-	w         io.Writer // may be nil: retain only
+	w         io.Writer // may be nil: retain only; writes guarded by mu
 
 	mu   sync.Mutex
 	ring []SlowEntry // guarded by mu
@@ -41,8 +47,16 @@ func NewSlowLog(threshold time.Duration, w io.Writer, keep int) *SlowLog {
 func (l *SlowLog) Threshold() time.Duration { return l.threshold }
 
 // Observe finishes the trace and records it if it is slow, returning
-// whether it was recorded. A nil trace is ignored.
+// whether it was recorded. A nil trace is ignored. The entry's TraceID is
+// taken from the trace; use ObserveWithPlan to attach a plan summary too.
 func (l *SlowLog) Observe(query string, t *Trace) bool {
+	return l.ObserveWithPlan(query, "", t)
+}
+
+// ObserveWithPlan is Observe with a plan-summary string retained (and
+// written) alongside the query, so slow-log output joins against the
+// flight recorder's plan-tagged records.
+func (l *SlowLog) ObserveWithPlan(query, plan string, t *Trace) bool {
 	if t == nil {
 		return false
 	}
@@ -51,16 +65,17 @@ func (l *SlowLog) Observe(query string, t *Trace) bool {
 		return false
 	}
 	SlowQueriesTotal.Inc()
-	e := SlowEntry{Query: query, Total: total, Phases: t.Phases()}
+	e := SlowEntry{Query: query, TraceID: t.ID(), Plan: plan, Total: total, Phases: t.Phases()}
 	l.mu.Lock()
 	l.ring[l.next] = e
 	l.next = (l.next + 1) % len(l.ring)
 	if l.next == 0 {
 		l.full = true
 	}
-	w := l.w
-	l.mu.Unlock()
-	if w != nil {
+	// The line write stays under mu: interleaving Fprintf calls on a shared
+	// writer from concurrent Observes is a data race on plain writers
+	// (bytes.Buffer, bufio) and garbles output even on race-safe ones.
+	if l.w != nil {
 		var phases string
 		for i, r := range e.Phases {
 			if i > 0 {
@@ -68,8 +83,14 @@ func (l *SlowLog) Observe(query string, t *Trace) bool {
 			}
 			phases += fmt.Sprintf("%s=%v", r.Phase, r.Duration)
 		}
-		fmt.Fprintf(w, "slow query (%v >= %v): %s [%s]\n", total, l.threshold, query, phases)
+		detail := ""
+		if e.Plan != "" {
+			detail = " plan=" + e.Plan
+		}
+		fmt.Fprintf(l.w, "slow query (%v >= %v): %s trace=%s%s [%s]\n",
+			total, l.threshold, query, e.TraceID, detail, phases)
 	}
+	l.mu.Unlock()
 	return true
 }
 

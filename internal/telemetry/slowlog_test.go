@@ -107,6 +107,81 @@ func TestSlowLogWriterLine(t *testing.T) {
 	}
 }
 
+// TestSlowLogTraceIDAndPlan checks entries join against flight-recorder
+// records: the trace's unique ID is always retained, the plan summary when
+// given, and both appear on the written line.
+func TestSlowLogTraceIDAndPlan(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewSlowLog(0, &buf, 4)
+	tr := slowTrace("A <= 7", 5*time.Millisecond)
+	if !l.ObserveWithPlan("A <= 7", "P3-bitmapmerge", tr) {
+		t.Fatal("slow query not recorded")
+	}
+	entries := l.Entries()
+	if len(entries) != 1 {
+		t.Fatalf("entries = %d, want 1", len(entries))
+	}
+	e := entries[0]
+	if e.TraceID != tr.ID() || e.TraceID == "" {
+		t.Errorf("entry TraceID = %q, want %q", e.TraceID, tr.ID())
+	}
+	if e.Plan != "P3-bitmapmerge" {
+		t.Errorf("entry Plan = %q", e.Plan)
+	}
+	line := buf.String()
+	if !strings.Contains(line, "trace="+tr.ID()) || !strings.Contains(line, "plan=P3-bitmapmerge") {
+		t.Errorf("log line missing trace/plan: %q", line)
+	}
+
+	// Plain Observe still fills the trace ID, with no plan= clutter.
+	buf.Reset()
+	tr2 := slowTrace("B", 5*time.Millisecond)
+	l.Observe("B", tr2)
+	if got := l.Entries(); got[len(got)-1].TraceID != tr2.ID() {
+		t.Errorf("Observe entry TraceID = %q, want %q", got[len(got)-1].TraceID, tr2.ID())
+	}
+	if strings.Contains(buf.String(), "plan=") {
+		t.Errorf("plan-less line shows plan=: %q", buf.String())
+	}
+}
+
+// TestSlowLogConcurrentObserveEntries hammers one SlowLog (with a shared
+// writer) from concurrent recorders and readers; run under -race this is
+// the regression test for the shared-writer data race and any ring
+// publication race.
+func TestSlowLogConcurrentObserveEntries(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewSlowLog(0, &buf, 8)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				l.ObserveWithPlan("hammer", "plan", slowTrace("hammer", time.Millisecond))
+			}
+		}(g)
+	}
+	for g := 0; g < 2; g++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 400; i++ {
+				for _, e := range l.Entries() {
+					if e.Query != "hammer" && e.Query != "" {
+						t.Errorf("unexpected entry %q", e.Query)
+						return
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < 6; i++ {
+		<-done
+	}
+	if len(l.Entries()) != 8 {
+		t.Fatalf("ring not full after hammer: %d", len(l.Entries()))
+	}
+}
+
 // TestSlowLogObserveFinishesTrace checks Observe freezes the trace: the
 // recorded total equals the trace's frozen Finish total, not a later
 // re-measurement.

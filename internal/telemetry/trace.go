@@ -242,6 +242,33 @@ func (t *Trace) Phases() []PhaseRecord {
 	return out
 }
 
+// CopyPhases copies up to len(dst) phase aggregates into dst in
+// first-entered order and returns the number copied. Unlike Phases it
+// allocates nothing, so record-path consumers (the flight recorder) can
+// snapshot a trace into a pre-allocated buffer. A nil trace copies zero
+// records.
+func (t *Trace) CopyPhases(dst []PhaseRecord) int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, p := range t.order {
+		if n == len(dst) {
+			break
+		}
+		a := t.phases[p]
+		dst[n] = PhaseRecord{
+			Phase: p, Calls: a.calls, Duration: a.dur,
+			Min: a.min, Max: a.max,
+			AllocBytes: a.allocB, AllocObjects: a.allocObjs,
+		}
+		n++
+	}
+	return n
+}
+
 // String renders the trace as an indented phase table.
 func (t *Trace) String() string {
 	if t == nil {
