@@ -1,26 +1,31 @@
 // Command bixlint runs this repository's static-analysis suite: custom
 // analyzers for the bitvec tail-mask invariant (now alias-aware),
-// allocation-free hot paths, dropped I/O errors, telemetry naming and
-// label cardinality, and three flow-sensitive concurrency analyzers
-// (lockheld, lockorder, unlockpath, gocapture) built on a CFG/dataflow
-// engine. It is built entirely on the standard library and needs no
-// tools outside the Go distribution.
+// interprocedural allocation-free hot paths (//bix:hotpath propagates
+// through the module call graph; //bix:allocok bounds the audit), dropped
+// I/O errors, telemetry naming and label cardinality, and five
+// concurrency-integrity analyzers (lockheld, lockorder, unlockpath,
+// gocapture, atomicfield, poolhygiene) built on a CFG/dataflow engine and
+// per-function summaries. It is built entirely on the standard library
+// and needs no tools outside the Go distribution.
 //
 // Usage:
 //
 //	bixlint [flags] [packages]
 //
 //	bixlint ./...                     check every package in the module
+//	bixlint -only tailmask,hotalloc ./...
+//	bixlint -skip poolhygiene ./...
 //	bixlint -format sarif ./...       emit SARIF 2.1.0 on stdout
 //	bixlint -baseline lint.baseline ./...
 //	bixlint -write-baseline lint.baseline ./...
+//	bixlint -factcache off ./...      disable the call-graph fact cache
 //	bixlint -vet ./...                also run `go vet`
 //	bixlint -ci                       build + vet + lint + race-enabled tests
 //	bixlint -list                     print the analyzer suite and exit
 //
 // Exit status: 0 when clean, 1 when any analyzer (or, with -vet/-ci, any
 // delegated tool) reports a finding, 2 when the module fails to load or
-// type-check.
+// type-check, or on a usage error (unknown format or analyzer name).
 package main
 
 import (
@@ -41,6 +46,10 @@ func main() {
 	flag.StringVar(&opts.format, "format", "text", "output format: text or sarif")
 	flag.StringVar(&opts.baseline, "baseline", "", "suppress findings listed in this baseline file")
 	flag.StringVar(&opts.writeBaseline, "write-baseline", "", "write current findings to this baseline file and exit 0")
+	flag.StringVar(&opts.only, "only", "", "comma-separated analyzer names to run exclusively")
+	flag.StringVar(&opts.skip, "skip", "", "comma-separated analyzer names to leave out")
+	flag.StringVar(&opts.factCache, "factcache", "auto",
+		"call-graph fact cache: auto (user cache dir), off, or an explicit file path")
 	flag.BoolVar(&opts.vet, "vet", false, "also run `go vet` on the same patterns")
 	flag.BoolVar(&opts.ci, "ci", false, "run the full local gate: go build, go vet, bixlint, go test -race")
 	flag.Parse()
@@ -52,8 +61,30 @@ type options struct {
 	format        string
 	baseline      string
 	writeBaseline string
+	only          string
+	skip          string
+	factCache     string
 	vet           bool
 	ci            bool
+}
+
+// cachePath resolves the -factcache flag to a file path, or "" when the
+// cache is disabled. "auto" places it under the user cache dir; when that
+// is unavailable the cache is silently skipped — it is an accelerator,
+// never required.
+func cachePath(flagVal string) string {
+	switch flagVal {
+	case "off", "":
+		return ""
+	case "auto":
+		dir, err := os.UserCacheDir()
+		if err != nil {
+			return ""
+		}
+		return filepath.Join(dir, "bixlint", "facts.json")
+	default:
+		return flagVal
+	}
 }
 
 func run(opts options, patterns []string, stdout, stderr io.Writer) int {
@@ -65,6 +96,13 @@ func run(opts options, patterns []string, stdout, stderr io.Writer) int {
 	}
 	if opts.format != "text" && opts.format != "sarif" {
 		fmt.Fprintf(stderr, "bixlint: unknown -format %q (want text or sarif)\n", opts.format)
+		return 2
+	}
+	// Validate analyzer selection before the (expensive) module load so a
+	// typo in -only/-skip fails in milliseconds.
+	selected, err := analysis.Select(opts.only, opts.skip)
+	if err != nil {
+		fmt.Fprintln(stderr, "bixlint:", err)
 		return 2
 	}
 	if len(patterns) == 0 {
@@ -101,7 +139,9 @@ func run(opts options, patterns []string, stdout, stderr io.Writer) int {
 		}
 		return 2
 	}
-	findings := analysis.Run(pkgs, analysis.All)
+	batch := analysis.NewBatch(pkgs)
+	batch.CachePath = cachePath(opts.factCache)
+	findings := analysis.RunBatch(batch, selected)
 	root, _ := os.Getwd()
 
 	if opts.writeBaseline != "" {
@@ -142,7 +182,7 @@ func run(opts options, patterns []string, stdout, stderr io.Writer) int {
 	}
 
 	if opts.format == "sarif" {
-		if err := analysis.WriteSARIF(stdout, findings, analysis.All, root); err != nil {
+		if err := analysis.WriteSARIF(stdout, findings, selected, root); err != nil {
 			fmt.Fprintln(stderr, "bixlint:", err)
 			return 2
 		}

@@ -34,6 +34,71 @@ func TestUnknownFormatIsUsageError(t *testing.T) {
 	}
 }
 
+func TestUnknownAnalyzerNameIsUsageError(t *testing.T) {
+	for _, opts := range []options{
+		{format: "text", only: "hotalloc,nosuchanalyzer"},
+		{format: "text", skip: "nosuchanalyzer"},
+	} {
+		var out, errw bytes.Buffer
+		if code := run(opts, nil, &out, &errw); code != 2 {
+			t.Fatalf("options %+v exited %d, want 2", opts, code)
+		}
+		if !strings.Contains(errw.String(), "unknown analyzer") {
+			t.Errorf("stderr %q should name the unknown analyzer", errw.String())
+		}
+	}
+}
+
+func TestOnlyRestrictsSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks a real package; skipped in -short")
+	}
+	// SARIF declares one rule per selected analyzer, so the rule list is a
+	// direct observation of what -only selected.
+	var out, errw bytes.Buffer
+	code := run(options{format: "sarif", only: "tailmask,errcheck-io", factCache: "off"},
+		[]string{"../../internal/bitvec"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("run exited %d, want 0 (stderr: %s)", code, errw.String())
+	}
+	var log struct {
+		Runs []struct {
+			Tool struct {
+				Driver struct {
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &log); err != nil {
+		t.Fatalf("output is not JSON: %v", err)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	var ids []string
+	for _, r := range log.Runs[0].Tool.Driver.Rules {
+		ids = append(ids, r.ID)
+	}
+	if len(ids) != 2 || ids[0] != "tailmask" || ids[1] != "errcheck-io" {
+		t.Errorf("SARIF rules = %v, want [tailmask errcheck-io]", ids)
+	}
+}
+
+func TestCachePathResolution(t *testing.T) {
+	if got := cachePath("off"); got != "" {
+		t.Errorf("cachePath(off) = %q, want empty", got)
+	}
+	if got := cachePath("/tmp/explicit.json"); got != "/tmp/explicit.json" {
+		t.Errorf("cachePath(explicit) = %q", got)
+	}
+	if got := cachePath("auto"); got != "" && !strings.HasSuffix(got, "facts.json") {
+		t.Errorf("cachePath(auto) = %q, want .../bixlint/facts.json or empty", got)
+	}
+}
+
 func TestSARIFOnCleanPackage(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks a real package; skipped in -short")

@@ -9,12 +9,24 @@
 // Analyzers communicate with the code they check through a small directive
 // grammar in doc comments:
 //
-//	//bix:hotpath          the function must not allocate (checked by hotalloc)
+//	//bix:hotpath          the function and everything it reaches must not
+//	                       allocate (checked transitively by hotalloc)
+//	//bix:allocok (reason) the function is an audited amortized-growth
+//	                       boundary; hotalloc's transitive walk stops here
 //	//bix:maskok (reason)  the function maintains the tail-mask invariant
 //	                       without calling maskTail (checked by tailmask)
 //	//bix:lockheld         every caller holds the mutex (checked by lockheld)
+//	//bix:unlockok (reason) the function intentionally returns with a lock
+//	                       held (checked by unlockpath)
 //
-// and through `// guarded by <mu>` comments on struct fields (lockheld).
+// and through `// guarded by <mu>` comments on struct fields (lockheld,
+// gocapture, atomicfield).
+//
+// Interprocedural analyses (hotalloc's transitive walk, lockorder's
+// acquisition summaries, poolhygiene's Put-forwarding) share one
+// module-wide call graph with SCC-condensed bottom-up fact summaries
+// (callgraph.go), optionally persisted across runs in a content-hash
+// keyed fact cache (factcache.go).
 //
 // Run `go run ./cmd/bixlint ./...` to apply every analyzer to the module.
 package analysis
@@ -50,10 +62,19 @@ type Pass struct {
 type Batch struct {
 	Pkgs []*Package
 
+	// CachePath, when non-empty, points the call-graph layer at a
+	// persistent fact cache (factcache.go). Set it before the first pass
+	// runs; cacheHits/cacheMisses count package-level cache outcomes.
+	CachePath   string
+	cacheHits   int
+	cacheMisses int
+
 	declsOnce bool
 	decls     map[*types.Func]*ast.FuncDecl
 	declPkg   map[*types.Func]*Package
 
+	graph          *callGraph                         // module call graph + summaries (callgraph.go)
+	atomicIndex    *atomicFieldIndex                  // atomicfield's module-wide field index
 	lockSummaries  map[*types.Func]StringSet          // lockorder may-acquire memo
 	sliceParams    map[*types.Func]*sliceParamSummary // tailmask memo
 	lockGraph      []lockOrderEdge                    // module acquisition graph
@@ -101,26 +122,89 @@ func (f Finding) String() string {
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.reportAt(p.Pkg.Fset.Position(pos), format, args...)
+}
+
+// reportAt records a finding at an already-resolved position — the form
+// the interprocedural layer uses, since cached facts carry
+// token.Position values rather than live token.Pos offsets.
+func (p *Pass) reportAt(pos token.Position, format string, args ...any) {
 	*p.findings = append(*p.findings, Finding{
-		Pos:      p.Pkg.Fset.Position(pos),
+		Pos:      pos,
 		Analyzer: p.Analyzer.Name,
 		Message:  fmt.Sprintf(format, args...),
 	})
 }
 
 // All is the complete analyzer suite, in the order bixlint runs it: the
-// five flow-sensitive rewrites of the original rules plus the three
-// concurrency analyzers built on the CFG/dataflow layer.
+// five flow-sensitive rewrites of the original rules, the three
+// concurrency analyzers built on the CFG/dataflow layer, and the two
+// v3 analyzers built on the module call graph and the may-facts engine
+// (atomicfield, poolhygiene).
 var All = []*Analyzer{TailMask, HotAlloc, ErrcheckIO, TelemetryLabels, LockHeld,
-	LockOrder, UnlockPath, GoCapture}
+	LockOrder, UnlockPath, GoCapture, AtomicField, PoolHygiene}
+
+// Select resolves -only/-skip analyzer-selection expressions against the
+// full suite: comma-separated analyzer names, where an unknown name is an
+// error. only narrows the suite (preserving suite order), then skip
+// removes from the result. Empty strings select everything / skip
+// nothing.
+func Select(only, skip string) ([]*Analyzer, error) {
+	byName := make(map[string]*Analyzer, len(All))
+	for _, a := range All {
+		byName[a.Name] = a
+	}
+	parse := func(list, flag string) (map[string]bool, error) {
+		if list == "" {
+			return nil, nil
+		}
+		out := make(map[string]bool)
+		for _, name := range strings.Split(list, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if byName[name] == nil {
+				return nil, fmt.Errorf("analysis: unknown analyzer %q in %s", name, flag)
+			}
+			out[name] = true
+		}
+		return out, nil
+	}
+	keep, err := parse(only, "-only")
+	if err != nil {
+		return nil, err
+	}
+	drop, err := parse(skip, "-skip")
+	if err != nil {
+		return nil, err
+	}
+	var out []*Analyzer
+	for _, a := range All {
+		if keep != nil && !keep[a.Name] {
+			continue
+		}
+		if drop[a.Name] {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
 
 // Run applies each analyzer to each package and returns the findings in
-// file/line order. All packages share one Batch, so module-wide analyses
-// (lockorder's acquisition graph) see every package of the run.
+// file/line/column/analyzer order. All packages share one Batch, so
+// module-wide analyses (the call graph, lockorder's acquisition graph)
+// see every package of the run.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	return RunBatch(NewBatch(pkgs), analyzers)
+}
+
+// RunBatch is Run over a caller-constructed Batch, which is how bixlint
+// threads the fact-cache path in.
+func RunBatch(batch *Batch, analyzers []*Analyzer) []Finding {
 	var findings []Finding
-	batch := NewBatch(pkgs)
-	for _, pkg := range pkgs {
+	for _, pkg := range batch.Pkgs {
 		for _, a := range analyzers {
 			a.Run(&Pass{Analyzer: a, Pkg: pkg, Batch: batch, findings: &findings})
 		}

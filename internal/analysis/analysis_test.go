@@ -85,9 +85,26 @@ func posKey(file string, line int) string {
 // against the fixture's // want comments, both directions.
 func checkFixture(t *testing.T, a *Analyzer, fixture string) {
 	t.Helper()
-	pkg := loadFixture(t, fixture)
-	findings := Run([]*Package{pkg}, []*Analyzer{a})
-	expected := wants(t, filepath.Join("testdata", "src", fixture))
+	checkFixtures(t, a, fixture)
+}
+
+// checkFixtures is checkFixture over several fixture directories loaded
+// into one Batch — the multi-package harness for interprocedural
+// analyzers. Directories load in argument order, so dependency packages
+// must precede their importers (the loader memoizes by import path, which
+// is how a root fixture's `bitmapindex/fixture/...` import resolves).
+// Expected findings are the union of every directory's // want comments.
+func checkFixtures(t *testing.T, a *Analyzer, fixtures ...string) {
+	t.Helper()
+	var pkgs []*Package
+	expected := make(map[string]string)
+	for _, fixture := range fixtures {
+		pkgs = append(pkgs, loadFixture(t, fixture))
+		for k, v := range wants(t, filepath.Join("testdata", "src", fixture)) {
+			expected[k] = v
+		}
+	}
+	findings := Run(pkgs, []*Analyzer{a})
 	matched := make(map[string]bool)
 	for _, f := range findings {
 		file, err := filepath.Abs(f.Pos.Filename)
@@ -126,6 +143,8 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{LockOrder, []string{"lockorder_bad", "lockorder_good"}},
 		{UnlockPath, []string{"unlockpath_bad", "unlockpath_good"}},
 		{GoCapture, []string{"gocapture_bad", "gocapture_good"}},
+		{AtomicField, []string{"atomicfield_bad", "atomicfield_good"}},
+		{PoolHygiene, []string{"poolhygiene_bad", "poolhygiene_good"}},
 	}
 	for _, c := range cases {
 		for _, fixture := range c.fixtures {
@@ -134,6 +153,15 @@ func TestAnalyzerFixtures(t *testing.T) {
 			})
 		}
 	}
+}
+
+// TestTransitiveHotpath exercises the multi-package call-graph walk: hot
+// roots in hotpath_multi, allocations (and the //bix:allocok boundary) in
+// its helper package, diagnostics landing in the helper with the full
+// cross-package call chain — including an edge resolved through a bound
+// function value.
+func TestTransitiveHotpath(t *testing.T) {
+	checkFixtures(t, HotAlloc, "hotpath_multi/helper", "hotpath_multi")
 }
 
 // TestModuleClean is `bixlint ./...` as a test: the whole module loads
@@ -167,8 +195,8 @@ func TestDirectiveParsing(t *testing.T) {
 			n++
 		}
 	}
-	if n != 3 {
-		t.Fatalf("hotalloc_good should have 3 //bix:hotpath functions, found %d", n)
+	if n != 4 {
+		t.Fatalf("hotalloc_good should have 4 //bix:hotpath functions, found %d", n)
 	}
 	// A directive with a reason suffix still counts; a prefix collision
 	// ("hotpathx") must not.

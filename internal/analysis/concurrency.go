@@ -82,44 +82,53 @@ func lockCall(info *types.Info, call *ast.CallExpr) (lockRef, bool) {
 		return lockRef{}, false
 	}
 	ref := lockRef{op: op, call: call}
-	switch x := sel.X.(type) {
-	case *ast.SelectorExpr: // v.mu.Lock() or pkg.mu.Lock()
-		ref.name = x.Sel.Name
-		if s, ok := info.Selections[x]; ok && s.Kind() == types.FieldVal {
-			ref.obj = s.Obj()
-			recv := s.Recv()
-			if p, ok := recv.(*types.Pointer); ok {
-				recv = p.Elem()
-			}
-			ref.key = types.TypeString(recv, nil) + "." + ref.name
-		} else if o := info.Uses[x.Sel]; o != nil {
-			ref.obj = o
-			if o.Pkg() != nil {
-				ref.key = o.Pkg().Path() + "." + ref.name
-			}
-		}
-	case *ast.Ident: // mu.Lock() — package-level or local mutex,
-		// or t.Lock() through an embedded sync.Mutex.
-		ref.name = x.Name
-		if o := info.Uses[x]; o != nil {
-			ref.obj = o
-			switch {
-			case o.Pkg() != nil && o.Parent() == o.Pkg().Scope():
-				ref.key = o.Pkg().Path() + "." + ref.name
-			default:
-				// Function-local mutex: identity is the object itself.
-				ref.key = fmt.Sprintf("local.%s@%d", ref.name, o.Pos())
-			}
-		}
-	default:
-		// Mutex reached through an index or call result; no stable
-		// identity, but the short name may still be recoverable.
-		return lockRef{}, false
-	}
+	ref.name, ref.obj, ref.key = selIdentity(info, sel.X)
 	if ref.key == "" {
 		return lockRef{}, false
 	}
 	return ref, true
+}
+
+// selIdentity resolves the identity of a value reached through a method
+// call's receiver expression — the `v.mu` of `v.mu.Lock()` or the
+// `bufPool` of `bufPool.Get()`. It returns the short name (for `guarded
+// by` matching and messages), the variable or field object, and a stable
+// module-wide identity key: type + field for struct members, package path
+// + name for package-level variables, and a position-tagged name for
+// locals. A value reached through an index or call result has no stable
+// identity and yields an empty key.
+func selIdentity(info *types.Info, x ast.Expr) (name string, obj types.Object, key string) {
+	switch x := x.(type) {
+	case *ast.SelectorExpr: // v.mu or pkg.mu
+		name = x.Sel.Name
+		if s, ok := info.Selections[x]; ok && s.Kind() == types.FieldVal {
+			obj = s.Obj()
+			recv := s.Recv()
+			if p, ok := recv.(*types.Pointer); ok {
+				recv = p.Elem()
+			}
+			key = types.TypeString(recv, nil) + "." + name
+		} else if o := info.Uses[x.Sel]; o != nil {
+			obj = o
+			if o.Pkg() != nil {
+				key = o.Pkg().Path() + "." + name
+			}
+		}
+	case *ast.Ident: // mu — package-level or local,
+		// or t.Lock() through an embedded sync.Mutex.
+		name = x.Name
+		if o := info.Uses[x]; o != nil {
+			obj = o
+			switch {
+			case o.Pkg() != nil && o.Parent() == o.Pkg().Scope():
+				key = o.Pkg().Path() + "." + name
+			default:
+				// Function-local value: identity is the object itself.
+				key = fmt.Sprintf("local.%s@%d", name, o.Pos())
+			}
+		}
+	}
+	return name, obj, key
 }
 
 // collectGuarded maps each struct field carrying a `// guarded by <mu>`

@@ -1,0 +1,200 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+)
+
+// The fact cache persists the call-graph extraction (edges + funcFacts,
+// callgraph.go) between bixlint runs, keyed by a content hash of each
+// package. Type-checking still happens on every run — facts reference
+// types — but the per-function extraction walk is skipped for unchanged
+// packages, which is what keeps `-ci` on a warm tree close to the v2
+// wall-clock despite the new interprocedural layer.
+//
+// Invalidation is by construction, not by mtime: a package's hash covers
+// the analyzer version, the Go toolchain version, its own file contents,
+// and (recursively) the hashes of its module-internal imports that are
+// part of the Batch — a signature change in a callee package therefore
+// invalidates its importers. Module-internal imports that are not in the
+// Batch (possible when bixlint is pointed at a single package) contribute
+// only their import path, an accepted imprecision for partial runs; a
+// `./...` run always has every module package in the Batch.
+
+// factCacheVersion invalidates all cached facts when the extraction
+// logic changes. Bump it whenever funcFacts gains a field or an analyzer
+// reads the facts differently.
+const factCacheVersion = 1
+
+type cacheFile struct {
+	Version  int                      `json:"version"`
+	Go       string                   `json:"go"`
+	Packages map[string]cachedPackage `json:"packages"`
+}
+
+type cachedPackage struct {
+	Hash  string                `json:"hash"`
+	Funcs map[string]cachedFunc `json:"funcs"`
+}
+
+// cachedFunc is one function's serialized extraction result.
+type cachedFunc struct {
+	Edges []callEdge `json:"edges,omitempty"`
+	Facts *funcFacts `json:"facts,omitempty"`
+}
+
+type factCache struct {
+	path  string
+	file  cacheFile
+	dirty bool
+}
+
+// openFactCache loads the cache at path. A missing, unreadable or
+// version-mismatched file yields an empty cache — the cache is an
+// accelerator, never a correctness input.
+func openFactCache(path string) *factCache {
+	c := &factCache{path: path}
+	c.file.Version = factCacheVersion
+	c.file.Go = runtime.Version()
+	c.file.Packages = make(map[string]cachedPackage)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return c
+	}
+	var f cacheFile
+	if json.Unmarshal(data, &f) != nil ||
+		f.Version != factCacheVersion || f.Go != runtime.Version() || f.Packages == nil {
+		return c
+	}
+	c.file = f
+	return c
+}
+
+// lookup returns the cached functions for a package if the stored hash
+// matches the package's current content hash.
+func (c *factCache) lookup(pkgPath, hash string) (map[string]cachedFunc, bool) {
+	p, ok := c.file.Packages[pkgPath]
+	if !ok || p.Hash != hash || p.Funcs == nil {
+		return nil, false
+	}
+	return p.Funcs, true
+}
+
+// store records a freshly extracted package.
+func (c *factCache) store(pkgPath, hash string, funcs map[string]cachedFunc) {
+	c.file.Packages[pkgPath] = cachedPackage{Hash: hash, Funcs: funcs}
+	c.dirty = true
+}
+
+// save writes the cache atomically (tmp + rename) if anything changed.
+func (c *factCache) save() error {
+	if !c.dirty {
+		return nil
+	}
+	data, err := json.Marshal(c.file)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(c.path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".bixlint-cache-*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		_ = os.Remove(tmp.Name())
+		return werr
+	}
+	return os.Rename(tmp.Name(), c.path)
+}
+
+// batchHasher computes per-package content hashes with dependency
+// closure, memoized across the Batch.
+type batchHasher struct {
+	byPath map[string]*Package
+	memo   map[string]string
+	busy   map[string]bool // guards against import cycles (impossible in valid Go, cheap to be safe)
+}
+
+func newBatchHasher(b *Batch) *batchHasher {
+	h := &batchHasher{
+		byPath: make(map[string]*Package, len(b.Pkgs)),
+		memo:   make(map[string]string),
+		busy:   make(map[string]bool),
+	}
+	for _, pkg := range b.Pkgs {
+		h.byPath[pkg.Path] = pkg
+	}
+	return h
+}
+
+// hash returns the package's content hash, or "" when a source file
+// cannot be read (the package is then simply not cached this run).
+func (h *batchHasher) hash(pkg *Package) string {
+	if v, ok := h.memo[pkg.Path]; ok {
+		return v
+	}
+	if h.busy[pkg.Path] {
+		return ""
+	}
+	h.busy[pkg.Path] = true
+	defer delete(h.busy, pkg.Path)
+
+	sum := sha256.New()
+	writeStr := func(s string) {
+		_, _ = sum.Write([]byte(s)) // hash.Hash.Write never fails
+		_, _ = sum.Write([]byte{0})
+	}
+	writeStr("bixlint-facts")
+	writeStr(runtime.Version())
+	writeStr(string(rune('0' + factCacheVersion)))
+	writeStr(pkg.Path)
+
+	var files []string
+	for _, f := range pkg.Files {
+		files = append(files, pkg.Fset.Position(f.Package).Filename)
+	}
+	sort.Strings(files)
+	for _, name := range files {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return ""
+		}
+		writeStr(filepath.Base(name))
+		_, _ = sum.Write(data)
+		_, _ = sum.Write([]byte{0})
+	}
+
+	var imports []string
+	if pkg.Types != nil {
+		for _, imp := range pkg.Types.Imports() {
+			imports = append(imports, imp.Path())
+		}
+	}
+	sort.Strings(imports)
+	for _, path := range imports {
+		writeStr(path)
+		if dep, ok := h.byPath[path]; ok {
+			dh := h.hash(dep)
+			if dh == "" {
+				return ""
+			}
+			writeStr(dh)
+		}
+	}
+	v := hex.EncodeToString(sum.Sum(nil))
+	h.memo[pkg.Path] = v
+	return v
+}

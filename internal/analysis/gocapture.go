@@ -5,134 +5,51 @@ import (
 	"go/types"
 )
 
-// GoCapture audits what goroutines launched by `go` statements capture.
-// Two rules:
+// GoCapture audits what goroutines launched by `go` statements touch.
+// One rule remains in v3: a goroutine literal that accesses a
+// `// guarded by <mu>` field must acquire that mutex inside its own body
+// before the access. Lock state never transfers across a `go` boundary:
+// whatever the launching function holds is released (or contested) by the
+// time the goroutine runs, so the literal is analyzed with an empty entry
+// lock set by the same must-held dataflow lockheld uses. (lockheld itself
+// skips direct go-literals to keep each defect reported once.)
 //
-//  1. A goroutine literal must not capture an enclosing loop's iteration
-//     variable, and a `go f(...)` call must not pass the address of one.
-//     Under Go ≥ 1.22 the variable is per-iteration, but the repository's
-//     concurrency kernels (core.EvalBatch's worker pool, bixbench's
-//     metrics server) deliberately pass indices through channels or
-//     arguments instead — the goroutine's identity must not depend on
-//     loop state, and the code must stay correct under earlier toolchain
-//     semantics and go vet's loopclosure rule.
-//
-//  2. A goroutine literal that touches a `// guarded by <mu>` field must
-//     acquire that mutex inside its own body before the access. Lock
-//     state never transfers across a `go` boundary: whatever the
-//     launching function holds is released (or contested) by the time the
-//     goroutine runs, so the literal is analyzed with an empty entry lock
-//     set by the same must-held dataflow lockheld uses. (lockheld itself
-//     skips direct go-literals to keep each defect reported once.)
+// The v2 loop-variable rules (capturing an iteration variable, passing
+// its address) were retired: since Go 1.22 — the version this module's
+// go.mod requires — for-loop variables are per-iteration, so both
+// patterns are well-defined and go vet's loopclosure no longer flags
+// them either. Re-reporting them here produced pure noise on idiomatic
+// worker-launch loops.
 var GoCapture = &Analyzer{
 	Name: "gocapture",
-	Doc:  "go statements must not capture loop variables or guarded fields without the guard",
+	Doc:  "go statements must not touch guarded fields without acquiring the guard inside the goroutine",
 	Run:  runGoCapture,
 }
 
 func runGoCapture(pass *Pass) {
 	guarded := collectGuarded(pass.Pkg)
-	for _, fn := range funcDecls(pass.Pkg) {
-		var goStmts []*ast.GoStmt
-		ast.Inspect(fn.Body, func(n ast.Node) bool {
-			if g, ok := n.(*ast.GoStmt); ok {
-				goStmts = append(goStmts, g)
-			}
-			return true
-		})
-		for _, g := range goStmts {
-			loopVars := enclosingLoopVars(pass, fn.Body, g)
-			checkGoStmt(pass, guarded, fn.Name.Name, g, loopVars)
-		}
-	}
-}
-
-// enclosingLoopVars returns the iteration-variable objects of every loop
-// on the path from root to target: range key/value bindings and variables
-// defined in a for statement's init.
-func enclosingLoopVars(pass *Pass, root ast.Node, target ast.Node) map[types.Object]bool {
-	info := pass.Pkg.Info
-	vars := make(map[types.Object]bool)
-	var stack []ast.Node
-	found := false
-	ast.Inspect(root, func(n ast.Node) bool {
-		if found {
-			return false
-		}
-		if n == nil {
-			stack = stack[:len(stack)-1]
-			return true
-		}
-		stack = append(stack, n)
-		if n == target {
-			for _, e := range stack {
-				switch loop := e.(type) {
-				case *ast.RangeStmt:
-					for _, x := range []ast.Expr{loop.Key, loop.Value} {
-						if id, ok := x.(*ast.Ident); ok && id.Name != "_" {
-							if obj := info.Defs[id]; obj != nil {
-								vars[obj] = true
-							}
-						}
-					}
-				case *ast.ForStmt:
-					if as, ok := loop.Init.(*ast.AssignStmt); ok {
-						for _, lhs := range as.Lhs {
-							if id, ok := lhs.(*ast.Ident); ok {
-								if obj := info.Defs[id]; obj != nil {
-									vars[obj] = true
-								}
-							}
-						}
-					}
-				}
-			}
-			found = true
-			return false
-		}
-		return true
-	})
-	return vars
-}
-
-func checkGoStmt(pass *Pass, guarded map[types.Object]string, fnName string, g *ast.GoStmt, loopVars map[types.Object]bool) {
-	info := pass.Pkg.Info
-	lit, isLit := g.Call.Fun.(*ast.FuncLit)
-
-	// Rule 1a: the literal captures a loop variable.
-	if isLit && len(loopVars) > 0 {
-		reported := make(map[types.Object]bool)
-		ast.Inspect(lit.Body, func(n ast.Node) bool {
-			if id, ok := n.(*ast.Ident); ok {
-				if obj := info.Uses[id]; obj != nil && loopVars[obj] && !reported[obj] {
-					reported[obj] = true
-					pass.Reportf(id.Pos(),
-						"%s: goroutine captures loop variable %s; pass it as an argument or read it from a channel",
-						fnName, id.Name)
-				}
-			}
-			return true
-		})
-	}
-	// Rule 1b: go f(&i) — the address of a loop variable escapes into the
-	// goroutine even without a literal.
-	for _, arg := range g.Call.Args {
-		if u, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && u.Op.String() == "&" {
-			if id, ok := ast.Unparen(u.X).(*ast.Ident); ok {
-				if obj := info.Uses[id]; obj != nil && loopVars[obj] {
-					pass.Reportf(arg.Pos(),
-						"%s: go statement passes the address of loop variable %s to a goroutine; pass the value instead",
-						fnName, id.Name)
-				}
-			}
-		}
-	}
-	if !isLit || len(guarded) == 0 {
+	if len(guarded) == 0 {
 		return
 	}
-	// Rule 2: guarded-field accesses inside the goroutine body, checked by
-	// the must-held dataflow with an empty entry set — the launcher's
-	// locks do not protect the goroutine.
+	for _, fn := range funcDecls(pass.Pkg) {
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				checkGoStmt(pass, guarded, fn.Name.Name, g)
+			}
+			return true
+		})
+	}
+}
+
+func checkGoStmt(pass *Pass, guarded map[types.Object]string, fnName string, g *ast.GoStmt) {
+	info := pass.Pkg.Info
+	lit, isLit := g.Call.Fun.(*ast.FuncLit)
+	if !isLit {
+		return
+	}
+	// Guarded-field accesses inside the goroutine body, checked by the
+	// must-held dataflow with an empty entry set — the launcher's locks do
+	// not protect the goroutine.
 	cfg := BuildCFG(fnName+" (go literal)", lit.Body)
 	facts := SolveForward(cfg, FlowProblem{
 		Entry: NewStringSet(),

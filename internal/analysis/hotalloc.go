@@ -1,98 +1,134 @@
 package analysis
 
 import (
-	"go/ast"
+	"fmt"
 	"go/token"
-	"go/types"
+	"strings"
 )
 
-// HotAlloc keeps `//bix:hotpath` functions allocation-free. The annotated
-// set is the per-word kernel tier — bitvec bit operations, WAH group
-// encoding, the evaluator's bitmap fetch — where a single allocation per
-// call multiplies across millions of words per query.
+// HotAlloc keeps `//bix:hotpath` functions allocation-free — transitively.
+// The annotated set is the per-word kernel tier (bitvec bit operations,
+// WAH group encoding, the evaluator's bitmap fetch, the flight recorder's
+// record path) where a single allocation per call multiplies across
+// millions of words per query. v3 follows call chains over the module
+// call graph (callgraph.go): any module-internal function reachable from
+// a hotpath root through plain or deferred calls is held to the same
+// rule, and the diagnostic prints the full chain from root to the
+// allocation site.
 //
 // Flagged constructs: calls into package fmt, the allocating builtins
-// (append, make, new), function literals (closures capture onto the heap),
-// slice/map composite literals, &T{} literals, and explicit conversions to
-// interface types. Map reads/writes on pre-sized maps and plain calls are
-// allowed: the rule targets constructs that allocate on every execution,
-// not amortized growth.
+// (append, make, new), function literals (closures capture onto the
+// heap), slice/map composite literals, &T{} literals, explicit
+// conversions to interface types, and — new in v3 — implicit boxing at
+// call sites, where a concrete value is passed to an interface
+// parameter. Two deliberate exemptions: constructs inside panic(...)
+// arguments run only on the failure path (the bitvec bounds-check
+// helpers build their message with fmt.Sprintf, which is fine), and a
+// callee audited as an amortized-growth boundary can declare it with
+// `//bix:allocok (reason)` — the chain stops there and its own body is
+// not descended into. Map reads/writes on pre-sized maps and plain calls
+// are allowed: the rule targets constructs that allocate on every
+// execution, not amortized growth.
 var HotAlloc = &Analyzer{
 	Name: "hotalloc",
-	Doc:  "//bix:hotpath functions must not contain allocation-inducing constructs",
+	Doc:  "//bix:hotpath functions and everything they reach must not allocate (//bix:allocok bounds the audit)",
 	Run:  runHotAlloc,
 }
 
+// hotFinding is one allocation diagnostic, attributed to the package the
+// allocation site lives in (which, for transitive findings, is not
+// necessarily the hotpath root's package).
+type hotFinding struct {
+	pkg *Package
+	pos token.Position
+	msg string
+}
+
 func runHotAlloc(pass *Pass) {
-	for _, fn := range funcDecls(pass.Pkg) {
-		if !hasDirective(fn.Doc, "hotpath") {
+	for _, f := range batchHotFindings(pass.Batch) {
+		if f.pkg == pass.Pkg {
+			pass.reportAt(f.pos, "%s", f.msg)
+		}
+	}
+}
+
+// batchHotFindings computes (once per Batch) every hotalloc diagnostic in
+// the module: direct findings inside //bix:hotpath bodies, then a
+// breadth-first walk from each root over plain-call and defer edges.
+// Each allocation site is reported once — under the first root that
+// reaches it in sorted key order — so overlapping hot subtrees do not
+// multiply diagnostics. Roots are themselves never treated as transitive
+// targets (each is its own root), and //bix:allocok callees terminate the
+// walk without being descended into.
+func batchHotFindings(b *Batch) []hotFinding {
+	g := batchGraph(b)
+	if g.hotDone {
+		return g.hotFindings
+	}
+	g.hotDone = true
+	seenSite := make(map[string]bool) // one finding per allocation site, module-wide
+
+	siteKey := func(a allocSite) string {
+		return fmt.Sprintf("%s:%d:%d|%s", a.Pos.Filename, a.Pos.Line, a.Pos.Column, a.What)
+	}
+
+	for _, key := range g.keys {
+		root := g.nodes[key]
+		if !root.hot || root.allocOK {
 			continue
 		}
-		checkHotBody(pass, fn)
-	}
-}
-
-func checkHotBody(pass *Pass, fn *ast.FuncDecl) {
-	info := pass.Pkg.Info
-	name := fn.Name.Name
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
-		switch e := n.(type) {
-		case *ast.FuncLit:
-			pass.Reportf(e.Pos(), "%s is //bix:hotpath but contains a closure literal (allocates)", name)
-			return false // the literal's own body runs outside the hot path
-		case *ast.CompositeLit:
-			switch info.Types[e].Type.Underlying().(type) {
-			case *types.Slice, *types.Map:
-				pass.Reportf(e.Pos(), "%s is //bix:hotpath but builds a %s literal (allocates)",
-					name, kindName(info.Types[e].Type))
+		// Direct findings keep the v2 message shape: the function itself
+		// promised not to allocate.
+		for _, a := range root.facts.Allocs {
+			sk := siteKey(a)
+			if seenSite[sk] {
+				continue
 			}
-		case *ast.UnaryExpr:
-			if e.Op == token.AND {
-				if cl, ok := e.X.(*ast.CompositeLit); ok {
-					pass.Reportf(cl.Pos(), "%s is //bix:hotpath but takes the address of a composite literal (allocates)", name)
+			seenSite[sk] = true
+			g.hotFindings = append(g.hotFindings, hotFinding{
+				pkg: root.pkg, pos: a.Pos,
+				msg: fmt.Sprintf("%s is //bix:hotpath but %s (allocates)", root.decl.Name.Name, a.What),
+			})
+		}
+		// Transitive findings: BFS over call/defer edges with the chain
+		// carried along for the diagnostic.
+		type item struct {
+			key   string
+			chain []string
+		}
+		visited := map[string]bool{key: true}
+		queue := []item{{key: key, chain: []string{root.display}}}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, e := range g.nodes[cur.key].edges {
+				if e.Kind != edgeCall && e.Kind != edgeDefer {
+					continue // goroutines and closures run outside this hot path
 				}
-			}
-		case *ast.CallExpr:
-			checkHotCall(pass, name, e)
-		}
-		return true
-	})
-}
-
-func kindName(t types.Type) string {
-	switch t.Underlying().(type) {
-	case *types.Slice:
-		return "slice"
-	case *types.Map:
-		return "map"
-	}
-	return t.String()
-}
-
-func checkHotCall(pass *Pass, name string, call *ast.CallExpr) {
-	info := pass.Pkg.Info
-	switch fun := call.Fun.(type) {
-	case *ast.Ident:
-		switch obj := info.Uses[fun].(type) {
-		case *types.Builtin:
-			switch obj.Name() {
-			case "append", "make", "new":
-				pass.Reportf(call.Pos(), "%s is //bix:hotpath but calls %s (allocates)", name, obj.Name())
-			}
-		}
-	case *ast.SelectorExpr:
-		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
-			pass.Reportf(call.Pos(), "%s is //bix:hotpath but calls fmt.%s (allocates)", name, fn.Name())
-		}
-	}
-	// Explicit conversion to an interface type boxes the operand.
-	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
-		if _, isIface := tv.Type.Underlying().(*types.Interface); isIface {
-			if at, ok := info.Types[call.Args[0]]; ok {
-				if _, already := at.Type.Underlying().(*types.Interface); !already && !at.IsNil() {
-					pass.Reportf(call.Pos(), "%s is //bix:hotpath but converts to an interface (allocates)", name)
+				cn := g.nodes[e.Callee]
+				if cn == nil || visited[e.Callee] {
+					continue
 				}
+				visited[e.Callee] = true
+				if cn.hot || cn.allocOK {
+					continue // its own root, or an audited boundary
+				}
+				chain := append(append([]string(nil), cur.chain...), cn.display)
+				for _, a := range cn.facts.Allocs {
+					sk := siteKey(a)
+					if seenSite[sk] {
+						continue
+					}
+					seenSite[sk] = true
+					g.hotFindings = append(g.hotFindings, hotFinding{
+						pkg: cn.pkg, pos: a.Pos,
+						msg: fmt.Sprintf("%s %s (allocates) and is reachable from //bix:hotpath via %s; hoist the allocation or mark an audited boundary with //bix:allocok",
+							cn.display, a.What, strings.Join(chain, " -> ")),
+					})
+				}
+				queue = append(queue, item{key: e.Callee, chain: chain})
 			}
 		}
 	}
+	return g.hotFindings
 }

@@ -151,36 +151,22 @@ func lockTransferKey(info *types.Info, n ast.Node, s StringSet) StringSet {
 	return s
 }
 
-// lockSummary computes (memoized on the Batch) the transitive may-acquire
-// set of a module function. Recursion is cut by seeding the memo with the
-// empty set.
+// lockSummary returns the transitive may-acquire set of a module
+// function. v3 delegates to the call graph's bottom-up summaries
+// (callgraph.go), which compute the full fixpoint through mutual
+// recursion instead of the old memo-seeded under-approximation; functions
+// outside the module (no graph node) have an empty summary.
 func lockSummary(pass *Pass, fn *types.Func) StringSet {
 	if s, ok := pass.Batch.lockSummaries[fn]; ok {
 		return s
 	}
 	sum := NewStringSet()
-	pass.Batch.lockSummaries[fn] = sum
-	decl, declPkg := pass.Batch.funcDecl(fn)
-	if decl == nil || decl.Body == nil {
-		return sum
+	if n := batchGraph(pass.Batch).node(fn); n != nil {
+		if s, ok := pass.Batch.graph.transAcquires[n.key]; ok {
+			sum = s
+		}
 	}
-	info := declPkg.Info
-	ast.Inspect(decl.Body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		if ref, ok := lockCall(info, call); ok && ref.op.acquires() {
-			sum[ref.key] = true
-			return true
-		}
-		if callee := calleeFunc(info, call); callee != nil && callee != fn {
-			for k := range lockSummary(pass, callee) {
-				sum[k] = true
-			}
-		}
-		return true
-	})
+	pass.Batch.lockSummaries[fn] = sum
 	return sum
 }
 
@@ -236,95 +222,6 @@ func runLockOrder(pass *Pass) {
 			"acquires %s while holding %s%s, closing a lock-order cycle (potential deadlock); acquire module mutexes in one global order",
 			shortLockName(e.to), shortLockName(e.from), via)
 	}
-}
-
-// cyclicEdges returns the set of edges ("from->to") that lie inside a
-// strongly connected component of size > 1, i.e. that participate in a
-// cycle. Self-edges are handled separately by the caller.
-func cyclicEdges(adj map[string]map[string]bool) map[string]bool {
-	// Tarjan's SCC, iterative over sorted nodes for determinism.
-	var nodes []string
-	for n := range adj {
-		nodes = append(nodes, n)
-	}
-	for _, tos := range adj {
-		for t := range tos {
-			nodes = append(nodes, t)
-		}
-	}
-	sort.Strings(nodes)
-	nodes = dedupeSorted(nodes)
-
-	index := make(map[string]int)
-	low := make(map[string]int)
-	onStack := make(map[string]bool)
-	comp := make(map[string]int)
-	var stack []string
-	counter, compID := 0, 0
-
-	var strongconnect func(v string)
-	strongconnect = func(v string) {
-		index[v] = counter
-		low[v] = counter
-		counter++
-		stack = append(stack, v)
-		onStack[v] = true
-		var succs []string
-		for w := range adj[v] {
-			succs = append(succs, w)
-		}
-		sort.Strings(succs)
-		for _, w := range succs {
-			if _, ok := index[w]; !ok {
-				strongconnect(w)
-				if low[w] < low[v] {
-					low[v] = low[w]
-				}
-			} else if onStack[w] && index[w] < low[v] {
-				low[v] = index[w]
-			}
-		}
-		if low[v] == index[v] {
-			for {
-				w := stack[len(stack)-1]
-				stack = stack[:len(stack)-1]
-				onStack[w] = false
-				comp[w] = compID
-				if w == v {
-					break
-				}
-			}
-			compID++
-		}
-	}
-	for _, n := range nodes {
-		if _, ok := index[n]; !ok {
-			strongconnect(n)
-		}
-	}
-	compSize := make(map[int]int)
-	for _, c := range comp {
-		compSize[c]++
-	}
-	out := make(map[string]bool)
-	for from, tos := range adj {
-		for to := range tos {
-			if from != to && comp[from] == comp[to] && compSize[comp[from]] > 1 {
-				out[from+"->"+to] = true
-			}
-		}
-	}
-	return out
-}
-
-func dedupeSorted(s []string) []string {
-	out := s[:0]
-	for i, v := range s {
-		if i == 0 || v != s[i-1] {
-			out = append(out, v)
-		}
-	}
-	return out
 }
 
 // shortLockName renders a mutex key for messages: the type-qualified tail

@@ -10,16 +10,31 @@ import (
 
 // badFixtureFindings runs a set of analyzers over fixtures that are
 // guaranteed to report, giving the output tests real findings to format.
+// The set spans several packages — including the cross-package
+// hotpath_multi pair, whose findings depend on the interprocedural call
+// graph — so the byte-stability test below covers multi-package ordering,
+// not just the single-package sort.
 func badFixtureFindings(t *testing.T) []Finding {
 	t.Helper()
 	pkgs := []*Package{
 		loadFixture(t, "unlockpath_bad"),
 		loadFixture(t, "lockorder_bad"),
 		loadFixture(t, "gocapture_bad"),
+		loadFixture(t, "hotpath_multi/helper"),
+		loadFixture(t, "hotpath_multi"),
 	}
-	findings := Run(pkgs, []*Analyzer{UnlockPath, LockOrder, GoCapture})
+	findings := Run(pkgs, []*Analyzer{UnlockPath, LockOrder, GoCapture, HotAlloc})
 	if len(findings) == 0 {
 		t.Fatal("bad fixtures produced no findings")
+	}
+	analyzers := make(map[string]bool)
+	files := make(map[string]bool)
+	for _, f := range findings {
+		analyzers[f.Analyzer] = true
+		files[f.Pos.Filename] = true
+	}
+	if len(analyzers) < 3 || len(files) < 3 {
+		t.Fatalf("fixture set too narrow for ordering tests: %d analyzers, %d files", len(analyzers), len(files))
 	}
 	return findings
 }
@@ -41,12 +56,16 @@ func TestOutputByteStable(t *testing.T) {
 	if !bytes.Equal(first, second) {
 		t.Errorf("lint output is not byte-stable across runs:\n--- first ---\n%s--- second ---\n%s", first, second)
 	}
-	// Findings must arrive sorted by file, then line.
+	// Findings must arrive sorted by file, line, column, then analyzer —
+	// the full cross-package ordering contract, not just file/line.
 	findings := badFixtureFindings(t)
+	key := func(f Finding) string {
+		return fmt.Sprintf("%s\x00%08d\x00%08d\x00%s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer)
+	}
 	for i := 1; i < len(findings); i++ {
-		a, b := findings[i-1].Pos, findings[i].Pos
-		if a.Filename > b.Filename || (a.Filename == b.Filename && a.Line > b.Line) {
-			t.Errorf("findings out of order: %s before %s", a, b)
+		if key(findings[i-1]) > key(findings[i]) {
+			t.Errorf("findings out of (file, line, column, analyzer) order: %s before %s",
+				findings[i-1], findings[i])
 		}
 	}
 }

@@ -1,0 +1,411 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// PoolHygiene audits sync.Pool usage with the same may-facts machinery as
+// unlockpath: a value obtained from Pool.Get is an obligation that must be
+// discharged on every path out of the function. Three rules:
+//
+//   - Leak: a Get-bound variable that can reach function exit (including
+//     explicit panic edges) without being Put back, returned to the
+//     caller, stored into a longer-lived structure, or handed to a module
+//     function that Puts its parameter (the call graph's PoolPutParams
+//     summary resolves that). A `defer pool.Put(x)` — or a deferred call,
+//     possibly inside a deferred closure, to a Put-forwarding helper —
+//     discharges all paths at once, exactly like a deferred Unlock.
+//   - Use after Put: once a value is Put, the pool owns it; any later
+//     read or write races with the next Get.
+//   - Discarded Get: `pool.Get()` as a statement (or assigned to _) takes
+//     a value out of the pool and drops it on the floor.
+//
+// Tracking is by-variable and deliberately modest: only single-value
+// bindings (`x := pool.Get()`, with or without a single-value type
+// assertion) create an obligation. The comma-ok form
+// `x, ok := pool.Get().(*T)` is untracked by design — it is the idiom for
+// "discard on shape mismatch", where the discard is the point.
+var PoolHygiene = &Analyzer{
+	Name: "poolhygiene",
+	Doc:  "every sync.Pool Get must reach a Put (or an ownership transfer) on all paths, and never be used after Put",
+	Run:  runPoolHygiene,
+}
+
+// poolRef is one resolved sync.Pool Get/Put call site.
+type poolRef struct {
+	isGet bool
+	name  string       // the pool variable's short name, for messages
+	obj   types.Object // the pool variable, when resolvable
+	key   string       // module-wide pool identity (selIdentity)
+	call  *ast.CallExpr
+}
+
+// poolCall resolves a call to (*sync.Pool).Get or Put, on a pool we can
+// name. Pools reached through arbitrary expressions (map lookups, channel
+// receives) yield no identity and are skipped.
+func poolCall(info *types.Info, call *ast.CallExpr) (poolRef, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Get" && sel.Sel.Name != "Put") {
+		return poolRef{}, false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return poolRef{}, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || !strings.Contains(sig.Recv().Type().String(), "Pool") {
+		return poolRef{}, false
+	}
+	ref := poolRef{isGet: sel.Sel.Name == "Get", call: call}
+	ref.name, ref.obj, ref.key = selIdentity(info, sel.X)
+	if ref.key == "" {
+		return poolRef{}, false
+	}
+	return ref, true
+}
+
+// Obligation lattice elements mirror unlockpath's acqElem: each live fact
+// is "kind|pool|var|varObjPos|sitePos", where kind is "get" (value checked
+// out, must be discharged) or "put" (value surrendered, must not be used).
+func poolElem(kind, pool, varName string, objPos, sitePos token.Pos) string {
+	return kind + "|" + pool + "|" + varName + "|" +
+		strconv.Itoa(int(objPos)) + "|" + strconv.Itoa(int(sitePos))
+}
+
+func parsePoolElem(e string) (kind, pool, varName string, objPos, sitePos token.Pos) {
+	parts := strings.SplitN(e, "|", 5)
+	op, _ := strconv.Atoi(parts[3])
+	sp, _ := strconv.Atoi(parts[4])
+	return parts[0], parts[1], parts[2], token.Pos(op), token.Pos(sp)
+}
+
+func runPoolHygiene(pass *Pass) {
+	for _, fn := range funcDecls(pass.Pkg) {
+		checkPoolPaths(pass, fn.Name.Name, fn.Body)
+		for _, lit := range funcLits(fn.Body) {
+			checkPoolPaths(pass, fn.Name.Name+" (func literal)", lit.Body)
+		}
+	}
+}
+
+func checkPoolPaths(pass *Pass, name string, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	g := batchGraph(pass.Batch)
+
+	// Rule 3 is syntactic and needs no dataflow.
+	reportDiscardedGets(pass, name, body)
+
+	cfg := BuildCFG(name, body)
+	deferred := poolDeferredDischarges(info, g, cfg)
+	transfer := func(b *Block, in FlowFact) FlowFact {
+		s := in.(StringSet)
+		for _, n := range b.Nodes {
+			s = poolTransfer(info, g, n, s)
+		}
+		return s
+	}
+	facts := SolveForward(cfg, FlowProblem{Entry: NewStringSet(), Transfer: transfer, Join: UnionSets})
+
+	// Rule 1: obligations live at exit, minus defer-discharged variables.
+	if exitIn, ok := facts[cfg.Exit]; ok {
+		for _, e := range exitIn.(StringSet).Sorted() {
+			kind, pool, varName, objPos, sitePos := parsePoolElem(e)
+			if kind != "get" || deferred[objPos] {
+				continue
+			}
+			pass.Reportf(sitePos,
+				"%s: %s taken from pool %s may reach function exit without a %s.Put on every path (including panic edges); defer the Put or return it on all branches",
+				name, varName, pool, pool)
+		}
+	}
+
+	// Rule 2: re-walk with in-facts, flagging uses of surrendered values.
+	reported := make(map[string]bool)
+	for _, blk := range cfg.Blocks {
+		in, ok := facts[blk]
+		if !ok {
+			continue
+		}
+		s := in.(StringSet)
+		for _, n := range blk.Nodes {
+			checkUseAfterPut(pass, info, name, n, s, reported)
+			s = poolTransfer(info, g, n, s)
+		}
+	}
+}
+
+// identObj resolves a plain identifier expression to its object.
+func identObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// getPoolCall unwraps an assignment RHS to a Pool.Get call: parens and a
+// single-value type assertion (`pool.Get().(*T)`) are transparent.
+func getPoolCall(info *types.Info, e ast.Expr) (poolRef, bool) {
+	x := ast.Unparen(e)
+	if ta, ok := x.(*ast.TypeAssertExpr); ok && ta.Type != nil {
+		x = ast.Unparen(ta.X)
+	}
+	call, ok := x.(*ast.CallExpr)
+	if !ok {
+		return poolRef{}, false
+	}
+	ref, ok := poolCall(info, call)
+	if !ok || !ref.isGet {
+		return poolRef{}, false
+	}
+	return ref, true
+}
+
+// poolTransfer applies one CFG node's effect on the obligation set. It is
+// pure — the solver re-runs it to fixpoint — so all reporting lives
+// elsewhere.
+func poolTransfer(info *types.Info, g *callGraph, n ast.Node, s StringSet) StringSet {
+	switch n.(type) {
+	case *ast.DeferStmt, *ast.GoStmt:
+		return s // handled by poolDeferredDischarges / not this path
+	}
+	inspectShallow(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.AssignStmt:
+			if len(m.Lhs) == len(m.Rhs) {
+				for i := range m.Rhs {
+					s = poolAssign(info, m.Lhs[i], m.Rhs[i], s)
+				}
+			}
+		case *ast.ValueSpec:
+			if len(m.Names) == len(m.Values) {
+				for i := range m.Values {
+					s = poolAssign(info, m.Names[i], m.Values[i], s)
+				}
+			}
+		case *ast.ReturnStmt:
+			// Returning the value transfers ownership to the caller.
+			for _, r := range m.Results {
+				if obj := identObj(info, r); obj != nil {
+					s = dropPoolFacts(s, obj.Pos(), "get")
+				}
+			}
+		case *ast.CallExpr:
+			s = poolCallEffect(info, g, m, s)
+		}
+		return true
+	})
+	return s
+}
+
+// poolAssign handles one lhs := rhs pair.
+func poolAssign(info *types.Info, lhs, rhs ast.Expr, s StringSet) StringSet {
+	if ref, ok := getPoolCall(info, rhs); ok {
+		if obj := identObj(info, lhs); obj != nil {
+			s = dropPoolFacts(s, obj.Pos(), "") // rebinding clears old history
+			id := ast.Unparen(lhs).(*ast.Ident)
+			s = s.With(poolElem("get", ref.name, id.Name, obj.Pos(), ref.call.Pos()))
+		}
+		return s
+	}
+	// Storing the value into a field or element is a deliberate ownership
+	// transfer to the containing structure; rebinding the variable to
+	// anything else abandons the old value's tracking.
+	if obj := identObj(info, rhs); obj != nil {
+		switch ast.Unparen(lhs).(type) {
+		case *ast.SelectorExpr, *ast.IndexExpr:
+			s = dropPoolFacts(s, obj.Pos(), "get")
+		}
+	}
+	if obj := identObj(info, lhs); obj != nil {
+		s = dropPoolFacts(s, obj.Pos(), "")
+	}
+	return s
+}
+
+// poolCallEffect handles Put calls and calls into module functions whose
+// summary says a parameter reaches a Put (PoolPutParams).
+func poolCallEffect(info *types.Info, g *callGraph, call *ast.CallExpr, s StringSet) StringSet {
+	if ref, ok := poolCall(info, call); ok {
+		if !ref.isGet && len(call.Args) == 1 {
+			if obj := identObj(info, call.Args[0]); obj != nil {
+				id := ast.Unparen(call.Args[0]).(*ast.Ident)
+				s = dropPoolFacts(s, obj.Pos(), "get")
+				s = s.With(poolElem("put", ref.name, id.Name, obj.Pos(), call.Pos()))
+			}
+		}
+		return s
+	}
+	callee := calleeFunc(info, call)
+	if callee == nil {
+		return s
+	}
+	n := g.nodes[callee.FullName()]
+	if n == nil || n.facts == nil {
+		return s
+	}
+	for _, i := range n.facts.PoolPutParams {
+		if i >= len(call.Args) {
+			continue
+		}
+		if obj := identObj(info, call.Args[i]); obj != nil {
+			id := ast.Unparen(call.Args[i]).(*ast.Ident)
+			s = dropPoolFacts(s, obj.Pos(), "get")
+			s = s.With(poolElem("put", callee.Name(), id.Name, obj.Pos(), call.Pos()))
+		}
+	}
+	return s
+}
+
+// dropPoolFacts removes facts for one tracked variable; kind "" drops
+// both get and put facts (rebinding), "get" discharges the obligation but
+// keeps any put fact alive (use-after-put still applies).
+func dropPoolFacts(s StringSet, objPos token.Pos, kind string) StringSet {
+	return s.Without(func(e string) bool {
+		k, _, _, op, _ := parsePoolElem(e)
+		return op == objPos && (kind == "" || k == kind)
+	})
+}
+
+// poolDeferredDischarges collects variables whose Put is deferred —
+// directly (`defer pool.Put(x)`), through a Put-forwarding module helper
+// (`defer putSegRegs(rs)`), or inside a deferred closure — which, like a
+// deferred Unlock, credits every exit path.
+func poolDeferredDischarges(info *types.Info, g *callGraph, c *CFG) map[token.Pos]bool {
+	out := make(map[token.Pos]bool)
+	record := func(call *ast.CallExpr) {
+		if ref, ok := poolCall(info, call); ok {
+			if !ref.isGet && len(call.Args) == 1 {
+				if obj := identObj(info, call.Args[0]); obj != nil {
+					out[obj.Pos()] = true
+				}
+			}
+			return
+		}
+		callee := calleeFunc(info, call)
+		if callee == nil {
+			return
+		}
+		n := g.nodes[callee.FullName()]
+		if n == nil || n.facts == nil {
+			return
+		}
+		for _, i := range n.facts.PoolPutParams {
+			if i < len(call.Args) {
+				if obj := identObj(info, call.Args[i]); obj != nil {
+					out[obj.Pos()] = true
+				}
+			}
+		}
+	}
+	for _, d := range c.Defers {
+		record(d.Call)
+		if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					record(call)
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// checkUseAfterPut flags identifier uses of a variable with a live put
+// fact. Assignment targets are exempt (rebinding the variable is how it
+// becomes usable again), as is handing the variable to another Put-shaped
+// call (double Put is reported as a use: the pool owns the value).
+func checkUseAfterPut(pass *Pass, info *types.Info, name string, n ast.Node, s StringSet, reported map[string]bool) {
+	if len(s) == 0 {
+		return
+	}
+	type putInfo struct{ pool, varName string }
+	puts := make(map[token.Pos]putInfo)
+	for e := range s {
+		if kind, pool, varName, objPos, _ := parsePoolElem(e); kind == "put" {
+			puts[objPos] = putInfo{pool, varName}
+		}
+	}
+	if len(puts) == 0 {
+		return
+	}
+	switch n.(type) {
+	case *ast.DeferStmt, *ast.GoStmt:
+		return
+	}
+	lhsTargets := make(map[*ast.Ident]bool)
+	inspectShallow(n, func(m ast.Node) bool {
+		if as, ok := m.(*ast.AssignStmt); ok {
+			for _, l := range as.Lhs {
+				if id, ok := ast.Unparen(l).(*ast.Ident); ok {
+					lhsTargets[id] = true
+				}
+			}
+		}
+		return true
+	})
+	inspectShallow(n, func(m ast.Node) bool {
+		id, ok := m.(*ast.Ident)
+		if !ok || lhsTargets[id] {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		pi, ok := puts[obj.Pos()]
+		if !ok {
+			return true
+		}
+		key := name + "|" + strconv.Itoa(int(obj.Pos())) + "|" + strconv.Itoa(int(id.Pos()))
+		if reported[key] {
+			return true
+		}
+		reported[key] = true
+		pass.Reportf(id.Pos(),
+			"%s: uses %s after it was returned to pool %s with Put; the pool owns the value once Put, so reorder the Put or re-Get",
+			name, pi.varName, pi.pool)
+		return true
+	})
+}
+
+// reportDiscardedGets flags Pool.Get results that are thrown away.
+func reportDiscardedGets(pass *Pass, name string, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	inspectShallow(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+				if ref, ok := poolCall(info, call); ok && ref.isGet {
+					pass.Reportf(call.Pos(),
+						"%s: discards the result of %s.Get(); the checked-out value never returns to the pool",
+						name, ref.name)
+				}
+			}
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				ref, ok := getPoolCall(info, rhs)
+				if !ok {
+					continue
+				}
+				if id, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident); ok && id.Name == "_" {
+					pass.Reportf(ref.call.Pos(),
+						"%s: discards the result of %s.Get(); the checked-out value never returns to the pool",
+						name, ref.name)
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,113 @@
+package analysis
+
+import "sort"
+
+// Strongly connected components over string-keyed directed graphs, shared
+// by the lock-order cycle check and the call-graph condensation. One
+// implementation, two very different clients: lockorder asks "which edges
+// lie on a cycle", the interprocedural summary layer asks "give me the
+// components bottom-up so I can fold facts callee-before-caller".
+
+// stronglyConnected runs Tarjan's algorithm over the graph described by
+// adj (node -> successor set; nodes appearing only as successors are
+// included). It returns the component index of every node and the
+// components themselves, each with its members sorted.
+//
+// Determinism: nodes and successors are visited in sorted order, so the
+// numbering is a pure function of the graph. Ordering: Tarjan emits a
+// component only once all components reachable from it are emitted, so
+// comps is in reverse topological order of the condensation — callees
+// before callers, exactly the order a bottom-up summary computation wants.
+func stronglyConnected(adj map[string]map[string]bool) (map[string]int, [][]string) {
+	var nodes []string
+	for n := range adj {
+		nodes = append(nodes, n)
+	}
+	for _, tos := range adj {
+		for t := range tos {
+			nodes = append(nodes, t)
+		}
+	}
+	sort.Strings(nodes)
+	nodes = dedupeSorted(nodes)
+
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	comp := make(map[string]int)
+	var comps [][]string
+	var stack []string
+	counter := 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = counter
+		low[v] = counter
+		counter++
+		stack = append(stack, v)
+		onStack[v] = true
+		var succs []string
+		for w := range adj[v] {
+			succs = append(succs, w)
+		}
+		sort.Strings(succs)
+		for _, w := range succs {
+			if _, ok := index[w]; !ok {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			id := len(comps)
+			var members []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp[w] = id
+				members = append(members, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Strings(members)
+			comps = append(comps, members)
+		}
+	}
+	for _, n := range nodes {
+		if _, ok := index[n]; !ok {
+			strongconnect(n)
+		}
+	}
+	return comp, comps
+}
+
+// cyclicEdges returns the set of edges ("from->to") that lie inside a
+// strongly connected component of size > 1, i.e. that participate in a
+// cycle. Self-edges are handled separately by the caller.
+func cyclicEdges(adj map[string]map[string]bool) map[string]bool {
+	comp, comps := stronglyConnected(adj)
+	out := make(map[string]bool)
+	for from, tos := range adj {
+		for to := range tos {
+			if from != to && comp[from] == comp[to] && len(comps[comp[from]]) > 1 {
+				out[from+"->"+to] = true
+			}
+		}
+	}
+	return out
+}
+
+func dedupeSorted(s []string) []string {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,45 @@
+// Package atomicfieldbad mixes sync/atomic access with plain access to
+// the same field, and copies atomic-typed values.
+package atomicfieldbad
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type stats struct {
+	mu   sync.Mutex
+	hits int64
+	cnt  atomic.Int64
+}
+
+// Bump publishes hits atomically — which makes every plain access to the
+// field, anywhere in the module, a race.
+func Bump(s *stats) {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+// PlainRead reads the atomically-updated field with no lock held.
+func PlainRead(s *stats) int64 {
+	return s.hits // want "accessed with sync/atomic"
+}
+
+// PlainWrite resets it plainly — same race, write side.
+func PlainWrite(s *stats) {
+	s.hits = 0 // want "accessed with sync/atomic"
+}
+
+// LateLock acquires the mutex only after the read.
+func LateLock(s *stats) int64 {
+	v := s.hits // want "accessed with sync/atomic"
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return v
+}
+
+// CopyValue copies an atomic.Int64 by value: the copy is detached from
+// the original and the hidden noCopy guard is violated.
+func CopyValue(s *stats) int64 {
+	c := s.cnt // want "copies atomic field"
+	return c.Load()
+}

@@ -1,0 +1,51 @@
+// Package atomicfieldgood accesses atomic fields the allowed ways: the
+// atomic API, a consistently held mutex, a //bix:lockheld trust boundary,
+// and atomic-typed fields used only through their methods.
+package atomicfieldgood
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type stats struct {
+	mu   sync.Mutex
+	hits int64
+	cnt  atomic.Int64
+}
+
+// Bump publishes hits atomically.
+func Bump(s *stats) {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+// AtomicRead stays on the atomic API.
+func AtomicRead(s *stats) int64 {
+	return atomic.LoadInt64(&s.hits)
+}
+
+// LockedRead holds the guarding mutex across the plain access.
+func LockedRead(s *stats) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits
+}
+
+// TrustedRead documents that every caller holds mu.
+//
+//bix:lockheld
+func TrustedRead(s *stats) int64 {
+	return s.hits
+}
+
+// MethodUse touches the atomic.Int64 only through its methods, on the
+// original field.
+func MethodUse(s *stats) int64 {
+	s.cnt.Add(1)
+	return s.cnt.Load()
+}
+
+// AddressUse bridges to a legacy API by address — no copy.
+func AddressUse(s *stats) *atomic.Int64 {
+	return &s.cnt
+}

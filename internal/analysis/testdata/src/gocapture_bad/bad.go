@@ -1,6 +1,5 @@
-// Package gocapturebad launches goroutines that capture what they must
-// not: loop iteration variables, addresses of loop variables, and
-// guarded fields accessed without taking the guard inside the goroutine.
+// Package gocapturebad launches goroutines that touch guarded fields
+// without taking the guard inside the goroutine body.
 package gocapturebad
 
 import "sync"
@@ -8,31 +7,6 @@ import "sync"
 type counter struct {
 	mu sync.Mutex
 	n  int // guarded by mu
-}
-
-// FanOut captures the range variable inside each goroutine.
-func FanOut(jobs []int, out chan<- int) {
-	for _, j := range jobs {
-		go func() {
-			out <- j * j // want "captures loop variable j"
-		}()
-	}
-}
-
-// IndexCapture captures a for-init variable.
-func IndexCapture(n int, out chan<- int) {
-	for i := 0; i < n; i++ {
-		go func() {
-			out <- i // want "captures loop variable i"
-		}()
-	}
-}
-
-// AddressEscape passes the address of the loop variable to the goroutine.
-func AddressEscape(jobs []int, sink func(*int)) {
-	for _, j := range jobs {
-		go sink(&j) // want "address of loop variable j"
-	}
 }
 
 // UnguardedTouch bumps a guarded field from a goroutine without taking

@@ -1,6 +1,8 @@
 // Package gocapturegood launches goroutines the way the repository's
-// kernels do: indices arrive through channels or parameters, and guarded
-// fields are locked inside the goroutine that touches them.
+// kernels do: guarded fields are locked inside the goroutine that touches
+// them, and — since Go 1.22 made loop variables per-iteration — capturing
+// an iteration variable or passing its address is fine and must NOT be
+// flagged.
 package gocapturegood
 
 import "sync"
@@ -38,6 +40,33 @@ func ParamPass(jobs []int, out chan<- int) {
 		go func(v int) {
 			out <- v * v
 		}(j)
+	}
+}
+
+// RangeCapture captures the range variable directly. Per-iteration loop
+// variables (Go >= 1.22) make each goroutine see its own j.
+func RangeCapture(jobs []int, out chan<- int) {
+	for _, j := range jobs {
+		go func() {
+			out <- j * j
+		}()
+	}
+}
+
+// IndexCapture captures a for-init variable — also per-iteration now.
+func IndexCapture(n int, out chan<- int) {
+	for i := 0; i < n; i++ {
+		go func() {
+			out <- i
+		}()
+	}
+}
+
+// AddressEscape passes the address of the loop variable: each iteration's
+// variable is distinct, so the pointer is stable for that goroutine.
+func AddressEscape(jobs []int, sink func(*int)) {
+	for _, j := range jobs {
+		go sink(&j)
 	}
 }
 

@@ -38,3 +38,12 @@ func BadAddr(n int) *struct{ v int } {
 func BadIface(n int) any {
 	return any(n) // want "interface"
 }
+
+// sink is cold-path: it may be handed anything. The cost is paid by the
+// hot caller that boxes a concrete value into the parameter.
+func sink(v any) { _ = v }
+
+//bix:hotpath
+func BadBox(n int) {
+	sink(n) // want "interface parameter"
+}

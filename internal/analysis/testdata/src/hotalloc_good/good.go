@@ -29,3 +29,13 @@ func Mark(seen map[uint64]bool, key uint64) {
 func Report(words []uint64) string {
 	return fmt.Sprintf("%d bits set", PopCount(words))
 }
+
+// Check is hot but its fmt.Sprintf lives inside a panic argument: the
+// failure path is by definition not the hot path.
+//
+//bix:hotpath
+func Check(i, n int) {
+	if i >= n {
+		panic(fmt.Sprintf("index %d out of range %d", i, n))
+	}
+}

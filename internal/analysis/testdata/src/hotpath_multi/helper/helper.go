@@ -1,0 +1,24 @@
+// Package helper is the callee side of the multi-package hotpath fixture:
+// nothing here is annotated //bix:hotpath, but Fill and Indirect are
+// reached from hot roots in the parent package and must be flagged with
+// the full cross-package call chain. Grow demonstrates the //bix:allocok
+// escape hatch: an audited amortized-growth boundary terminates the walk.
+package helper
+
+// Fill grows dst; flagged because hotpathmulti.Kernel reaches it.
+func Fill(dst []int, v int) []int {
+	return append(dst, v) // want "via hotpathmulti.Kernel -> helper.Fill"
+}
+
+// Grow is the audited boundary: same body as Fill, but the directive
+// stops the transitive walk before it descends into this function.
+//
+//bix:allocok (amortized doubling audited in the multi-package fixture)
+func Grow(dst []int, v int) []int {
+	return append(dst, v)
+}
+
+// Indirect is reached through a function value (f := helper.Indirect).
+func Indirect() *int {
+	return new(int) // want "via hotpathmulti.ViaValue -> helper.Indirect"
+}

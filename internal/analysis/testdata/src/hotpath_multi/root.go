@@ -1,0 +1,29 @@
+// Package hotpathmulti holds the hot roots of the multi-package hotpath
+// fixture. The allocations all live in the imported helper package; every
+// diagnostic must land there, carrying the chain from the root.
+package hotpathmulti
+
+import "bitmapindex/fixture/hotpath_multi/helper"
+
+// Kernel reaches helper.Fill's append: flagged, in the helper package.
+//
+//bix:hotpath
+func Kernel(dst []int, v int) []int {
+	return helper.Fill(dst, v)
+}
+
+// Audited reaches only the //bix:allocok boundary: clean.
+//
+//bix:hotpath
+func Audited(dst []int, v int) []int {
+	return helper.Grow(dst, v)
+}
+
+// ViaValue calls through a bound function value; the best-effort binding
+// resolution still produces the edge to helper.Indirect.
+//
+//bix:hotpath
+func ViaValue() *int {
+	f := helper.Indirect
+	return f()
+}

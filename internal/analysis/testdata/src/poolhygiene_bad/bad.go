@@ -1,0 +1,38 @@
+// Package poolhygienebad violates sync.Pool ownership discipline: leaks
+// on early-return and panic paths, discarded Gets, and use after Put.
+package poolhygienebad
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// LeakOnEarlyReturn: the failure branch exits with the value checked out.
+func LeakOnEarlyReturn(fail bool) int {
+	b := bufPool.Get() // want "without a bufPool.Put"
+	if fail {
+		return 0
+	}
+	bufPool.Put(b)
+	return 1
+}
+
+// Discard drops the checked-out value on the floor.
+func Discard() {
+	bufPool.Get() // want "discards the result"
+}
+
+// UseAfterPut touches the value after surrendering it to the pool.
+func UseAfterPut() any {
+	b := bufPool.Get()
+	bufPool.Put(b)
+	return b // want "after it was returned to pool"
+}
+
+// LeakOnPanic: the explicit panic edge exits with the value live.
+func LeakOnPanic(bad bool) {
+	b := bufPool.Get() // want "without a bufPool.Put"
+	if bad {
+		panic("pool value leaks here")
+	}
+	bufPool.Put(b)
+}

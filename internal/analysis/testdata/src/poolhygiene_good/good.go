@@ -1,0 +1,85 @@
+// Package poolhygienegood shows every accepted way to discharge a Get:
+// straight-line Put, deferred Put (directly, or through a forwarding
+// helper inside a deferred closure — the drain-loop shape), Put on every
+// branch, returning the value, storing it into a longer-lived structure,
+// and the untracked comma-ok assertion idiom.
+package poolhygienegood
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { return make([]byte, 0, 64) }}
+
+func use(v any) { _ = v }
+
+// StraightLine: Get then Put on the single path.
+func StraightLine() {
+	b := bufPool.Get()
+	use(b)
+	bufPool.Put(b)
+}
+
+// DeferredPut credits every path, including the panic edge.
+func DeferredPut(bad bool) {
+	b := bufPool.Get()
+	defer bufPool.Put(b)
+	if bad {
+		panic("deferred Put still runs")
+	}
+	use(b)
+}
+
+// ReturnTransfer hands ownership to the caller.
+func ReturnTransfer() any {
+	b := bufPool.Get()
+	return b
+}
+
+// BranchPut puts on every branch.
+func BranchPut(flip bool) {
+	b := bufPool.Get()
+	if flip {
+		bufPool.Put(b)
+		return
+	}
+	bufPool.Put(b)
+}
+
+// putBack forwards its parameter to a Put: the call-graph summary
+// (PoolPutParams) is what lets callers discharge through it.
+func putBack(v any) {
+	bufPool.Put(v)
+}
+
+// ViaHelper discharges through the helper's summary.
+func ViaHelper() {
+	b := bufPool.Get()
+	putBack(b)
+}
+
+// DeferViaClosure is the segment-drain shape: a deferred closure forwards
+// the value to the helper at exit.
+func DeferViaClosure() {
+	b := bufPool.Get()
+	defer func() {
+		putBack(b)
+	}()
+	use(b)
+}
+
+// CommaOkUntracked: the comma-ok assertion is the discard-on-mismatch
+// idiom and is deliberately untracked.
+func CommaOkUntracked() []byte {
+	b, ok := bufPool.Get().([]byte)
+	if !ok {
+		b = make([]byte, 0, 64)
+	}
+	return b
+}
+
+type holder struct{ v any }
+
+// StoreTransfer parks the value in a longer-lived structure.
+func StoreTransfer(h *holder) {
+	b := bufPool.Get()
+	h.v = b
+}

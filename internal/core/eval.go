@@ -327,8 +327,8 @@ func (ix *Index) Eval(op Op, v uint64, opt *EvalOptions) *bitvec.Vector {
 		Total: elapsed, Rows: -1,
 		Scans: d.Scans - before.Scans, Ands: d.Ands - before.Ands,
 		Ors: d.Ors - before.Ors, Xors: d.Xors - before.Xors,
-		Nots:      d.Nots - before.Nots,
-		CacheHits: telemetry.CacheHitsTotal.Value() - hits0,
+		Nots:        d.Nots - before.Nots,
+		CacheHits:   telemetry.CacheHitsTotal.Value() - hits0,
 		CacheMisses: telemetry.CacheMissesTotal.Value() - misses0,
 	}
 	flight.Default().Add(&frec, o.Trace)

@@ -104,6 +104,65 @@ const (
 	segAny                // early exit on the first non-empty segment
 )
 
+// segRegSet is one worker's scratch register file, recycled across
+// queries through segRegPool: for a fixed row count the register vectors
+// are the dominant per-drain allocation (nregs × rows/8 bytes per worker
+// per query), and reusing them makes steady-state segmented evaluation
+// allocation-free outside the result vector itself.
+//
+// vecs owns the scratch vectors; regs is the view handed to runSegment,
+// in which register 0 may alias the query's shared result vector instead
+// of a scratch. Stale scratch content is safe by construction: a
+// segProgram initializes every register (sLoad/sZero/sOnes) inside the
+// segment window before combining into it, and Count/Any read only the
+// window just written.
+type segRegSet struct {
+	rows int
+	vecs []*bitvec.Vector // owned scratch, reused across queries
+	regs []*bitvec.Vector // register view; regs[0] may alias the shared result
+}
+
+var segRegPool sync.Pool
+
+// getSegRegs checks a register set out of the pool, rebuilding it when the
+// row count changed or the program needs more registers than last time.
+// When shared is non-nil it becomes register 0 (materialize mode).
+func getSegRegs(rows, nregs int, shared *bitvec.Vector) *segRegSet {
+	rs, ok := segRegPool.Get().(*segRegSet)
+	if !ok || rs.rows != rows {
+		rs = &segRegSet{rows: rows}
+	}
+	if cap(rs.regs) < nregs {
+		rs.regs = make([]*bitvec.Vector, nregs)
+	}
+	rs.regs = rs.regs[:nregs]
+	own := 0
+	for i := 0; i < nregs; i++ {
+		if i == 0 && shared != nil {
+			rs.regs[0] = shared
+			continue
+		}
+		if own == len(rs.vecs) {
+			rs.vecs = append(rs.vecs, bitvec.New(rows))
+		}
+		rs.regs[i] = rs.vecs[own]
+		own++
+	}
+	return rs
+}
+
+// putSegRegs returns a register set to the pool, dropping the aliased
+// result reference so the pool never retains a caller's result vector.
+func putSegRegs(rs *segRegSet) {
+	if rs == nil {
+		return
+	}
+	for i := range rs.regs {
+		rs.regs[i] = nil
+	}
+	segRegPool.Put(rs)
+}
+
 // SegmentedEval evaluates (A op v) exactly like Eval but combines bitmaps
 // segment-by-segment across a worker pool, using up to cfg.Workers
 // goroutines. The result is bit-identical to Eval's and the reported
@@ -179,11 +238,18 @@ func (ix *Index) segRun(op Op, v uint64, opt *EvalOptions, cfg SegConfig, mode i
 	var total atomic.Int64
 	var found atomic.Bool
 	drain := func() {
-		// Worker-local scratch registers, allocated on the first segment
-		// this goroutine actually claims. In materialize mode register 0
-		// aliases the shared result: workers write disjoint word windows,
-		// so no synchronization is needed beyond the final wg.Wait.
+		// Worker-local scratch registers, checked out of segRegPool on the
+		// first segment this goroutine actually claims and returned at
+		// exit. In materialize mode register 0 aliases the shared result:
+		// workers write disjoint word windows, so no synchronization is
+		// needed beyond the final wg.Wait.
+		var rs *segRegSet
 		var regs []*bitvec.Vector
+		defer func() {
+			if rs != nil {
+				putSegRegs(rs)
+			}
+		}()
 		local := 0
 		for {
 			if mode == segAny && found.Load() {
@@ -194,15 +260,12 @@ func (ix *Index) segRun(op Op, v uint64, opt *EvalOptions, cfg SegConfig, mode i
 				break
 			}
 			if regs == nil {
-				regs = make([]*bitvec.Vector, prog.nregs)
+				var shared *bitvec.Vector
 				if mode == segMaterialize {
-					regs[0] = res
+					shared = res
 				}
-				for i := range regs {
-					if regs[i] == nil {
-						regs[i] = bitvec.New(ix.rows)
-					}
-				}
+				rs = getSegRegs(ix.rows, prog.nregs, shared)
+				regs = rs.regs
 			}
 			lo := s * segWords
 			hi := lo + segWords

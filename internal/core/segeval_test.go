@@ -251,3 +251,65 @@ func TestEvalBatchOptionsTemplate(t *testing.T) {
 		}
 	}
 }
+
+// TestSegRegSet pins the register-recycling contract deterministically
+// (never asserting pool hits: the runtime may drop pool entries at any
+// GC): shape and aliasing on checkout, result-reference clearing on
+// return, and full rebuild when the row count changes.
+func TestSegRegSet(t *testing.T) {
+	const rows = 1 << 10
+	shared := bitvec.New(rows)
+
+	rs := getSegRegs(rows, 3, shared)
+	if rs.rows != rows || len(rs.regs) != 3 {
+		t.Fatalf("checkout shape: rows=%d regs=%d, want %d/3", rs.rows, len(rs.regs), rows)
+	}
+	if rs.regs[0] != shared {
+		t.Fatal("materialize mode must alias register 0 to the shared result")
+	}
+	for i := 1; i < 3; i++ {
+		if rs.regs[i] == nil || rs.regs[i] == shared || rs.regs[i].Len() != rows {
+			t.Fatalf("register %d: got %v, want owned scratch of %d rows", i, rs.regs[i], rows)
+		}
+	}
+	regs := rs.regs
+	putSegRegs(rs)
+	for i, r := range regs {
+		if r != nil {
+			t.Fatalf("putSegRegs left register %d set; the pool must not retain result references", i)
+		}
+	}
+
+	// Count/Any mode: no shared vector, register 0 is scratch too.
+	rs2 := getSegRegs(rows, 2, nil)
+	if rs2.regs[0] == nil || rs2.regs[0].Len() != rows {
+		t.Fatal("count mode must provide scratch for register 0")
+	}
+	putSegRegs(rs2)
+
+	// A row-count change must discard recycled state entirely.
+	segRegPool.Put(&segRegSet{rows: rows, vecs: []*bitvec.Vector{bitvec.New(rows)}})
+	rs3 := getSegRegs(2*rows, 2, nil)
+	if rs3.rows != 2*rows {
+		t.Fatalf("rows after mismatched checkout = %d, want %d", rs3.rows, 2*rows)
+	}
+	for i, r := range rs3.regs {
+		if r.Len() != 2*rows {
+			t.Fatalf("register %d has %d rows, want %d", i, r.Len(), 2*rows)
+		}
+	}
+	putSegRegs(rs3)
+
+	// Growing the register demand on a recycled set allocates the extras.
+	segRegPool.Put(&segRegSet{rows: rows})
+	rs4 := getSegRegs(rows, 4, nil)
+	if len(rs4.regs) != 4 {
+		t.Fatalf("grew to %d registers, want 4", len(rs4.regs))
+	}
+	for i, r := range rs4.regs {
+		if r == nil || r.Len() != rows {
+			t.Fatalf("register %d missing after growth", i)
+		}
+	}
+	putSegRegs(rs4)
+}

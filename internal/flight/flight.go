@@ -31,9 +31,9 @@ import (
 // resident footprint (about 1KB per slot) stays negligible.
 const DefaultCapacity = 512
 
-// maxPhases bounds the per-slot phase snapshot. The telemetry package
-// defines eight phases; a record can never carry more distinct ones.
-const maxPhases = 8
+// maxPhases bounds the per-slot phase snapshot; a trace can never carry
+// more distinct phases than its own fixed table holds.
+const maxPhases = telemetry.MaxPhases
 
 // outlierK is the annex size: the K slowest queries retained past wrap.
 const outlierK = 8

@@ -337,11 +337,18 @@ func (c *CachedStore) EvalBatch(queries []core.Query, parallelism int, m *Metric
 
 // fillPool runs a pool-miss read under the "cache_fill" pprof label (so CPU
 // spent inflating and extracting bitmaps is attributed to the query that
-// missed) and charges the elapsed time to bix_cache_fill_ns_total.
+// missed) and charges the elapsed time to bix_cache_fill_ns_total. The
+// deferred charge is a named function, not a closure: the fill runs once
+// per pool miss on the fetch path, and `defer f(t0)` evaluates its
+// argument at registration while keeping panic-path accounting.
 func fillPool(queryID string, read func() *bitvec.Vector) *bitvec.Vector {
-	t0 := time.Now()
-	defer func() { telemetry.CacheFillNSTotal.Add(int64(time.Since(t0))) }()
+	defer fillCharge(time.Now())
 	var v *bitvec.Vector
 	profile.Do(queryID, "cache_fill", func() { v = read() })
 	return v
+}
+
+// fillCharge adds the time elapsed since t0 to the cache-fill counter.
+func fillCharge(t0 time.Time) {
+	telemetry.CacheFillNSTotal.Add(int64(time.Since(t0)))
 }

@@ -40,12 +40,26 @@ const (
 	PhaseSegments Phase = "segments"
 )
 
+// MaxPhases bounds how many distinct phases one trace can hold. The
+// built-in Phase constants are exactly this many; a trace stores its
+// aggregates in a fixed array of this size so the record path (Span.End →
+// add, on every bitmap fetch and boolean op) allocates nothing. A custom
+// phase arriving after the array is full is silently dropped — losing an
+// exotic phase beats allocating per query on the hot path.
+const MaxPhases = 8
+
 type phaseAgg struct {
 	calls     int
 	dur       time.Duration
 	min, max  time.Duration // per-call extremes (min is meaningful once calls > 0)
 	allocB    int64         // heap bytes allocated inside profiled spans
 	allocObjs int64         // heap objects allocated inside profiled spans
+}
+
+// phaseEntry is one occupied slot of a trace's fixed phase table.
+type phaseEntry struct {
+	phase Phase
+	agg   phaseAgg
 }
 
 // PhaseRecord is one phase's aggregate within a finished or running trace.
@@ -75,11 +89,11 @@ type Trace struct {
 	start    time.Time
 	profiled bool // set once before use by Profile; spans capture alloc deltas
 
-	mu     sync.Mutex
-	order  []Phase             // guarded by mu
-	phases map[Phase]*phaseAgg // guarded by mu
-	total  time.Duration       // guarded by mu; set by Finish
-	done   bool                // guarded by mu
+	mu      sync.Mutex
+	entries [MaxPhases]phaseEntry // guarded by mu; entries[:nphases] are live, in first-entered order
+	nphases int                   // guarded by mu
+	total   time.Duration         // guarded by mu; set by Finish
+	done    bool                  // guarded by mu
 }
 
 // traceSeq numbers traces process-wide so exemplars and pprof labels can
@@ -90,10 +104,9 @@ var traceSeq atomic.Int64
 // ID derived from the name and a process-wide sequence number.
 func NewTrace(name string) *Trace {
 	return &Trace{
-		name:   name,
-		id:     fmt.Sprintf("%s#%d", name, traceSeq.Add(1)),
-		start:  time.Now(),
-		phases: make(map[Phase]*phaseAgg, 8),
+		name:  name,
+		id:    fmt.Sprintf("%s#%d", name, traceSeq.Add(1)),
+		start: time.Now(),
 	}
 }
 
@@ -138,11 +151,21 @@ func (t *Trace) add(p Phase, d time.Duration, allocB, allocObjs int64) {
 		return
 	}
 	t.mu.Lock()
-	a, ok := t.phases[p]
-	if !ok {
-		a = &phaseAgg{min: d, max: d}
-		t.phases[p] = a
-		t.order = append(t.order, p)
+	var a *phaseAgg
+	for i := 0; i < t.nphases; i++ {
+		if t.entries[i].phase == p {
+			a = &t.entries[i].agg
+			break
+		}
+	}
+	if a == nil {
+		if t.nphases == MaxPhases {
+			t.mu.Unlock()
+			return // table full: see MaxPhases
+		}
+		t.entries[t.nphases] = phaseEntry{phase: p, agg: phaseAgg{min: d, max: d}}
+		a = &t.entries[t.nphases].agg
+		t.nphases++
 	}
 	a.calls++
 	a.dur += d
@@ -230,13 +253,13 @@ func (t *Trace) Phases() []PhaseRecord {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	out := make([]PhaseRecord, 0, len(t.order))
-	for _, p := range t.order {
-		a := t.phases[p]
+	out := make([]PhaseRecord, 0, t.nphases)
+	for i := 0; i < t.nphases; i++ {
+		e := &t.entries[i]
 		out = append(out, PhaseRecord{
-			Phase: p, Calls: a.calls, Duration: a.dur,
-			Min: a.min, Max: a.max,
-			AllocBytes: a.allocB, AllocObjects: a.allocObjs,
+			Phase: e.phase, Calls: e.agg.calls, Duration: e.agg.dur,
+			Min: e.agg.min, Max: e.agg.max,
+			AllocBytes: e.agg.allocB, AllocObjects: e.agg.allocObjs,
 		})
 	}
 	return out
@@ -254,15 +277,15 @@ func (t *Trace) CopyPhases(dst []PhaseRecord) int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	n := 0
-	for _, p := range t.order {
+	for i := 0; i < t.nphases; i++ {
 		if n == len(dst) {
 			break
 		}
-		a := t.phases[p]
+		e := &t.entries[i]
 		dst[n] = PhaseRecord{
-			Phase: p, Calls: a.calls, Duration: a.dur,
-			Min: a.min, Max: a.max,
-			AllocBytes: a.allocB, AllocObjects: a.allocObjs,
+			Phase: e.phase, Calls: e.agg.calls, Duration: e.agg.dur,
+			Min: e.agg.min, Max: e.agg.max,
+			AllocBytes: e.agg.allocB, AllocObjects: e.agg.allocObjs,
 		}
 		n++
 	}

@@ -114,3 +114,52 @@ func TestSlowLog(t *testing.T) {
 		t.Fatal("nil trace must not be logged")
 	}
 }
+
+// TestTraceAddAllocationFree pins the hot-path contract bixlint's
+// transitive hotalloc rule enforces statically: once every phase slot is
+// warm, recording into a trace allocates nothing. (The first Add of a
+// phase only writes into the fixed entries array, but the warm-up keeps
+// the assertion independent of timer granularity.)
+func TestTraceAddAllocationFree(t *testing.T) {
+	phases := []Phase{
+		PhasePlan, PhaseFetch, PhaseDecompress, PhaseExtract,
+		PhaseBoolOps, PhaseFilter, PhasePopcount, PhaseSegments,
+	}
+	tr := NewTrace("alloc-free")
+	for _, p := range phases {
+		tr.Add(p, time.Microsecond) // warm every slot
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, p := range phases {
+			tr.Add(p, time.Microsecond)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Trace.Add allocates %.1f objects per run; the record path must be allocation-free", allocs)
+	}
+}
+
+// TestTracePhaseOverflow: a ninth distinct phase is dropped, not grown
+// into — the fixed table trades exotic phases for an allocation-free
+// record path.
+func TestTracePhaseOverflow(t *testing.T) {
+	tr := NewTrace("overflow")
+	for i := 0; i < MaxPhases; i++ {
+		tr.Add(Phase(string(rune('a'+i))), time.Millisecond)
+	}
+	tr.Add(Phase("ninth"), time.Millisecond) // silently dropped
+	ph := tr.Phases()
+	if len(ph) != MaxPhases {
+		t.Fatalf("got %d phases, want %d (overflow must drop, not grow)", len(ph), MaxPhases)
+	}
+	for _, r := range ph {
+		if r.Phase == "ninth" {
+			t.Fatalf("overflow phase was recorded: %+v", ph)
+		}
+	}
+	// Existing slots still accumulate after the table fills.
+	tr.Add(Phase("a"), time.Millisecond)
+	if got := tr.Phases()[0]; got.Calls != 2 {
+		t.Fatalf("slot a calls = %d, want 2", got.Calls)
+	}
+}
