@@ -3,8 +3,8 @@
 
 GO ?= go
 
-.PHONY: all build vet test lint sarif race bixdebug scaling fuzz ci \
-	cover bench-baseline bench-compare
+.PHONY: all build vet test lint lint-timings sarif race bixdebug scaling \
+	fuzz ci cover bench-baseline bench-compare
 
 all: build
 
@@ -17,12 +17,18 @@ vet:
 test:
 	$(GO) test ./...
 
-# Full suite (all ten analyzers, including the interprocedural hotalloc
-# and the atomicfield/poolhygiene concurrency checks), asserted against
-# an empty baseline exactly as CI does.
+# Full suite (all fourteen analyzers, including the interprocedural
+# hotalloc walk, the atomicfield/poolhygiene concurrency checks and the
+# goroutinelife/chanprotocol/ctxflow/closeown lifecycle checks), asserted
+# against an empty baseline exactly as CI does.
 lint:
 	@: > /tmp/bixlint-empty.baseline
 	$(GO) run ./cmd/bixlint -baseline /tmp/bixlint-empty.baseline ./...
+
+# The same run with per-analyzer wall time on stderr: where a slow lint
+# pass is spending its budget.
+lint-timings:
+	$(GO) run ./cmd/bixlint -timings ./...
 
 sarif:
 	$(GO) run ./cmd/bixlint -format sarif ./... > bixlint.sarif

@@ -2,11 +2,14 @@
 // analyzers for the bitvec tail-mask invariant (now alias-aware),
 // interprocedural allocation-free hot paths (//bix:hotpath propagates
 // through the module call graph; //bix:allocok bounds the audit), dropped
-// I/O errors, telemetry naming and label cardinality, and five
-// concurrency-integrity analyzers (lockheld, lockorder, unlockpath,
-// gocapture, atomicfield, poolhygiene) built on a CFG/dataflow engine and
-// per-function summaries. It is built entirely on the standard library
-// and needs no tools outside the Go distribution.
+// I/O errors, telemetry naming and label cardinality, concurrency
+// integrity (lockheld, lockorder, unlockpath, gocapture, atomicfield,
+// poolhygiene) and lifecycle discipline (goroutinelife, chanprotocol,
+// ctxflow, closeown), all built on a CFG/dataflow engine and per-function
+// summaries. Packages are analyzed on a bounded worker pool in dependency
+// order; output is byte-identical at any worker count. It is built
+// entirely on the standard library and needs no tools outside the Go
+// distribution.
 //
 // Usage:
 //
@@ -19,6 +22,8 @@
 //	bixlint -baseline lint.baseline ./...
 //	bixlint -write-baseline lint.baseline ./...
 //	bixlint -factcache off ./...      disable the call-graph fact cache
+//	bixlint -workers 1 ./...          force the serial analysis path
+//	bixlint -timings ./...            report per-analyzer wall time on stderr
 //	bixlint -vet ./...                also run `go vet`
 //	bixlint -ci                       build + vet + lint + race-enabled tests
 //	bixlint -list                     print the analyzer suite and exit
@@ -36,6 +41,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"bitmapindex/internal/analysis"
 )
@@ -50,6 +56,8 @@ func main() {
 	flag.StringVar(&opts.skip, "skip", "", "comma-separated analyzer names to leave out")
 	flag.StringVar(&opts.factCache, "factcache", "auto",
 		"call-graph fact cache: auto (user cache dir), off, or an explicit file path")
+	flag.IntVar(&opts.workers, "workers", 0, "analysis worker pool size (0 = GOMAXPROCS, 1 = serial)")
+	flag.BoolVar(&opts.timings, "timings", false, "report per-analyzer wall time on stderr")
 	flag.BoolVar(&opts.vet, "vet", false, "also run `go vet` on the same patterns")
 	flag.BoolVar(&opts.ci, "ci", false, "run the full local gate: go build, go vet, bixlint, go test -race")
 	flag.Parse()
@@ -64,6 +72,8 @@ type options struct {
 	only          string
 	skip          string
 	factCache     string
+	workers       int
+	timings       bool
 	vet           bool
 	ci            bool
 }
@@ -141,8 +151,14 @@ func run(opts options, patterns []string, stdout, stderr io.Writer) int {
 	}
 	batch := analysis.NewBatch(pkgs)
 	batch.CachePath = cachePath(opts.factCache)
+	batch.Workers = opts.workers
 	findings := analysis.RunBatch(batch, selected)
 	root, _ := os.Getwd()
+	if opts.timings {
+		for _, t := range batch.Timings() {
+			fmt.Fprintf(stderr, "bixlint: %12s  %s\n", t.Total.Round(10*time.Microsecond), t.Name)
+		}
+	}
 
 	if opts.writeBaseline != "" {
 		f, err := os.Create(opts.writeBaseline)

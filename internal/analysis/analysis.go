@@ -18,15 +18,21 @@
 //	//bix:lockheld         every caller holds the mutex (checked by lockheld)
 //	//bix:unlockok (reason) the function intentionally returns with a lock
 //	                       held (checked by unlockpath)
+//	//bix:daemon (reason)  the function is an audited process-lifetime
+//	                       goroutine body or spawner; goroutinelife and
+//	                       chanprotocol's shutdown-case rule stop here
 //
 // and through `// guarded by <mu>` comments on struct fields (lockheld,
 // gocapture, atomicfield).
 //
 // Interprocedural analyses (hotalloc's transitive walk, lockorder's
-// acquisition summaries, poolhygiene's Put-forwarding) share one
-// module-wide call graph with SCC-condensed bottom-up fact summaries
-// (callgraph.go), optionally persisted across runs in a content-hash
-// keyed fact cache (factcache.go).
+// acquisition summaries, poolhygiene's Put-forwarding, goroutinelife's
+// spawn walk) share one module-wide call graph with SCC-condensed
+// bottom-up fact summaries (callgraph.go), optionally persisted across
+// runs in a content-hash keyed fact cache (factcache.go). RunBatch
+// analyzes packages on a bounded worker pool in dependency order after a
+// serial prepare phase builds the shared indexes (runner.go); output is
+// byte-identical at any worker count.
 //
 // Run `go run ./cmd/bixlint ./...` to apply every analyzer to the module.
 package analysis
@@ -36,8 +42,11 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 )
 
 // Analyzer is one named rule applied to a loaded package.
@@ -69,24 +78,37 @@ type Batch struct {
 	cacheHits   int
 	cacheMisses int
 
+	// Workers bounds the parallel analysis pool. Zero means GOMAXPROCS;
+	// one forces the serial path. Output is identical either way.
+	Workers int
+
 	declsOnce bool
 	decls     map[*types.Func]*ast.FuncDecl
 	declPkg   map[*types.Func]*Package
 
 	graph          *callGraph                         // module call graph + summaries (callgraph.go)
 	atomicIndex    *atomicFieldIndex                  // atomicfield's module-wide field index
-	lockSummaries  map[*types.Func]StringSet          // lockorder may-acquire memo
 	sliceParams    map[*types.Func]*sliceParamSummary // tailmask memo
 	lockGraph      []lockOrderEdge                    // module acquisition graph
 	lockGraphBuilt bool
+	chanIndex      *chanIndex              // module channel usage (chanindex.go)
+	closeIndex     map[*types.Func][]int   // closeown: params each helper closes
+	lifeDone       bool                    // goroutinelife findings computed
+	lifeFindings   []lifeFinding
+
+	// prepared flips after the serial prepare phase; from then on every
+	// lazily built index above is read-only (runner.go relies on this).
+	prepared bool
+
+	timingsMu sync.Mutex
+	timings   map[string]time.Duration
 }
 
 // NewBatch indexes a package set for module-wide analyses.
 func NewBatch(pkgs []*Package) *Batch {
 	return &Batch{
-		Pkgs:          pkgs,
-		lockSummaries: make(map[*types.Func]StringSet),
-		sliceParams:   make(map[*types.Func]*sliceParamSummary),
+		Pkgs:        pkgs,
+		sliceParams: make(map[*types.Func]*sliceParamSummary),
 	}
 }
 
@@ -138,11 +160,13 @@ func (p *Pass) reportAt(pos token.Position, format string, args ...any) {
 
 // All is the complete analyzer suite, in the order bixlint runs it: the
 // five flow-sensitive rewrites of the original rules, the three
-// concurrency analyzers built on the CFG/dataflow layer, and the two
-// v3 analyzers built on the module call graph and the may-facts engine
-// (atomicfield, poolhygiene).
+// concurrency analyzers built on the CFG/dataflow layer, the two v3
+// analyzers built on the module call graph and the may-facts engine
+// (atomicfield, poolhygiene), and the four v4 lifecycle analyzers
+// (goroutinelife, chanprotocol, ctxflow, closeown).
 var All = []*Analyzer{TailMask, HotAlloc, ErrcheckIO, TelemetryLabels, LockHeld,
-	LockOrder, UnlockPath, GoCapture, AtomicField, PoolHygiene}
+	LockOrder, UnlockPath, GoCapture, AtomicField, PoolHygiene,
+	GoroutineLife, ChanProtocol, CtxFlow, CloseOwn}
 
 // Select resolves -only/-skip analyzer-selection expressions against the
 // full suite: comma-separated analyzer names, where an unknown name is an
@@ -201,13 +225,41 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 }
 
 // RunBatch is Run over a caller-constructed Batch, which is how bixlint
-// threads the fact-cache path in.
+// threads the fact-cache path and the worker count in. A serial prepare
+// phase builds every shared index the selected analyzers read; the
+// per-package passes then run on a bounded worker pool in dependency
+// order, each (package, analyzer) pair writing its own findings cell.
+// Concatenating the cells in the serial loop's nested order before the
+// final sort makes the output byte-identical at any worker count.
 func RunBatch(batch *Batch, analyzers []*Analyzer) []Finding {
-	var findings []Finding
-	for _, pkg := range batch.Pkgs {
-		for _, a := range analyzers {
-			a.Run(&Pass{Analyzer: a, Pkg: pkg, Batch: batch, findings: &findings})
+	batch.prepare(analyzers)
+	cells := make([][]Finding, len(batch.Pkgs)*len(analyzers))
+	runPkg := func(i int) {
+		pkg := batch.Pkgs[i]
+		for j, a := range analyzers {
+			start := time.Now()
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, Batch: batch,
+				findings: &cells[i*len(analyzers)+j]})
+			batch.noteTiming(a.Name, time.Since(start))
 		}
+	}
+	workers := batch.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(batch.Pkgs) {
+		workers = len(batch.Pkgs)
+	}
+	if workers <= 1 {
+		for i := range batch.Pkgs {
+			runPkg(i)
+		}
+	} else {
+		scheduleParallel(batch, workers, runPkg)
+	}
+	var findings []Finding
+	for _, cell := range cells {
+		findings = append(findings, cell...)
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]

@@ -145,6 +145,10 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{GoCapture, []string{"gocapture_bad", "gocapture_good"}},
 		{AtomicField, []string{"atomicfield_bad", "atomicfield_good"}},
 		{PoolHygiene, []string{"poolhygiene_bad", "poolhygiene_good"}},
+		{GoroutineLife, []string{"goroutinelife_bad", "goroutinelife_good"}},
+		{ChanProtocol, []string{"chanprotocol_bad", "chanprotocol_good"}},
+		{CtxFlow, []string{"ctxflow_bad", "ctxflow_good"}},
+		{CloseOwn, []string{"closeown_bad", "closeown_good"}},
 	}
 	for _, c := range cases {
 		for _, fixture := range c.fixtures {

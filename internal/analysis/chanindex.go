@@ -1,0 +1,210 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// chanIndex is the module-wide channel-usage index shared by goroutinelife
+// and chanprotocol, built once per Batch during prepare. Channels are
+// identified with the same selIdentity keys as mutexes and pools: type +
+// field for struct channels, package path + name for package-level ones,
+// and a position-tagged name for locals. Usage inside a function literal
+// is attributed to the enclosing declaration — ownership is a
+// per-function-family judgement, and the literals are where the sends and
+// receives of a worker pattern actually live.
+type chanIndex struct {
+	closed  map[string]bool            // keys ever passed to the close builtin
+	sends   map[string][]*ast.FuncDecl // key -> decls containing a send
+	recvs   map[string][]*ast.FuncDecl // key -> decls containing a receive (<-ch or range)
+	closes  []chanCloseSite            // every close site, in batch/file order
+	isParam map[types.Object]bool      // channel-typed parameter objects (decl and literal params)
+}
+
+// chanCloseSite is one close(ch) call.
+type chanCloseSite struct {
+	pkg  *Package
+	decl *ast.FuncDecl
+	key  string
+	name string
+	pos  token.Pos
+}
+
+// isChanType reports whether t is (or points at) a channel.
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// closeBuiltinArg returns the argument of a call to the close builtin.
+func closeBuiltinArg(info *types.Info, call *ast.CallExpr) (ast.Expr, bool) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "close" || len(call.Args) != 1 {
+		return nil, false
+	}
+	if _, ok := info.Uses[id].(*types.Builtin); !ok {
+		return nil, false
+	}
+	return call.Args[0], true
+}
+
+// buildChanIndex scans every function body in the batch.
+func buildChanIndex(b *Batch) *chanIndex {
+	ci := &chanIndex{
+		closed:  make(map[string]bool),
+		sends:   make(map[string][]*ast.FuncDecl),
+		recvs:   make(map[string][]*ast.FuncDecl),
+		isParam: make(map[types.Object]bool),
+	}
+	addDecl := func(m map[string][]*ast.FuncDecl, key string, decl *ast.FuncDecl) {
+		for _, d := range m[key] {
+			if d == decl {
+				return
+			}
+		}
+		m[key] = append(m[key], decl)
+	}
+	params := func(info *types.Info, ft *ast.FuncType) {
+		if ft == nil || ft.Params == nil {
+			return
+		}
+		for _, field := range ft.Params.List {
+			for _, name := range field.Names {
+				if obj := info.Defs[name]; obj != nil && isChanType(obj.Type()) {
+					ci.isParam[obj] = true
+				}
+			}
+		}
+	}
+	for _, pkg := range b.Pkgs {
+		info := pkg.Info
+		for _, decl := range funcDecls(pkg) {
+			params(info, decl.Type)
+			ast.Inspect(decl.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncLit:
+					params(info, n.Type)
+				case *ast.SendStmt:
+					if _, _, key := selIdentity(info, ast.Unparen(n.Chan)); key != "" {
+						addDecl(ci.sends, key, decl)
+					}
+				case *ast.UnaryExpr:
+					if n.Op == token.ARROW {
+						if _, _, key := selIdentity(info, ast.Unparen(n.X)); key != "" {
+							addDecl(ci.recvs, key, decl)
+						}
+					}
+				case *ast.RangeStmt:
+					if tv, ok := info.Types[n.X]; ok && isChanType(tv.Type) {
+						if _, _, key := selIdentity(info, ast.Unparen(n.X)); key != "" {
+							addDecl(ci.recvs, key, decl)
+						}
+					}
+				case *ast.CallExpr:
+					if arg, ok := closeBuiltinArg(info, n); ok {
+						name, _, key := selIdentity(info, ast.Unparen(arg))
+						if key != "" {
+							ci.closed[key] = true
+							ci.closes = append(ci.closes, chanCloseSite{
+								pkg: pkg, decl: decl, key: key, name: name, pos: n.Pos(),
+							})
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return ci
+}
+
+// loopBodyCanExit reports whether control can leave a loop from inside its
+// body: a return, a break binding to this loop (plain at depth zero, or
+// labeled with the loop's label), a goto (optimistically assumed to jump
+// out), or a panic (the goroutine ends, loudly). Function literals are
+// separate control flow and are skipped; so are go and defer statements —
+// what they run does not exit this loop.
+func loopBodyCanExit(body *ast.BlockStmt, label string) bool {
+	exit := false
+	var stmts func([]ast.Stmt, int)
+	var visit func(ast.Stmt, int)
+	visit = func(s ast.Stmt, depth int) {
+		if exit || s == nil {
+			return
+		}
+		switch s := s.(type) {
+		case *ast.ReturnStmt:
+			exit = true
+		case *ast.BranchStmt:
+			switch s.Tok {
+			case token.BREAK:
+				if (s.Label == nil && depth == 0) ||
+					(s.Label != nil && label != "" && s.Label.Name == label) {
+					exit = true
+				}
+			case token.GOTO:
+				exit = true
+			}
+		case *ast.BlockStmt:
+			stmts(s.List, depth)
+		case *ast.IfStmt:
+			visit(s.Init, depth)
+			visit(s.Body, depth)
+			visit(s.Else, depth)
+		case *ast.ForStmt:
+			visit(s.Body, depth+1)
+		case *ast.RangeStmt:
+			visit(s.Body, depth+1)
+		case *ast.SwitchStmt:
+			visit(s.Body, depth+1)
+		case *ast.TypeSwitchStmt:
+			visit(s.Body, depth+1)
+		case *ast.SelectStmt:
+			visit(s.Body, depth+1)
+		case *ast.CaseClause:
+			stmts(s.Body, depth)
+		case *ast.CommClause:
+			stmts(s.Body, depth)
+		case *ast.LabeledStmt:
+			visit(s.Stmt, depth)
+		case *ast.DeferStmt, *ast.GoStmt:
+			// Not this loop's control flow.
+		default:
+			inspectShallow(s, func(n ast.Node) bool {
+				if c, ok := n.(*ast.CallExpr); ok {
+					if id, ok := ast.Unparen(c.Fun).(*ast.Ident); ok && id.Name == "panic" {
+						exit = true
+					}
+				}
+				return !exit
+			})
+		}
+	}
+	stmts = func(list []ast.Stmt, depth int) {
+		for _, s := range list {
+			visit(s, depth)
+		}
+	}
+	stmts(body.List, 0)
+	return exit
+}
+
+// loopLabels maps each labeled for/range statement in body to its label,
+// so loopBodyCanExit can match labeled breaks.
+func loopLabels(body *ast.BlockStmt) map[ast.Stmt]string {
+	labels := make(map[ast.Stmt]string)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if ls, ok := n.(*ast.LabeledStmt); ok {
+			switch ls.Stmt.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				labels[ls.Stmt] = ls.Label.Name
+			}
+		}
+		return true
+	})
+	return labels
+}

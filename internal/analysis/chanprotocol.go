@@ -1,0 +1,259 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ChanProtocol checks the send/close protocol on channels with a stable
+// identity (the same selIdentity keys as the mutex and pool analyzers).
+// Four rules:
+//
+//   - Close by the receiving side: `close(ch)` in a function that only
+//     receives from ch, while some other function sends on it. In Go the
+//     sender owns the close — a receiver closing under a live sender is a
+//     panic waiting for the next send. Usage inside function literals is
+//     attributed to the enclosing declaration, so the common
+//     fan-out/close/Wait shape (sends and the close in one function,
+//     worker literals receiving) stays clean.
+//   - Send after close: a send reachable after a close of the same
+//     channel on any CFG path (may-analysis, like poolhygiene), and the
+//     degenerate double close.
+//   - `time.After` inside a loop: each iteration allocates a timer that
+//     is not collected until it fires — a slow leak on quiet daemons.
+//     Hoist a time.NewTimer/NewTicker outside the loop instead.
+//   - Select loop without a shutdown case: an eternal for-select from
+//     which no path exits. `//bix:daemon (reason)` on the enclosing
+//     declaration audits intentional process-lifetime loops.
+var ChanProtocol = &Analyzer{
+	Name: "chanprotocol",
+	Doc:  "channel protocol: sender-side close, no send after close, no time.After in loops, select loops need a shutdown case",
+	Run:  runChanProtocol,
+}
+
+func runChanProtocol(pass *Pass) {
+	ci := pass.Batch.chanIndex
+	if ci == nil {
+		// Direct single-analyzer runs (tests) reach here before prepare.
+		ci = buildChanIndex(pass.Batch)
+		pass.Batch.chanIndex = ci
+	}
+	reportReceiverCloses(pass, ci)
+	for _, fn := range funcDecls(pass.Pkg) {
+		daemon := hasDirective(fn.Doc, "daemon")
+		checkChanBody(pass, fn.Name.Name, fn.Body, daemon)
+		for _, lit := range funcLits(fn.Body) {
+			checkChanBody(pass, fn.Name.Name+" (func literal)", lit.Body, daemon)
+		}
+	}
+}
+
+// reportReceiverCloses applies the ownership rule using the module-wide
+// index; each close site is reported once, in the package it lives in.
+func reportReceiverCloses(pass *Pass, ci *chanIndex) {
+	for _, site := range ci.closes {
+		if site.pkg != pass.Pkg {
+			continue
+		}
+		closer := site.decl
+		if containsDecl(ci.sends[site.key], closer) {
+			continue // the closing function sends: it is (part of) the owner
+		}
+		if !containsDecl(ci.recvs[site.key], closer) {
+			continue // close from a third party (constructor, Stop method): allowed
+		}
+		var senders []string
+		for _, d := range ci.sends[site.key] {
+			senders = append(senders, d.Name.Name)
+		}
+		if len(senders) == 0 {
+			continue // nobody sends: closing is a pure shutdown signal
+		}
+		sort.Strings(senders)
+		pass.Reportf(site.pos,
+			"%s closes channel %s but only receives from it, while %s send(s) on it; the sending side owns the close",
+			closer.Name.Name, site.name, strings.Join(senders, ", "))
+	}
+}
+
+func containsDecl(list []*ast.FuncDecl, d *ast.FuncDecl) bool {
+	for _, x := range list {
+		if x == d {
+			return true
+		}
+	}
+	return false
+}
+
+// checkChanBody runs the per-body rules: send-after-close dataflow,
+// time.After-in-loop, and the shutdown-case rule for eternal selects.
+func checkChanBody(pass *Pass, name string, body *ast.BlockStmt, daemon bool) {
+	info := pass.Pkg.Info
+	reportTimerLoops(pass, name, body)
+	if !daemon {
+		reportEternalSelects(pass, name, body)
+	}
+
+	cfg := BuildCFG(name, body)
+	transfer := func(b *Block, in FlowFact) FlowFact {
+		s := in.(StringSet)
+		for _, n := range b.Nodes {
+			s = chanCloseTransfer(info, n, s)
+		}
+		return s
+	}
+	facts := SolveForward(cfg, FlowProblem{Entry: NewStringSet(), Transfer: transfer, Join: UnionSets})
+	reported := make(map[string]bool)
+	for _, blk := range cfg.Blocks {
+		in, ok := facts[blk]
+		if !ok {
+			continue
+		}
+		s := in.(StringSet)
+		for _, n := range blk.Nodes {
+			checkAfterClose(pass, info, name, n, s, reported)
+			s = chanCloseTransfer(info, n, s)
+		}
+	}
+}
+
+// closedElem encodes one may-closed fact: "key|name".
+func closedElem(key, name string) string { return key + "|" + name }
+
+func parseClosedElem(e string) (key, name string) {
+	i := strings.LastIndexByte(e, '|')
+	return e[:i], e[i+1:]
+}
+
+// chanCloseTransfer adds a closed fact at each close(ch) node. Deferred
+// closes are skipped: they run at function exit, after every send in the
+// body, so they cannot put a send "after" the close.
+func chanCloseTransfer(info *types.Info, n ast.Node, s StringSet) StringSet {
+	switch n.(type) {
+	case *ast.DeferStmt, *ast.GoStmt:
+		return s
+	}
+	inspectShallow(n, func(m ast.Node) bool {
+		if call, ok := m.(*ast.CallExpr); ok {
+			if arg, ok := closeBuiltinArg(info, call); ok {
+				if name, _, key := selIdentity(info, ast.Unparen(arg)); key != "" {
+					s = s.With(closedElem(key, name))
+				}
+			}
+		}
+		return true
+	})
+	return s
+}
+
+// checkAfterClose flags sends (and repeat closes) of channels with a live
+// closed fact at this program point.
+func checkAfterClose(pass *Pass, info *types.Info, name string, n ast.Node, s StringSet, reported map[string]bool) {
+	if len(s) == 0 {
+		return
+	}
+	switch n.(type) {
+	case *ast.DeferStmt, *ast.GoStmt:
+		return
+	}
+	closed := make(map[string]string)
+	for e := range s {
+		key, chName := parseClosedElem(e)
+		closed[key] = chName
+	}
+	once := func(kind string, pos token.Pos, format string, args ...any) {
+		k := kind + "|" + name + "|" + strconv.Itoa(int(pos))
+		if reported[k] {
+			return
+		}
+		reported[k] = true
+		pass.Reportf(pos, format, args...)
+	}
+	inspectShallow(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.SendStmt:
+			if _, _, key := selIdentity(info, ast.Unparen(m.Chan)); key != "" {
+				if chName, ok := closed[key]; ok {
+					once("send", m.Pos(),
+						"%s: send on %s is reachable after close(%s) (panic: send on closed channel); close after the last send, on the sending side",
+						name, chName, chName)
+				}
+			}
+		case *ast.CallExpr:
+			if arg, ok := closeBuiltinArg(info, m); ok {
+				if _, _, key := selIdentity(info, ast.Unparen(arg)); key != "" {
+					if chName, ok := closed[key]; ok {
+						once("close", m.Pos(),
+							"%s: %s may already be closed on this path (panic: close of closed channel)",
+							name, chName)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// reportTimerLoops flags time.After calls lexically inside a loop.
+func reportTimerLoops(pass *Pass, name string, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	var inLoop func(n ast.Node, depth int)
+	inLoop = func(n ast.Node, depth int) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == n {
+				return true
+			}
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.ForStmt:
+				inLoop(m.Body, depth+1)
+				return false
+			case *ast.RangeStmt:
+				inLoop(m.Body, depth+1)
+				return false
+			case *ast.CallExpr:
+				if depth == 0 {
+					return true
+				}
+				if fn := calleeFunc(info, m); fn != nil &&
+					fn.Name() == "After" && fn.Pkg() != nil && fn.Pkg().Path() == "time" {
+					pass.Reportf(m.Pos(),
+						"%s: time.After in a loop allocates a timer every iteration that lives until it fires; hoist a time.NewTimer or time.NewTicker out of the loop",
+						name)
+				}
+			}
+			return true
+		})
+	}
+	inLoop(body, 0)
+}
+
+// reportEternalSelects flags an eternal for containing a select when no
+// path leaves the loop — a daemon loop with no shutdown case.
+func reportEternalSelects(pass *Pass, name string, body *ast.BlockStmt) {
+	labels := loopLabels(body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond != nil || loopBodyCanExit(loop.Body, labels[loop]) {
+			return true
+		}
+		// Inescapable eternal loop: report at its first select, if any.
+		for _, s := range loop.Body.List {
+			if sel, ok := s.(*ast.SelectStmt); ok {
+				pass.Reportf(sel.Pos(),
+					"%s: select loop has no shutdown case — no path leaves the loop; add a ctx.Done/quit-channel case that returns, or audit with //bix:daemon (reason)",
+					name)
+				return false // inner loops share the fate; one report
+			}
+		}
+		return true
+	})
+}

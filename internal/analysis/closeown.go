@@ -1,0 +1,485 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// CloseOwn generalizes poolhygiene's obligation lattice from sync.Pool
+// values to io.Closers: a handle acquired from package os or net (a file,
+// a listener, a connection — anything whose type has a `Close() error`
+// method) must reach Close on every path out of the acquiring function,
+// including panic edges and early error returns, unless ownership is
+// transferred first. Discharges:
+//
+//   - a Close call on the variable, direct or deferred — including a Close
+//     inside a deferred closure (the promote-the-close-error idiom) and a
+//     deferred module helper that closes its parameter (the closeParams
+//     summary, poolhygiene's PoolPutParams for closers);
+//   - returning the variable (ownership moves to the caller), or returning
+//     anything on the error path paired with the acquisition — both
+//     `return err`-style results that mention the paired error object and
+//     any statement inside an `if err != nil { ... }` guard, where the
+//     handle is nil by contract;
+//   - storing the variable into a struct field or element (the structure
+//     now owns it), or passing it to any call (optimistic handoff — the
+//     rule targets locally-owned handles, not every custody chain).
+//
+// CloseOwn also owns the Close half of errcheck-io's old rule: a bare
+// `x.Close()` expression statement drops the close error (assign it to _
+// or handle it; deferred closes on read paths stay exempt by policy), and
+// an acquisition bound entirely to blanks leaks by construction.
+var CloseOwn = &Analyzer{
+	Name: "closeown",
+	Doc:  "every io.Closer acquired from os/net must reach Close on all paths; transfer by return/store/arg discharges",
+	Run:  runCloseOwn,
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+// isCloserType reports whether t has a Close() error in its method set
+// (taking the address if needed).
+func isCloserType(t types.Type) bool {
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, "Close")
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Params().Len() == 0 && sig.Results().Len() == 1 &&
+		isErrorType(sig.Results().At(0).Type())
+}
+
+// acquiringCall classifies a call whose first result is a Closer from
+// package os or net. The package allowlist keeps the rule anchored to
+// process-visible resources (fds); wrapping readers and writers have their
+// own conventions and are out of scope.
+func acquiringCall(info *types.Info, call *ast.CallExpr) (what string, nres int, ok bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", 0, false
+	}
+	if p := fn.Pkg().Path(); p != "os" && p != "net" {
+		return "", 0, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 || sig.Results().Len() > 2 {
+		return "", 0, false
+	}
+	if !isCloserType(sig.Results().At(0).Type()) {
+		return "", 0, false
+	}
+	if sig.Results().Len() == 2 && !isErrorType(sig.Results().At(1).Type()) {
+		return "", 0, false
+	}
+	return fn.Pkg().Name() + "." + fn.Name(), sig.Results().Len(), true
+}
+
+// Obligation facts are "open|what|var|varObjPos|sitePos|errObjPos", with
+// errObjPos 0 when the acquisition has no paired error variable.
+func closeElem(what, varName string, objPos, sitePos, errPos token.Pos) string {
+	return "open|" + what + "|" + varName + "|" +
+		strconv.Itoa(int(objPos)) + "|" + strconv.Itoa(int(sitePos)) + "|" + strconv.Itoa(int(errPos))
+}
+
+func parseCloseElem(e string) (what, varName string, objPos, sitePos, errPos token.Pos) {
+	parts := strings.SplitN(e, "|", 6)
+	op, _ := strconv.Atoi(parts[3])
+	sp, _ := strconv.Atoi(parts[4])
+	ep, _ := strconv.Atoi(parts[5])
+	return parts[1], parts[2], token.Pos(op), token.Pos(sp), token.Pos(ep)
+}
+
+// buildCloseIndex computes, per module function, the parameter indices on
+// which Close is called (directly, deferred, or inside a literal in the
+// body) — the transfer summary that lets `defer closeQuiet(f)` discharge.
+func buildCloseIndex(b *Batch) map[*types.Func][]int {
+	idx := make(map[*types.Func][]int)
+	for _, pkg := range b.Pkgs {
+		info := pkg.Info
+		for _, decl := range funcDecls(pkg) {
+			fn, ok := info.Defs[decl.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			paramIx := make(map[types.Object]int)
+			i := 0
+			for _, field := range decl.Type.Params.List {
+				for _, name := range field.Names {
+					if obj := info.Defs[name]; obj != nil {
+						paramIx[obj] = i
+					}
+					i++
+				}
+			}
+			if len(paramIx) == 0 {
+				continue
+			}
+			var closes []int
+			ast.Inspect(decl.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Close" {
+					return true
+				}
+				if obj := identObj(info, sel.X); obj != nil {
+					if ix, ok := paramIx[obj]; ok {
+						closes = appendUniqueInt(closes, ix)
+					}
+				}
+				return true
+			})
+			if len(closes) > 0 {
+				idx[fn] = closes
+			}
+		}
+	}
+	return idx
+}
+
+func appendUniqueInt(s []int, v int) []int {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+func runCloseOwn(pass *Pass) {
+	for _, fn := range funcDecls(pass.Pkg) {
+		checkClosePaths(pass, fn.Name.Name, fn.Body)
+		for _, lit := range funcLits(fn.Body) {
+			checkClosePaths(pass, fn.Name.Name+" (func literal)", lit.Body)
+		}
+	}
+}
+
+func checkClosePaths(pass *Pass, name string, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	closeParams := pass.Batch.closeIndex
+
+	reportDroppedCloses(pass, name, body)
+	reportDiscardedOpens(pass, name, body)
+
+	cfg := BuildCFG(name, body)
+	guards := errGuardExtents(info, body)
+	deferred := deferredCloseDischarges(info, closeParams, cfg)
+	transfer := func(b *Block, in FlowFact) FlowFact {
+		s := in.(StringSet)
+		for _, n := range b.Nodes {
+			s = closeTransfer(info, closeParams, guards, n, s)
+		}
+		return s
+	}
+	facts := SolveForward(cfg, FlowProblem{Entry: NewStringSet(), Transfer: transfer, Join: UnionSets})
+	if exitIn, ok := facts[cfg.Exit]; ok {
+		for _, e := range exitIn.(StringSet).Sorted() {
+			what, varName, objPos, sitePos, _ := parseCloseElem(e)
+			if deferred[objPos] {
+				continue
+			}
+			pass.Reportf(sitePos,
+				"%s: %s acquired from %s may reach function exit without Close on every path (including panic and early-return edges); defer %s.Close() after the error check, or return/store it on all branches",
+				name, varName, what, varName)
+		}
+	}
+}
+
+// errGuardExtent marks the source range of an `if err != nil { ... }` body
+// for one error object: obligations paired with that error are nil inside.
+type errGuardExtent struct {
+	errPos   token.Pos
+	from, to token.Pos
+}
+
+// errGuardExtents collects the guard ranges in body. The then-branch of an
+// err-check lives in its own CFG blocks, so dropping the paired obligation
+// at nodes inside the range is path-sensitive for free.
+func errGuardExtents(info *types.Info, body *ast.BlockStmt) []errGuardExtent {
+	var out []errGuardExtent
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		bin, ok := ast.Unparen(ifs.Cond).(*ast.BinaryExpr)
+		if !ok || bin.Op != token.NEQ {
+			return true
+		}
+		errExpr := bin.X
+		if id, ok := ast.Unparen(bin.Y).(*ast.Ident); !ok || id.Name != "nil" {
+			if id, ok := ast.Unparen(bin.X).(*ast.Ident); !ok || id.Name != "nil" {
+				return true
+			}
+			errExpr = bin.Y
+		}
+		obj := identObj(info, errExpr)
+		if obj == nil || !isErrorType(obj.Type()) {
+			return true
+		}
+		out = append(out, errGuardExtent{errPos: obj.Pos(), from: ifs.Body.Pos(), to: ifs.Body.End()})
+		return true
+	})
+	return out
+}
+
+// closeTransfer applies one CFG node's effect on the obligation set.
+func closeTransfer(info *types.Info, closeParams map[*types.Func][]int, guards []errGuardExtent, n ast.Node, s StringSet) StringSet {
+	// Inside an err-guard the paired handle is nil by contract: the
+	// obligation does not exist on this path.
+	if len(s) > 0 && len(guards) > 0 {
+		pos := n.Pos()
+		for _, g := range guards {
+			if pos >= g.from && pos < g.to {
+				errPos := g.errPos
+				s = s.Without(func(e string) bool {
+					_, _, _, _, ep := parseCloseElem(e)
+					return ep != 0 && ep == errPos
+				})
+			}
+		}
+	}
+	switch g := n.(type) {
+	case *ast.DeferStmt:
+		return s // all-paths credit, handled by deferredCloseDischarges
+	case *ast.GoStmt:
+		// Arguments handed to a goroutine transfer ownership with them.
+		for _, arg := range g.Call.Args {
+			if obj := identObj(info, arg); obj != nil {
+				s = dropCloseFacts(s, obj.Pos())
+			}
+		}
+		return s
+	}
+	inspectShallow(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.AssignStmt:
+			s = closeAssign(info, m.Lhs, m.Rhs, s)
+		case *ast.ValueSpec:
+			lhs := make([]ast.Expr, len(m.Names))
+			for i, name := range m.Names {
+				lhs[i] = name
+			}
+			s = closeAssign(info, lhs, m.Values, s)
+		case *ast.ReturnStmt:
+			for _, r := range m.Results {
+				ast.Inspect(r, func(x ast.Node) bool {
+					id, ok := x.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					obj := info.Uses[id]
+					if obj == nil {
+						return true
+					}
+					pos := obj.Pos()
+					s = s.Without(func(e string) bool {
+						_, _, op, _, ep := parseCloseElem(e)
+						return op == pos || (ep != 0 && ep == pos)
+					})
+					return true
+				})
+			}
+		case *ast.CallExpr:
+			s = closeCallEffect(info, m, s)
+		}
+		return true
+	})
+	return s
+}
+
+// closeAssign handles one assignment: new acquisitions, rebinds, and
+// stores into longer-lived structure.
+func closeAssign(info *types.Info, lhs, rhs []ast.Expr, s StringSet) StringSet {
+	// The tuple form `f, err := os.Open(p)`.
+	if len(lhs) == 2 && len(rhs) == 1 {
+		if call, ok := ast.Unparen(rhs[0]).(*ast.CallExpr); ok {
+			if what, nres, ok := acquiringCall(info, call); ok && nres == 2 {
+				if obj := identObj(info, lhs[0]); obj != nil {
+					var errPos token.Pos
+					if errObj := identObj(info, lhs[1]); errObj != nil {
+						errPos = errObj.Pos()
+					}
+					s = dropCloseFacts(s, obj.Pos())
+					id := ast.Unparen(lhs[0]).(*ast.Ident)
+					s = s.With(closeElem(what, id.Name, obj.Pos(), call.Pos(), errPos))
+				}
+				return s
+			}
+		}
+	}
+	if len(lhs) != len(rhs) {
+		return s
+	}
+	for i := range rhs {
+		if call, ok := ast.Unparen(rhs[i]).(*ast.CallExpr); ok {
+			if what, nres, ok := acquiringCall(info, call); ok && nres == 1 {
+				if obj := identObj(info, lhs[i]); obj != nil {
+					s = dropCloseFacts(s, obj.Pos())
+					id := ast.Unparen(lhs[i]).(*ast.Ident)
+					s = s.With(closeElem(what, id.Name, obj.Pos(), call.Pos(), 0))
+				}
+				continue
+			}
+		}
+		// Storing the handle into a field or element transfers ownership to
+		// the containing structure; rebinding the variable abandons its
+		// previous tracking.
+		if obj := identObj(info, rhs[i]); obj != nil {
+			switch ast.Unparen(lhs[i]).(type) {
+			case *ast.SelectorExpr, *ast.IndexExpr:
+				s = dropCloseFacts(s, obj.Pos())
+			}
+		}
+		if obj := identObj(info, lhs[i]); obj != nil {
+			s = dropCloseFacts(s, obj.Pos())
+		}
+	}
+	return s
+}
+
+// closeCallEffect discharges on a Close call and on the handle appearing
+// in any call argument (optimistic handoff).
+func closeCallEffect(info *types.Info, call *ast.CallExpr, s StringSet) StringSet {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Close" {
+		if obj := identObj(info, sel.X); obj != nil {
+			return dropCloseFacts(s, obj.Pos())
+		}
+	}
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(x ast.Node) bool {
+			if id, ok := x.(*ast.Ident); ok {
+				if obj := info.Uses[id]; obj != nil {
+					s = dropCloseFacts(s, obj.Pos())
+				}
+			}
+			return true
+		})
+	}
+	return s
+}
+
+func dropCloseFacts(s StringSet, objPos token.Pos) StringSet {
+	return s.Without(func(e string) bool {
+		_, _, op, _, _ := parseCloseElem(e)
+		return op == objPos
+	})
+}
+
+// deferredCloseDischarges collects handles whose Close is deferred —
+// directly, through a module helper that closes its parameter, or inside
+// a deferred closure — crediting every exit path like a deferred Unlock.
+func deferredCloseDischarges(info *types.Info, closeParams map[*types.Func][]int, c *CFG) map[token.Pos]bool {
+	out := make(map[token.Pos]bool)
+	record := func(call *ast.CallExpr) {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Close" {
+			if obj := identObj(info, sel.X); obj != nil {
+				out[obj.Pos()] = true
+			}
+			return
+		}
+		callee := calleeFunc(info, call)
+		if callee == nil {
+			return
+		}
+		for _, i := range closeParams[callee] {
+			if i < len(call.Args) {
+				if obj := identObj(info, call.Args[i]); obj != nil {
+					out[obj.Pos()] = true
+				}
+			}
+		}
+	}
+	for _, d := range c.Defers {
+		record(d.Call)
+		if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					record(call)
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// reportDroppedCloses is errcheck-io's Close rule, relocated: a bare
+// `x.Close()` expression statement drops the error. Deferred closes are
+// exempt by the same policy errcheck-io documents.
+func reportDroppedCloses(pass *Pass, name string, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	inspectShallow(body, func(n ast.Node) bool {
+		stmt, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Close" {
+			return true
+		}
+		fn, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok {
+			return true
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || !returnsError(sig) {
+			return true
+		}
+		recv, _, _ := selIdentity(info, ast.Unparen(sel.X))
+		if recv == "" {
+			recv = "the value"
+		}
+		pass.Reportf(call.Pos(),
+			"%s: error from %s.Close() is dropped; handle it or assign it to _ (defer the Close for read-path cleanup)",
+			name, recv)
+		return true
+	})
+}
+
+// reportDiscardedOpens flags acquisitions bound entirely to blanks: the
+// handle exists but can never be closed.
+func reportDiscardedOpens(pass *Pass, name string, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	isBlank := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "_"
+	}
+	inspectShallow(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		what, _, ok := acquiringCall(info, call)
+		if !ok {
+			return true
+		}
+		// The handle is the first result; binding it to _ discards it even
+		// when the paired error is checked.
+		if isBlank(as.Lhs[0]) {
+			pass.Reportf(call.Pos(),
+				"%s: discards the handle returned by %s; it can never be closed — bind it and Close it, or do not open it",
+				name, what)
+		}
+		return true
+	})
+}

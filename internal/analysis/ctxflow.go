@@ -1,0 +1,270 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow keeps context.Context flowing the way the package documents:
+// down the call stack, never sideways into state.
+//
+//   - Detached callee: a function that receives a ctx parameter must pass
+//     its own ctx (or a context derived from it — WithCancel, WithTimeout,
+//     a rebound variable) to every callee that accepts one. Passing
+//     context.Background()/TODO() instead silently disconnects the callee
+//     from cancellation. Functions without a ctx parameter may call
+//     ctx-accepting callees however they like: they have nothing to
+//     thread.
+//   - Struct storage: assigning a context to a struct field, or building a
+//     composite literal with a context field, freezes a request-scoped
+//     value into state that outlives the request. Checked in every
+//     function, ctx parameter or not.
+//   - Unconsulted loop: an eternal `for` in a ctx-receiving function that
+//     never uses the context at all — no Done/Err check, no ctx-forwarding
+//     call inside the loop — keeps running after cancellation.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "context.Context must flow to every ctx-accepting callee, never into struct fields; eternal loops must consult ctx",
+	Run:  runCtxFlow,
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+func runCtxFlow(pass *Pass) {
+	for _, fn := range funcDecls(pass.Pkg) {
+		checkCtxStores(pass, fn.Body)
+		checkCtxFunc(pass, fn.Name.Name, fn.Type, fn.Body)
+		for _, lit := range funcLits(fn.Body) {
+			checkCtxFunc(pass, fn.Name.Name+" (func literal)", lit.Type, lit.Body)
+		}
+	}
+}
+
+// checkCtxStores flags contexts escaping into structs, anywhere.
+func checkCtxStores(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				s, ok := info.Selections[sel]
+				if !ok || s.Kind() != types.FieldVal || !isContextType(s.Obj().Type()) {
+					continue
+				}
+				// `h.ctx = nil` is a reset, not a capture.
+				if i < len(n.Rhs) {
+					rhs := ast.Unparen(n.Rhs[i])
+					if id, ok := rhs.(*ast.Ident); ok && id.Name == "nil" {
+						continue
+					}
+					if tv, ok := info.Types[rhs]; ok && !isContextType(tv.Type) {
+						continue
+					}
+				}
+				pass.Reportf(lhs.Pos(),
+					"stores a context.Context in struct field %s; contexts are request-scoped — pass ctx as an argument instead",
+					sel.Sel.Name)
+			}
+		case *ast.CompositeLit:
+			tv, ok := info.Types[n]
+			if !ok {
+				return true
+			}
+			t := tv.Type
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if _, ok := t.Underlying().(*types.Struct); !ok {
+				return true
+			}
+			for _, elt := range n.Elts {
+				val := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					val = kv.Value
+				}
+				if vt, ok := info.Types[val]; ok && isContextType(vt.Type) {
+					pass.Reportf(val.Pos(),
+						"stores a context.Context in a struct literal; contexts are request-scoped — pass ctx as an argument instead")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkCtxFunc applies the flow rules to one function with a ctx parameter.
+func checkCtxFunc(pass *Pass, name string, ftype *ast.FuncType, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	derived := ctxDerivedObjects(info, ftype, body)
+	if derived == nil {
+		return // no named ctx parameter: nothing to thread
+	}
+	usesDerived := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := info.Uses[id]; obj != nil && derived[obj] {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+
+	// Detached callees: a ctx-typed argument that is not derived from the
+	// function's own ctx.
+	inspectShallow(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		tv, ok := info.Types[call.Fun]
+		if !ok || tv.IsType() {
+			return true // conversion, not a call
+		}
+		sig, ok := tv.Type.Underlying().(*types.Signature)
+		if !ok {
+			return true
+		}
+		for i := 0; i < sig.Params().Len() && i < len(call.Args); i++ {
+			if !isContextType(sig.Params().At(i).Type()) {
+				continue
+			}
+			if usesDerived(call.Args[i]) {
+				continue
+			}
+			calleeName := "a function value"
+			if fn := calleeFunc(info, call); fn != nil {
+				calleeName = shortFuncName(fn)
+			}
+			pass.Reportf(call.Args[i].Pos(),
+				"%s receives a context.Context but calls %s with a detached context; pass ctx (or a context derived from it) so cancellation propagates",
+				name, calleeName)
+		}
+		return true
+	})
+
+	// Unconsulted eternal loops.
+	labels := loopLabels(body)
+	inspectShallow(body, func(n ast.Node) bool {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond != nil {
+			return true
+		}
+		consults := false
+		ast.Inspect(loop.Body, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				if obj := info.Uses[id]; obj != nil && derived[obj] {
+					consults = true
+				}
+			}
+			return !consults
+		})
+		if !consults {
+			// Bounded daemon loops with their own quit channel still leave;
+			// only flag the loop when ctx is the function's sole signal.
+			if !loopBodyCanExit(loop.Body, labels[loop]) {
+				pass.Reportf(loop.Pos(),
+					"%s: eternal loop never consults ctx; add a ctx.Done() check (or select case) so cancellation stops it",
+					name)
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// ctxDerivedObjects seeds the ctx parameter objects of ftype and closes
+// over assignments: any ctx-typed variable assigned from an expression
+// that mentions a derived object is derived too. Returns nil when the
+// function has no named ctx parameter.
+func ctxDerivedObjects(info *types.Info, ftype *ast.FuncType, body *ast.BlockStmt) map[types.Object]bool {
+	derived := make(map[types.Object]bool)
+	if ftype != nil && ftype.Params != nil {
+		for _, field := range ftype.Params.List {
+			for _, name := range field.Names {
+				if obj := info.Defs[name]; obj != nil && isContextType(obj.Type()) {
+					derived[obj] = true
+				}
+			}
+		}
+	}
+	if len(derived) == 0 {
+		return nil
+	}
+	mentions := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := info.Uses[id]; obj != nil && derived[obj] {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+	bind := func(lhs ast.Expr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj != nil && isContextType(obj.Type()) {
+			derived[obj] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		before := len(derived)
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				rhsDerived := false
+				for _, r := range n.Rhs {
+					if mentions(r) {
+						rhsDerived = true
+					}
+				}
+				if rhsDerived {
+					for _, l := range n.Lhs {
+						bind(l)
+					}
+				}
+			case *ast.ValueSpec:
+				rhsDerived := false
+				for _, v := range n.Values {
+					if mentions(v) {
+						rhsDerived = true
+					}
+				}
+				if rhsDerived {
+					for _, name := range n.Names {
+						bind(name)
+					}
+				}
+			}
+			return true
+		})
+		if len(derived) != before {
+			changed = true
+		}
+	}
+	return derived
+}

@@ -17,6 +17,10 @@ import (
 // promote the close error through a named return instead (see
 // cmd/bixbench). Assigning the error to _ is an explicit, visible decision
 // and is likewise allowed.
+//
+// Close is carved out entirely: closeown owns the whole Close discipline
+// (dropped Close errors and handles that never reach Close), so a bare
+// `f.Close()` is reported once, by closeown, not twice.
 var ErrcheckIO = &Analyzer{
 	Name: "errcheck-io",
 	Doc:  "error results from os, io and internal/storage calls must not be dropped",
@@ -60,6 +64,9 @@ func runErrcheckIO(pass *Pass) {
 		fn, ok := info.Uses[id].(*types.Func)
 		if !ok || !errcheckPkg(fn.Pkg()) {
 			return
+		}
+		if fn.Name() == "Close" {
+			return // closeown owns the Close discipline end to end
 		}
 		sig, ok := fn.Type().(*types.Signature)
 		if !ok || !returnsError(sig) {

@@ -1,0 +1,240 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GoroutineLife requires every `go` statement to have a provable
+// termination signal. A spawned body (the function literal itself, the
+// named callee, or anything the callee transitively calls inside the
+// module) must not contain an inescapable loop:
+//
+//   - an eternal `for` whose body has no reachable exit — no return, no
+//     break binding to it, no goto, no panic. A quit-channel or ctx.Done
+//     select case that returns is an exit, which is how the idiomatic
+//     daemon shape passes;
+//   - a range over a channel that is never closed anywhere in the module.
+//     Ranging over a closed channel terminates — the worker-pool shape
+//     `for v := range jobs { ... }` with a `close(jobs)` in the module is
+//     clean, with or without a WaitGroup — but a range over a channel no
+//     one closes runs forever. Channel-typed parameters are exempt
+//     (closing them is the caller's business, which static identity
+//     cannot track across the call).
+//
+// The walk follows plain and deferred calls through module declarations,
+// like hotalloc's, and the diagnostic prints the spawn chain from the `go`
+// statement to the function that never returns. Nested `go` statements are
+// not descended into — each is its own spawn, checked at its own site.
+//
+// `//bix:daemon (reason)` on the spawning function's declaration, or on
+// any function reached by the walk, is the audited escape hatch for
+// process-lifetime goroutines.
+var GoroutineLife = &Analyzer{
+	Name: "goroutinelife",
+	Doc:  "every go statement must have a provable termination signal (//bix:daemon audits process-lifetime daemons)",
+	Run:  runGoroutineLife,
+}
+
+// lifeFinding is one diagnostic, attributed to the package containing the
+// go statement (findings are computed module-wide during prepare).
+type lifeFinding struct {
+	pkg *Package
+	pos token.Position
+	msg string
+}
+
+func runGoroutineLife(pass *Pass) {
+	for _, f := range batchLifeFindings(pass.Batch) {
+		if f.pkg == pass.Pkg {
+			pass.reportAt(f.pos, "%s", f.msg)
+		}
+	}
+}
+
+// batchLifeFindings computes (once per Batch, serially in prepare) every
+// goroutinelife diagnostic in the module.
+func batchLifeFindings(b *Batch) []lifeFinding {
+	if b.lifeDone {
+		return b.lifeFindings
+	}
+	b.lifeDone = true
+	ci := b.chanIndex
+	if ci == nil {
+		ci = buildChanIndex(b)
+		b.chanIndex = ci
+	}
+	// Per-declaration termination verdicts, shared across spawn sites.
+	memo := make(map[*ast.FuncDecl]lifeVerdict)
+	declVerdict := func(decl *ast.FuncDecl, pkg *Package) lifeVerdict {
+		if v, ok := memo[decl]; ok {
+			return v
+		}
+		reason, bad := nonTermLoop(pkg.Info, decl.Body, ci)
+		v := lifeVerdict{bad: bad, reason: reason}
+		memo[decl] = v
+		return v
+	}
+	for _, pkg := range b.Pkgs {
+		for _, decl := range funcDecls(pkg) {
+			if hasDirective(decl.Doc, "daemon") {
+				continue
+			}
+			ast.Inspect(decl.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				b.checkSpawn(pkg, g, declVerdict)
+				return true
+			})
+		}
+	}
+	return b.lifeFindings
+}
+
+// lifeVerdict is one declaration's termination judgement.
+type lifeVerdict struct {
+	bad    bool
+	reason string
+}
+
+// checkSpawn analyzes one go statement: the spawned body directly, then a
+// breadth-first walk over module callees. At most one finding per spawn.
+func (b *Batch) checkSpawn(pkg *Package, g *ast.GoStmt,
+	declVerdict func(*ast.FuncDecl, *Package) lifeVerdict) {
+	info := pkg.Info
+	report := func(msg string) {
+		b.lifeFindings = append(b.lifeFindings, lifeFinding{
+			pkg: pkg, pos: pkg.Fset.Position(g.Pos()), msg: msg,
+		})
+	}
+	advice := "add a shutdown signal (a ctx.Done/quit-channel case that returns, closing the ranged channel, or a bounded loop) or audit it with //bix:daemon (reason)"
+
+	var queue []*types.Func
+	var rootChain []string
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		if reason, bad := nonTermLoop(info, lit.Body, b.chanIndex); bad {
+			report(fmt.Sprintf("goroutine never terminates: the function literal %s; %s", reason, advice))
+			return
+		}
+		queue = directCallees(info, lit.Body)
+	} else {
+		callee := calleeFunc(info, g.Call)
+		if callee == nil {
+			return // dynamic call: nothing to resolve, stay optimistic
+		}
+		queue = []*types.Func{callee}
+	}
+	// BFS over module declarations, carrying the chain for the diagnostic.
+	type item struct {
+		fn    *types.Func
+		chain []string
+	}
+	var work []item
+	for _, fn := range queue {
+		work = append(work, item{fn: fn, chain: append(rootChain, shortFuncName(fn))})
+	}
+	visited := make(map[*types.Func]bool)
+	for len(work) > 0 {
+		cur := work[0]
+		work = work[1:]
+		if visited[cur.fn] {
+			continue
+		}
+		visited[cur.fn] = true
+		decl, dpkg := b.funcDecl(cur.fn)
+		if decl == nil {
+			continue // outside the module: optimistic
+		}
+		if hasDirective(decl.Doc, "daemon") {
+			continue // audited daemon: the walk stops here
+		}
+		if v := declVerdict(decl, dpkg); v.bad {
+			via := ""
+			if len(cur.chain) > 1 {
+				via = fmt.Sprintf(", reached via %s", strings.Join(cur.chain, " -> "))
+			}
+			report(fmt.Sprintf("goroutine never terminates: %s %s%s; %s",
+				shortFuncName(cur.fn), v.reason, via, advice))
+			return
+		}
+		for _, callee := range directCallees(dpkg.Info, decl.Body) {
+			if !visited[callee] {
+				work = append(work, item{fn: callee, chain: append(append([]string(nil), cur.chain...), shortFuncName(callee))})
+			}
+		}
+	}
+}
+
+// nonTermLoop finds the first inescapable loop in body: an eternal for
+// with no exit, or a range over a channel that the module never closes.
+// Function literals and nested go statements are separate control flow
+// and are not descended into.
+func nonTermLoop(info *types.Info, body *ast.BlockStmt, ci *chanIndex) (reason string, found bool) {
+	labels := loopLabels(body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.ForStmt:
+			if n.Cond == nil && !loopBodyCanExit(n.Body, labels[n]) {
+				reason = "loops forever with no reachable exit"
+				found = true
+			}
+		case *ast.RangeStmt:
+			tv, ok := info.Types[n.X]
+			if !ok || !isChanType(tv.Type) {
+				return true
+			}
+			name, obj, key := selIdentity(info, ast.Unparen(n.X))
+			if key == "" || ci.isParam[obj] || ci.closed[key] {
+				return true // unresolvable, caller-owned, or provably closed
+			}
+			if !loopBodyCanExit(n.Body, labels[n]) {
+				reason = fmt.Sprintf("ranges over channel %s, which is never closed anywhere in the module", name)
+				found = true
+			}
+		}
+		return true
+	})
+	return reason, found
+}
+
+// directCallees resolves the statically-known module-facing calls in body,
+// pruning function literals and nested go statements (each spawn is
+// checked at its own site). Deferred calls are included: they run before
+// the goroutine can exit.
+func directCallees(info *types.Info, body *ast.BlockStmt) []*types.Func {
+	var out []*types.Func
+	seen := make(map[*types.Func]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			if fn := calleeFunc(info, n); fn != nil && !seen[fn] {
+				seen[fn] = true
+				out = append(out, fn)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// shortFuncName renders a function for chain diagnostics: the package-
+// qualified tail of types.Func.FullName, without the import path prefix.
+func shortFuncName(fn *types.Func) string {
+	name := fn.FullName()
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	return name
+}

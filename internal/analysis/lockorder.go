@@ -42,9 +42,9 @@ type lockOrderEdge struct {
 	via      string // callee name when the acquisition is inside a call
 }
 
-// batchLockGraph builds (once per Batch) the full acquisition graph.
-func batchLockGraph(pass *Pass) []lockOrderEdge {
-	b := pass.Batch
+// batchLockGraph builds (once per Batch, serially in prepare) the full
+// acquisition graph.
+func batchLockGraph(b *Batch) []lockOrderEdge {
 	if b.lockGraph != nil || b.lockGraphBuilt {
 		return b.lockGraph
 	}
@@ -56,7 +56,7 @@ func batchLockGraph(pass *Pass) []lockOrderEdge {
 				bodies = append(bodies, lit.Body)
 			}
 			for _, body := range bodies {
-				collectLockEdges(pass, pkg, fn.Name.Name, body)
+				collectLockEdges(b, pkg, fn.Name.Name, body)
 			}
 		}
 	}
@@ -76,7 +76,7 @@ func batchLockGraph(pass *Pass) []lockOrderEdge {
 
 // collectLockEdges runs the must-held analysis over one body and records
 // acquisition-order edges on the batch.
-func collectLockEdges(pass *Pass, pkg *Package, fnName string, body *ast.BlockStmt) {
+func collectLockEdges(b *Batch, pkg *Package, fnName string, body *ast.BlockStmt) {
 	info := pkg.Info
 	cfg := BuildCFG(fnName, body)
 	transfer := func(blk *Block, in FlowFact) FlowFact {
@@ -107,15 +107,15 @@ func collectLockEdges(pass *Pass, pkg *Package, fnName string, body *ast.BlockSt
 					}
 					if ref, ok := lockCall(info, call); ok && ref.op.acquires() {
 						for a := range held {
-							pass.Batch.lockGraph = append(pass.Batch.lockGraph,
+							b.lockGraph = append(b.lockGraph,
 								lockOrderEdge{from: a, to: ref.key, pos: call.Pos(), pkg: pkg})
 						}
 						return true
 					}
 					if callee := calleeFunc(info, call); callee != nil && len(held) > 0 {
-						for _, acq := range lockSummary(pass, callee).Sorted() {
+						for _, acq := range lockSummary(b, callee).Sorted() {
 							for a := range held {
-								pass.Batch.lockGraph = append(pass.Batch.lockGraph,
+								b.lockGraph = append(b.lockGraph,
 									lockOrderEdge{from: a, to: acq, pos: call.Pos(), pkg: pkg, via: callee.Name()})
 							}
 						}
@@ -152,26 +152,22 @@ func lockTransferKey(info *types.Info, n ast.Node, s StringSet) StringSet {
 }
 
 // lockSummary returns the transitive may-acquire set of a module
-// function. v3 delegates to the call graph's bottom-up summaries
+// function, straight off the call graph's bottom-up summaries
 // (callgraph.go), which compute the full fixpoint through mutual
-// recursion instead of the old memo-seeded under-approximation; functions
-// outside the module (no graph node) have an empty summary.
-func lockSummary(pass *Pass, fn *types.Func) StringSet {
-	if s, ok := pass.Batch.lockSummaries[fn]; ok {
-		return s
-	}
-	sum := NewStringSet()
-	if n := batchGraph(pass.Batch).node(fn); n != nil {
-		if s, ok := pass.Batch.graph.transAcquires[n.key]; ok {
-			sum = s
+// recursion; functions outside the module (no graph node) have an empty
+// summary. The lookup is two map reads, so there is no memo — which also
+// keeps it write-free for the parallel runner.
+func lockSummary(b *Batch, fn *types.Func) StringSet {
+	if n := batchGraph(b).node(fn); n != nil {
+		if s, ok := b.graph.transAcquires[n.key]; ok {
+			return s
 		}
 	}
-	pass.Batch.lockSummaries[fn] = sum
-	return sum
+	return NewStringSet()
 }
 
 func runLockOrder(pass *Pass) {
-	edges := batchLockGraph(pass)
+	edges := batchLockGraph(pass.Batch)
 	if len(edges) == 0 {
 		return
 	}

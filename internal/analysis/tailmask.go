@@ -167,17 +167,27 @@ type sliceParamSummary struct {
 	writes  []int
 }
 
+// emptySliceParams is the shared no-information summary returned for
+// memo misses after prepare seals the table.
+var emptySliceParams = &sliceParamSummary{}
+
 // sliceParamInfo computes (and memoizes on the Batch) the summary for fn.
 // Cycles in the module call graph are cut by seeding the memo with an
 // empty summary before recursing — a fixpoint from below, which can only
-// under-approximate through recursion, never report falsely.
-func sliceParamInfo(pass *Pass, fn *types.Func) *sliceParamSummary {
-	if s, ok := pass.Batch.sliceParams[fn]; ok {
+// under-approximate through recursion, never report falsely. prepare
+// (runner.go) computes the summary of every module declaration up front;
+// after that the memo is read-only, and a miss can only be a non-module
+// function, whose summary is empty anyway.
+func sliceParamInfo(b *Batch, fn *types.Func) *sliceParamSummary {
+	if s, ok := b.sliceParams[fn]; ok {
 		return s
 	}
+	if b.prepared {
+		return emptySliceParams
+	}
 	sum := &sliceParamSummary{}
-	pass.Batch.sliceParams[fn] = sum
-	decl, declPkg := pass.Batch.funcDecl(fn)
+	b.sliceParams[fn] = sum
+	decl, declPkg := b.funcDecl(fn)
 	if decl == nil || decl.Body == nil {
 		return sum
 	}
@@ -234,7 +244,7 @@ func sliceParamInfo(pass *Pass, fn *types.Func) *sliceParamSummary {
 				// return g(p): the result aliases p if g returns its arg.
 				if call, ok := r.(*ast.CallExpr); ok {
 					if callee := calleeFunc(info, call); callee != nil && callee != fn {
-						for _, ri := range sliceParamInfo(pass, callee).returns {
+						for _, ri := range sliceParamInfo(b, callee).returns {
 							if ri < len(call.Args) {
 								if ix, ok := paramOf(call.Args[ri]); ok {
 									sum.returns = addUnique(sum.returns, ix)
@@ -247,7 +257,7 @@ func sliceParamInfo(pass *Pass, fn *types.Func) *sliceParamSummary {
 		case *ast.CallExpr:
 			// g(p) where g writes its parameter: p is written too.
 			if callee := calleeFunc(info, s); callee != nil && callee != fn {
-				for _, wi := range sliceParamInfo(pass, callee).writes {
+				for _, wi := range sliceParamInfo(b, callee).writes {
 					if wi < len(s.Args) {
 						if ix, ok := paramOf(s.Args[wi]); ok {
 							sum.writes = addUnique(sum.writes, ix)
@@ -292,7 +302,7 @@ func sliceParamInfo(pass *Pass, fn *types.Func) *sliceParamSummary {
 
 func tailMaskCrossPackage(pass *Pass) {
 	tracker := newAliasTracker(pass.Pkg, func(e ast.Expr) bool { return isWordsCall(pass, e) })
-	tracker.returnsParam = func(fn *types.Func) []int { return sliceParamInfo(pass, fn).returns }
+	tracker.returnsParam = func(fn *types.Func) []int { return sliceParamInfo(pass.Batch, fn).returns }
 	tracker.solve()
 	report := func(n ast.Node) {
 		pass.Reportf(n.Pos(),
@@ -307,7 +317,7 @@ func tailMaskCrossPackage(pass *Pass) {
 			// that parameter is a write by proxy.
 			if call, ok := n.(*ast.CallExpr); ok {
 				if callee := calleeFunc(pass.Pkg.Info, call); callee != nil {
-					for _, wi := range sliceParamInfo(pass, callee).writes {
+					for _, wi := range sliceParamInfo(pass.Batch, callee).writes {
 						if wi < len(call.Args) && tracker.aliased(call.Args[wi]) {
 							pass.Reportf(call.Pos(),
 								"passes the backing words of a bitvec.Vector to %s, which writes its slice parameter; Words() is read-only outside package bitvec",

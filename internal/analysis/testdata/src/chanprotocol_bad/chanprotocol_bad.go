@@ -1,0 +1,59 @@
+// Package chanprotocolbad breaks the channel send/close protocol:
+// receiver-side close, send after close, double close, a timer allocated
+// every loop iteration, and a select loop with no way out.
+package chanprotocolbad
+
+import "time"
+
+// Queue couples a producer and a consumer on one channel.
+type Queue struct {
+	ch chan int
+}
+
+// Produce is the sending side.
+func (q *Queue) Produce(v int) {
+	q.ch <- v
+}
+
+// Consume receives, then closes the channel out from under Produce.
+func (q *Queue) Consume() int {
+	v := <-q.ch
+	close(q.ch) // want "the sending side owns the close"
+	return v
+}
+
+// SendAfterClose sends on a channel it just closed.
+func SendAfterClose(ch chan int) {
+	close(ch)
+	ch <- 1 // want "reachable after close"
+}
+
+// DoubleClose closes twice on the same path.
+func DoubleClose(ch chan int) {
+	close(ch)
+	close(ch) // want "may already be closed"
+}
+
+// PollLoop allocates a fresh timer every iteration.
+func PollLoop(quit <-chan struct{}) {
+	for {
+		select {
+		case <-quit:
+			return
+		case <-time.After(time.Second): // want "time.After in a loop"
+			tick()
+		}
+	}
+}
+
+func tick() {}
+
+// Stuck selects forever with no shutdown case and no exit.
+func Stuck(in <-chan int) {
+	for {
+		select { // want "select loop has no shutdown case"
+		case v := <-in:
+			_ = v
+		}
+	}
+}

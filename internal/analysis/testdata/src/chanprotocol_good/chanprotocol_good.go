@@ -1,0 +1,70 @@
+// Package chanprotocolgood follows the channel protocol: sender-side
+// close, hoisted tickers, third-party shutdown signals, and an audited
+// daemon loop.
+package chanprotocolgood
+
+import "time"
+
+// Pipeline sends and closes on the producing side.
+func Pipeline(n int) <-chan int {
+	out := make(chan int)
+	go func() {
+		for i := 0; i < n; i++ {
+			out <- i
+		}
+		close(out)
+	}()
+	return out
+}
+
+// Ticker hoists the timer out of the loop and has a shutdown case.
+func Ticker(quit <-chan struct{}) {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-quit:
+			return
+		case <-t.C:
+			tick()
+		}
+	}
+}
+
+func tick() {}
+
+// Worker owns a quit channel closed by Stop: a close of a channel nobody
+// sends on is a pure shutdown broadcast, whoever performs it.
+type Worker struct {
+	quit chan struct{}
+}
+
+// Stop broadcasts shutdown by closing the signal channel.
+func (w *Worker) Stop() {
+	close(w.quit)
+}
+
+// Run drains until the quit broadcast arrives.
+func (w *Worker) Run(in <-chan int) {
+	for {
+		select {
+		case <-w.quit:
+			return
+		case v := <-in:
+			_ = v
+		}
+	}
+}
+
+// pump runs for the process lifetime by design; the daemon audit covers
+// the missing shutdown case.
+//
+//bix:daemon (process-lifetime pump)
+func pump(in, out chan int) {
+	for {
+		select {
+		case v := <-in:
+			out <- v
+		}
+	}
+}

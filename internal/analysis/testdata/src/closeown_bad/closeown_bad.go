@@ -1,0 +1,37 @@
+// Package closeownbad leaks and mishandles os handles: success-path and
+// branch leaks, a handle bound to blank, and a dropped Close error.
+package closeownbad
+
+import "os"
+
+// Leak forgets the handle on the success path.
+func Leak(p string) error {
+	f, err := os.Open(p) // want "without Close on every path"
+	if err != nil {
+		return err
+	}
+	_ = f
+	return nil
+}
+
+// BranchLeak closes on one branch only.
+func BranchLeak(p string, flag bool) error {
+	f, err := os.Open(p) // want "without Close on every path"
+	if err != nil {
+		return err
+	}
+	if flag {
+		return f.Close()
+	}
+	return nil
+}
+
+// Discard binds the handle to blank: it can never be closed.
+func Discard(p string) {
+	_, _ = os.Open(p) // want "discards the handle"
+}
+
+// DropClose ignores the close error on a bare statement.
+func DropClose(f *os.File) {
+	f.Close() // want "error from f.Close"
+}

@@ -1,0 +1,91 @@
+// Package closeowngood closes or transfers every handle it acquires:
+// deferred closes, the promote-the-close-error idiom, transfer by
+// return, store into owning structure, deferred helper closes, and
+// handoff to a closing goroutine.
+package closeowngood
+
+import "os"
+
+// ReadAll defers the close right after the error check.
+func ReadAll(p string) ([]byte, error) {
+	f, err := os.Open(p)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, 64)
+	n, rerr := f.Read(buf)
+	if rerr != nil {
+		return nil, rerr
+	}
+	return buf[:n], nil
+}
+
+// WriteAll promotes the close error through the named return.
+func WriteAll(p string, data []byte) (err error) {
+	f, err := os.Create(p)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	_, err = f.Write(data)
+	return err
+}
+
+// OpenNamed transfers ownership to the caller by returning the handle.
+func OpenNamed(p string) (*os.File, error) {
+	f, err := os.Open(p)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// fileHolder owns its handle once open stores it.
+type fileHolder struct {
+	f *os.File
+}
+
+func (h *fileHolder) open(p string) error {
+	f, err := os.Open(p)
+	if err != nil {
+		return err
+	}
+	h.f = f
+	return nil
+}
+
+// closeQuiet is the deferred-helper shape: it closes its parameter.
+func closeQuiet(f *os.File) {
+	_ = f.Close()
+}
+
+// Probe defers a module helper that closes its parameter.
+func Probe(p string) error {
+	f, err := os.Open(p)
+	if err != nil {
+		return err
+	}
+	defer closeQuiet(f)
+	return nil
+}
+
+// HandOff transfers the handle to a goroutine that closes it.
+func HandOff(p string) error {
+	f, err := os.Open(p)
+	if err != nil {
+		return err
+	}
+	go consume(f)
+	return nil
+}
+
+func consume(f *os.File) {
+	defer f.Close()
+	buf := make([]byte, 8)
+	_, _ = f.Read(buf)
+}

@@ -1,0 +1,37 @@
+// Package ctxflowbad detaches, stores and ignores contexts.
+package ctxflowbad
+
+import "context"
+
+func helper(ctx context.Context) error {
+	return ctx.Err()
+}
+
+// Detach receives a ctx but hands its callee a fresh root, silently
+// disconnecting it from cancellation.
+func Detach(ctx context.Context) error {
+	return helper(context.Background()) // want "detached context"
+}
+
+type holder struct {
+	ctx context.Context
+}
+
+// Save freezes a request-scoped ctx into struct state.
+func Save(ctx context.Context, h *holder) {
+	h.ctx = ctx // want "stores a context.Context in struct field"
+}
+
+// Build does the same through a composite literal.
+func Build(ctx context.Context) *holder {
+	return &holder{ctx: ctx} // want "struct literal"
+}
+
+// Run never consults ctx: cancellation cannot stop it.
+func Run(ctx context.Context) {
+	for { // want "never consults ctx"
+		step()
+	}
+}
+
+func step() {}

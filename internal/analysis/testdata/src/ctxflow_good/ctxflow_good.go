@@ -1,0 +1,60 @@
+// Package ctxflowgood threads contexts correctly: pass-through, derived
+// contexts, fresh roots at entry points, consulted loops, and nil resets.
+package ctxflowgood
+
+import (
+	"context"
+	"time"
+)
+
+func helper(ctx context.Context) error {
+	return ctx.Err()
+}
+
+// Threaded passes its own ctx down.
+func Threaded(ctx context.Context) error {
+	return helper(ctx)
+}
+
+// Derived rebinds through WithTimeout: still connected to the parent.
+func Derived(ctx context.Context) error {
+	tctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	return helper(tctx)
+}
+
+// Entry has no ctx parameter: starting a fresh root here is the point.
+func Entry() error {
+	return helper(context.Background())
+}
+
+// Loop consults ctx every iteration.
+func Loop(ctx context.Context, work <-chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case v := <-work:
+			_ = v
+		}
+	}
+}
+
+// Bounded loops need no ctx check.
+func Bounded(ctx context.Context) int {
+	sum := 0
+	for i := 0; i < 10; i++ {
+		sum += i
+	}
+	_ = ctx
+	return sum
+}
+
+type holder struct {
+	ctx context.Context
+}
+
+// Reset clears a stored ctx: writing nil is not a capture.
+func (h *holder) Reset() {
+	h.ctx = nil
+}

@@ -1,0 +1,45 @@
+// Package goroutinelifebad spawns goroutines with no termination signal:
+// a range over a channel nothing closes, an eternal literal, and an
+// eternal loop reached through a call chain.
+package goroutinelifebad
+
+// Server owns a job channel that nothing in the module ever closes.
+type Server struct {
+	jobs chan int
+}
+
+func (s *Server) worker() {
+	for j := range s.jobs {
+		_ = j
+	}
+}
+
+// Start spawns a worker that can never leave its range loop.
+func (s *Server) Start() {
+	go s.worker() // want "never closed anywhere in the module"
+}
+
+// SpinLit spawns a literal that loops forever with no exit.
+func SpinLit() {
+	go func() { // want "the function literal loops forever"
+		for {
+			step()
+		}
+	}()
+}
+
+func step() {}
+
+// SpinDeep reaches the eternal loop two calls down; the diagnostic
+// prints the spawn chain.
+func SpinDeep() {
+	go wrapper() // want "reached via"
+}
+
+func wrapper() { spin() }
+
+func spin() {
+	for {
+		step()
+	}
+}

@@ -1,0 +1,79 @@
+// Package goroutinelifegood spawns goroutines with provable termination
+// signals: quit-channel selects, closed ranged channels, bounded loops,
+// audited daemons, and caller-owned channel parameters.
+package goroutinelifegood
+
+import "sync"
+
+// Pump drains jobs until the quit broadcast: the select case returns.
+func Pump(jobs <-chan int, quit <-chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-quit:
+				return
+			case j := <-jobs:
+				_ = j
+			}
+		}
+	}()
+}
+
+// FanOut closes the channel it feeds, so the range workers terminate.
+func FanOut(n int) {
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				_ = j
+			}
+		}()
+	}
+	for i := 0; i < 100; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// Bounded loops carry their own condition: nothing to prove.
+func Bounded() {
+	go func() {
+		for i := 0; i < 8; i++ {
+			work(i)
+		}
+	}()
+}
+
+func work(int) {}
+
+// flusher runs for the process lifetime by design.
+//
+//bix:daemon (metrics flusher, stopped only at process exit)
+func flusher() {
+	for {
+		work(0)
+	}
+}
+
+// StartFlusher spawns the audited daemon; the walk stops at the
+// directive.
+func StartFlusher() {
+	go flusher()
+}
+
+// drain ranges over a parameter: closing it is the caller's business,
+// which static identity cannot track across the call.
+func drain(in <-chan int) {
+	for j := range in {
+		_ = j
+	}
+}
+
+// StartDrain hands drain a channel the caller closes elsewhere.
+func StartDrain(in <-chan int) {
+	go drain(in)
+}

@@ -78,6 +78,11 @@ func segPoolStart() {
 	}
 }
 
+// segPoolWorker drains the shared job channel for the life of the
+// process. The pool is sized once to GOMAXPROCS and never torn down, so
+// the range below intentionally has no shutdown signal.
+//
+//bix:daemon (process-wide segment worker pool, lives until exit)
 func segPoolWorker() {
 	for fn := range segPool.jobs {
 		fn()
