@@ -39,6 +39,8 @@ var wantAPI = []string{
 	"TelemetryRegistry", "TelemetrySnapshot", "WriteMetrics",
 	// Segmented evaluation surface (PR 4).
 	"SegConfig", "DefaultSegBits",
+	// Compression backend surface (PR 9).
+	"StoreCodec", "ParseStoreCodec", "CodecRaw", "CodecZlib", "CodecWAH", "CodecRoaring",
 }
 
 // exportedDecls parses the non-test files of the root package and returns

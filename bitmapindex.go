@@ -67,6 +67,9 @@ type (
 	StoreOptions = storage.Options
 	// StoreScheme is one of the three physical layouts (BS, CS, IS).
 	StoreScheme = storage.Scheme
+	// StoreCodec selects the per-file compression codec of a saved index
+	// (raw, zlib, WAH, roaring).
+	StoreCodec = storage.Codec
 	// StoreMetrics accumulates bytes read and timing during on-disk
 	// query evaluation.
 	StoreMetrics = storage.Metrics
@@ -96,6 +99,16 @@ const (
 	BitmapLevel    = storage.BitmapLevel    // one file per bitmap (BS)
 	ComponentLevel = storage.ComponentLevel // one row-major file per component (CS)
 	IndexLevel     = storage.IndexLevel     // one row-major file for the index (IS)
+)
+
+// Storage codecs: the paper's zlib byte compression plus two bitmap-aware
+// encodings — word-aligned-hybrid run-length coding and roaring hybrid
+// containers (array/bitmap/run chunks).
+const (
+	CodecRaw     = storage.CodecRaw
+	CodecZlib    = storage.CodecZlib
+	CodecWAH     = storage.CodecWAH
+	CodecRoaring = storage.CodecRoaring
 )
 
 // Option configures New.
@@ -262,6 +275,8 @@ var (
 	ParseEncoding = core.ParseEncoding
 	// ParseStoreScheme parses "BS", "CS" or "IS".
 	ParseStoreScheme = storage.ParseScheme
+	// ParseStoreCodec parses "raw", "zlib", "wah" or "roaring".
+	ParseStoreCodec = storage.ParseCodec
 )
 
 // --- Design-space analysis (paper Sections 4-8) ---

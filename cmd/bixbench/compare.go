@@ -27,13 +27,15 @@ type compareRow struct {
 	Old    float64
 	New    float64
 	Change float64 // relative change in the "worse" direction; NaN when old == 0
-	Status string  // "ok" | "improved" | "REGRESSED" | "missing" | "new"
+	Status string  // "ok" | "improved" | "REGRESSED" | "missing" | "new" | "not run"
 }
 
 // runCompare loads two -json reports and fails (non-nil error) when any
 // suite metric regressed past its kind's noise threshold, or when a
-// baseline metric disappeared. New metrics absent from the baseline are
-// informational.
+// baseline metric disappeared from a suite the new report ran. New
+// metrics absent from the baseline, and whole suites the new report did
+// not run (a baseline carrying core+compression compared against a
+// core-only run, or vice versa), are informational.
 func runCompare(oldPath, newPath string, w io.Writer) error {
 	oldRep, err := loadReport(oldPath)
 	if err != nil {
@@ -86,7 +88,9 @@ func compareReports(oldRep, newRep benchReport) []compareRow {
 	type key struct{ suite, metric string }
 	newVals := make(map[key]suiteMetric)
 	newSeen := make(map[key]bool)
+	newSuites := make(map[string]bool)
 	for _, s := range newRep.Suites {
+		newSuites[s.Name] = true
 		for _, m := range s.Metrics {
 			newVals[key{s.Name, m.Name}] = m
 		}
@@ -97,8 +101,16 @@ func compareReports(oldRep, newRep benchReport) []compareRow {
 			k := key{s.Name, m.Name}
 			nm, ok := newVals[k]
 			if !ok {
+				// A metric gone from a suite the new report ran is a real
+				// removal and fails; a whole suite the new report did not
+				// run (a broader baseline compared against a narrower run)
+				// is informational.
+				status := "missing"
+				if !newSuites[s.Name] {
+					status = "not run"
+				}
 				rows = append(rows, compareRow{Suite: s.Name, Metric: m.Name, Kind: m.Kind,
-					Old: m.Value, New: math.NaN(), Change: math.NaN(), Status: "missing"})
+					Old: m.Value, New: math.NaN(), Change: math.NaN(), Status: status})
 				continue
 			}
 			newSeen[k] = true

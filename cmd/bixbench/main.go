@@ -53,7 +53,7 @@ type options struct {
 	Scaling bool     // run the segmented-evaluation scaling benchmark
 	SegBits int      // segment width for -scaling (0 = library default)
 	Workers string   // comma-separated worker counts for -scaling
-	Suite   string   // run a named benchmark suite set ("core")
+	Suite   string   // comma-separated suite sets to run ("core", "compression")
 	Compare bool     // compare two -json reports for regressions
 	Args    []string // positional arguments (the two reports for -compare)
 }
@@ -73,7 +73,7 @@ func main() {
 	flag.BoolVar(&o.Scaling, "scaling", false, "benchmark segmented (intra-query parallel) evaluation vs serial")
 	flag.IntVar(&o.SegBits, "segbits", 0, "segment width (log2 bits) for -scaling; 0 selects the library default")
 	flag.StringVar(&o.Workers, "workers", "1,2,4", "comma-separated worker counts for -scaling")
-	flag.StringVar(&o.Suite, "suite", "", "run a named benchmark suite set (\"core\") instead of experiments")
+	flag.StringVar(&o.Suite, "suite", "", "run named benchmark suite sets (\"core\", \"compression\", comma-separated) instead of experiments")
 	flag.BoolVar(&o.Compare, "compare", false, "compare two -json reports (old.json new.json); non-zero exit on regression")
 	flag.Parse()
 	o.Args = flag.Args()
@@ -204,12 +204,22 @@ func realMain(o options) (err error) {
 		return runCompare(o.Args[0], o.Args[1], w)
 	}
 	if o.Suite != "" {
-		if o.Suite != "core" {
-			return fmt.Errorf("unknown suite %q (available: core)", o.Suite)
-		}
-		suites, serr := runSuites(o, w)
-		if serr != nil {
-			return serr
+		var suites []suiteResult
+		for _, name := range strings.Split(o.Suite, ",") {
+			var run func(options, io.Writer) ([]suiteResult, error)
+			switch strings.TrimSpace(name) {
+			case "core":
+				run = runSuites
+			case "compression":
+				run = runCompressionSuites
+			default:
+				return fmt.Errorf("unknown suite %q (available: core, compression)", name)
+			}
+			s, serr := run(o, w)
+			if serr != nil {
+				return serr
+			}
+			suites = append(suites, s...)
 		}
 		if o.JSON != "" {
 			report := newReport(o)

@@ -73,18 +73,16 @@ func runSuites(o options, w io.Writer) ([]suiteResult, error) {
 		return nil, err
 	}
 	suites = append(suites, *cs)
-	for i := range suites {
-		sort.Slice(suites[i].Metrics, func(a, b int) bool {
-			return suites[i].Metrics[a].Name < suites[i].Metrics[b].Name
-		})
-	}
-	for _, s := range suites {
-		fmt.Fprintf(w, "suite %s:\n", s.Name)
-		for _, m := range s.Metrics {
-			fmt.Fprintf(w, "  %-24s %14.6g  (%s, better=%s)\n", m.Name, m.Value, m.Kind, m.Better)
-		}
-	}
+	printSuites(w, suites)
 	return suites, nil
+}
+
+// sortSuiteMetrics orders a suite's metrics by name so reports diff
+// cleanly and comparisons never depend on emission order.
+func sortSuiteMetrics(s *suiteResult) {
+	sort.Slice(s.Metrics, func(a, b int) bool {
+		return s.Metrics[a].Name < s.Metrics[b].Name
+	})
 }
 
 // evalSuite sweeps every operator over every predicate constant and

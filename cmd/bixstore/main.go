@@ -114,6 +114,7 @@ func cmdBuild(args []string) error {
 		encStr  = fs.String("enc", "range", "encoding: range or equality")
 		scheme  = fs.String("scheme", "BS", "storage scheme: BS, CS or IS")
 		z       = fs.Bool("z", false, "zlib-compress the stored files")
+		codec   = fs.String("codec", "", "compression codec: raw, zlib, wah or roaring (overrides -z)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -148,7 +149,11 @@ func cmdBuild(args []string) error {
 	if err != nil {
 		return err
 	}
-	st, err := bitmapindex.SaveIndex(ix, *dir, bitmapindex.StoreOptions{Scheme: sc, Compress: *z})
+	cd, err := bitmapindex.ParseStoreCodec(*codec)
+	if err != nil {
+		return err
+	}
+	st, err := bitmapindex.SaveIndex(ix, *dir, bitmapindex.StoreOptions{Scheme: sc, Compress: *z, Codec: cd})
 	if err != nil {
 		return err
 	}

@@ -11,6 +11,7 @@ import (
 	"bitmapindex"
 	"bitmapindex/internal/catalog"
 	"bitmapindex/internal/engine"
+	"bitmapindex/internal/reorder"
 	"bitmapindex/internal/storage"
 )
 
@@ -23,7 +24,9 @@ func cmdCSV(args []string) error {
 		dir    = fs.String("dir", "", "output table directory (required)")
 		scheme = fs.String("scheme", "BS", "storage scheme: BS, CS or IS")
 		z      = fs.Bool("z", false, "zlib-compress the stored files")
+		codec  = fs.String("codec", "", "compression codec: raw, zlib, wah or roaring (overrides -z)")
 		encStr = fs.String("enc", "range", "encoding: range, equality or interval")
+		sortBy = fs.String("reorder", "none", "row sort before indexing: none, lex or gray")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -43,9 +46,18 @@ func cmdCSV(args []string) error {
 	if err != nil {
 		return err
 	}
+	cd, err := bitmapindex.ParseStoreCodec(*codec)
+	if err != nil {
+		return err
+	}
+	ord, err := reorder.ParseOrder(*sortBy)
+	if err != nil {
+		return err
+	}
 	tbl, err := catalog.Create(*dir, rel, catalog.Options{
-		Store:    storage.Options{Scheme: sc, Compress: *z},
+		Store:    storage.Options{Scheme: sc, Compress: *z, Codec: cd},
 		Encoding: enc,
+		Reorder:  ord,
 	})
 	if err != nil {
 		return err

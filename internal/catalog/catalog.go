@@ -12,8 +12,10 @@
 package catalog
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 
@@ -21,10 +23,14 @@ import (
 	"bitmapindex/internal/core"
 	"bitmapindex/internal/design"
 	"bitmapindex/internal/engine"
+	"bitmapindex/internal/reorder"
 	"bitmapindex/internal/storage"
 )
 
-const tableFile = "table.json"
+const (
+	tableFile = "table.json"
+	permFile  = "perm.bin"
+)
 
 // tableMeta is the serialized descriptor.
 type tableMeta struct {
@@ -32,6 +38,13 @@ type tableMeta struct {
 	Name    string     `json:"name"`
 	Rows    int        `json:"rows"`
 	Attrs   []attrMeta `json:"attributes"`
+	// Reorder names the row sort applied before bitmap construction
+	// ("none", "lex", "gray"). When not "none", perm.bin holds the row
+	// permutation (8 bytes little-endian per row, perm[newPos] = origRow)
+	// and PermChecksum its CRC-32, so stored bitmaps — built over sorted
+	// rows — can be mapped back to original row ids at query time.
+	Reorder      string `json:"reorder,omitempty"`
+	PermChecksum uint32 `json:"perm_checksum,omitempty"`
 }
 
 type attrMeta struct {
@@ -51,6 +64,11 @@ type Options struct {
 	BaseFor func(card uint64) (core.Base, error)
 	// Encoding for every attribute index; default RangeEncoded.
 	Encoding core.Encoding
+	// Reorder sorts rows by their attribute-rank tuples (in column order)
+	// before building the bitmaps, multiplying run-length compression
+	// (arXiv:0901.3751). Results are transparently mapped back to
+	// original row ids by Query.
+	Reorder reorder.Order
 }
 
 // Table is an open catalog of attribute indexes.
@@ -58,6 +76,10 @@ type Table struct {
 	dir   string
 	meta  tableMeta
 	attrs map[string]*Attr
+	// perm is the build-time row permutation (perm[newPos] = origRow),
+	// nil when rows were not reordered. Stored bitmaps are positioned in
+	// sorted row space; Query maps results back through it.
+	perm []int
 }
 
 // Attr is one open attribute: its dictionary and its on-disk index.
@@ -87,7 +109,27 @@ func Create(dir string, rel *engine.Relation, opts Options) (*Table, error) {
 	if baseFor == nil {
 		baseFor = design.Knee
 	}
-	meta := tableMeta{Version: 1, Name: rel.Name, Rows: rel.Rows()}
+	meta := tableMeta{Version: 1, Name: rel.Name, Rows: rel.Rows(), Reorder: opts.Reorder.String()}
+	var perm []int
+	if opts.Reorder != reorder.None {
+		rankCols := make([][]uint64, 0, len(rel.ColumnNames()))
+		for _, name := range rel.ColumnNames() {
+			col, err := rel.Column(name)
+			if err != nil {
+				return nil, err
+			}
+			rankCols = append(rankCols, col.Ranks())
+		}
+		perm = reorder.Permutation(opts.Reorder, rankCols)
+		pb := make([]byte, 8*len(perm))
+		for i, p := range perm {
+			binary.LittleEndian.PutUint64(pb[8*i:], uint64(p))
+		}
+		meta.PermChecksum = crc32.ChecksumIEEE(pb)
+		if err := os.WriteFile(filepath.Join(dir, permFile), pb, 0o644); err != nil {
+			return nil, fmt.Errorf("catalog: %w", err)
+		}
+	}
 	for _, name := range rel.ColumnNames() {
 		col, err := rel.Column(name)
 		if err != nil {
@@ -97,7 +139,11 @@ func Create(dir string, rel *engine.Relation, opts Options) (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("catalog: attribute %q: %w", name, err)
 		}
-		ix, err := core.Build(col.Ranks(), col.Card(), base, opts.Encoding, nil)
+		ranks := col.Ranks()
+		if perm != nil {
+			ranks = reorder.Apply(perm, ranks)
+		}
+		ix, err := core.Build(ranks, col.Card(), base, opts.Encoding, nil)
 		if err != nil {
 			return nil, fmt.Errorf("catalog: attribute %q: %w", name, err)
 		}
@@ -128,6 +174,29 @@ func Open(dir string) (*Table, error) {
 		return nil, fmt.Errorf("catalog: bad %s: %w", tableFile, err)
 	}
 	t := &Table{dir: dir, meta: meta, attrs: make(map[string]*Attr, len(meta.Attrs))}
+	if ord, err := reorder.ParseOrder(meta.Reorder); err != nil {
+		return nil, fmt.Errorf("catalog: %w", err)
+	} else if ord != reorder.None {
+		pb, err := os.ReadFile(filepath.Join(dir, permFile))
+		if err != nil {
+			return nil, fmt.Errorf("catalog: %w", err)
+		}
+		if got := crc32.ChecksumIEEE(pb); got != meta.PermChecksum {
+			return nil, fmt.Errorf("catalog: %s checksum mismatch (crc %08x, want %08x)",
+				permFile, got, meta.PermChecksum)
+		}
+		if len(pb) != 8*meta.Rows {
+			return nil, fmt.Errorf("catalog: %s holds %d bytes, want %d", permFile, len(pb), 8*meta.Rows)
+		}
+		perm := make([]int, meta.Rows)
+		for i := range perm {
+			perm[i] = int(binary.LittleEndian.Uint64(pb[8*i:]))
+		}
+		if err := reorder.Validate(perm, meta.Rows); err != nil {
+			return nil, fmt.Errorf("catalog: %s: %w", permFile, err)
+		}
+		t.perm = perm
+	}
 	for _, am := range meta.Attrs {
 		dict, err := engine.DictFromValues(am.Dict)
 		if err != nil {
@@ -151,6 +220,19 @@ func (t *Table) Name() string { return t.meta.Name }
 
 // Rows returns the relation cardinality.
 func (t *Table) Rows() int { return t.meta.Rows }
+
+// Reorder returns the row sort order the indexes were built under.
+func (t *Table) Reorder() reorder.Order {
+	ord, _ := reorder.ParseOrder(t.meta.Reorder)
+	return ord
+}
+
+// Permutation returns the build-time row permutation (perm[sortedPos] =
+// originalRow), or nil when rows were not reordered. Callers evaluating
+// directly against an Attr's Store get bitmaps in sorted row space and
+// must map them through this (reorder.MapBack) to reach original row
+// ids; Table.Query does so automatically.
+func (t *Table) Permutation() []int { return t.perm }
 
 // Attributes returns the attribute names in creation order.
 func (t *Table) Attributes() []string {
@@ -202,6 +284,12 @@ func (t *Table) Query(preds []engine.Pred, m *storage.Metrics) (*bitvec.Vector, 
 		} else {
 			out.And(res)
 		}
+	}
+	// The conjunction is ANDed in sorted row space (cheaper: one map-back
+	// per query, not per predicate) and translated to original row ids
+	// only at the end.
+	if t.perm != nil {
+		out = reorder.MapBack(t.perm, out)
 	}
 	return out, nil
 }

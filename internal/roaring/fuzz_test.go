@@ -1,0 +1,112 @@
+package roaring
+
+import (
+	"bytes"
+	"testing"
+
+	"bitmapindex/internal/bitvec"
+)
+
+// vecFromBytes builds an n-bit dense vector from a raw payload, zero
+// padding or truncating as needed (and masking the tail).
+func vecFromBytes(n int, p []byte) *bitvec.Vector {
+	need := (n + 7) / 8
+	buf := make([]byte, need)
+	copy(buf, p)
+	if n%8 != 0 && need > 0 {
+		buf[need-1] &= byte(1<<(n%8)) - 1
+	}
+	v := bitvec.New(n)
+	if err := v.SetPayload(n, buf); err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// FuzzOpsVsDense differentially checks every roaring operation and Count
+// against the dense bitvec kernel on arbitrary bit patterns. Seeds pin
+// the chunk boundaries (k*2^16 ± 1) and container-transition densities.
+func FuzzOpsVsDense(f *testing.F) {
+	f.Add(uint32(0), []byte{}, []byte{})
+	f.Add(uint32(1), []byte{1}, []byte{0})
+	f.Add(uint32(63), bytes.Repeat([]byte{0xff}, 8), bytes.Repeat([]byte{0x55}, 8))
+	f.Add(uint32(64), bytes.Repeat([]byte{0xaa}, 8), bytes.Repeat([]byte{0xff}, 8))
+	f.Add(uint32(65), bytes.Repeat([]byte{0xff}, 9), []byte{0x01})
+	f.Add(uint32(chunkBits-1), bytes.Repeat([]byte{0xff}, chunkBits/8), bytes.Repeat([]byte{0x0f}, 16))
+	f.Add(uint32(chunkBits), bytes.Repeat([]byte{0xf0}, chunkBits/8), []byte{})
+	f.Add(uint32(chunkBits+1), []byte{0x80}, bytes.Repeat([]byte{0xff}, chunkBits/8+1))
+	f.Add(uint32(2*chunkBits+1), bytes.Repeat([]byte{0x01, 0x00}, chunkBits/8), bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, n32 uint32, pa, pb []byte) {
+		n := int(n32 % (3*chunkBits + 2))
+		va, vb := vecFromBytes(n, pa), vecFromBytes(n, pb)
+		ra, rb := FromVector(va), FromVector(vb)
+		if ra.Count() != va.Count() || rb.Count() != vb.Count() {
+			t.Fatalf("Count mismatch: roaring %d/%d dense %d/%d", ra.Count(), rb.Count(), va.Count(), vb.Count())
+		}
+		check := func(name string, got *Bitmap, want *bitvec.Vector) {
+			if got.Count() != want.Count() {
+				t.Fatalf("%s: Count %d want %d", name, got.Count(), want.Count())
+			}
+			if !got.ToVector().Equal(want) {
+				t.Fatalf("%s: bits differ", name)
+			}
+			if !got.Equal(FromVector(want)) {
+				t.Fatalf("%s: result not canonical", name)
+			}
+			p, err := got.MarshalBinary()
+			if err != nil {
+				t.Fatalf("%s: marshal: %v", name, err)
+			}
+			var back Bitmap
+			if err := back.UnmarshalBinary(p); err != nil {
+				t.Fatalf("%s: unmarshal own serialization: %v", name, err)
+			}
+			if !back.Equal(got) {
+				t.Fatalf("%s: serialization round trip differs", name)
+			}
+		}
+		and := va.Clone()
+		and.And(vb)
+		check("and", ra.And(rb), and)
+		or := va.Clone()
+		or.Or(vb)
+		check("or", ra.Or(rb), or)
+		xor := va.Clone()
+		xor.Xor(vb)
+		check("xor", ra.Xor(rb), xor)
+		andnot := va.Clone()
+		andnot.AndNot(vb)
+		check("andnot", ra.AndNot(rb), andnot)
+	})
+}
+
+// FuzzUnmarshal feeds arbitrary bytes to UnmarshalBinary: it must either
+// reject them or produce a bitmap whose re-serialization is canonical and
+// whose Count matches its expansion.
+func FuzzUnmarshal(f *testing.F) {
+	for _, n := range []int{0, 1, 65, chunkBits, 2*chunkBits + 1} {
+		b := FromVector(mkVec(n, func(i int) bool { return i%3 == 0 }))
+		p, _ := b.MarshalBinary()
+		f.Add(p)
+	}
+	f.Fuzz(func(t *testing.T, p []byte) {
+		var b Bitmap
+		if err := b.UnmarshalBinary(p); err != nil {
+			return
+		}
+		// Expanding to a dense vector is only feasible for modest lengths;
+		// a huge-but-valid sparse bitmap is checked structurally instead.
+		if b.Len() <= 1<<24 {
+			if got, want := b.Count(), b.ToVector().Count(); got != want {
+				t.Fatalf("accepted payload with Count %d but %d set bits", got, want)
+			}
+		}
+		p2, err := b.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		if !bytes.Equal(p, p2) {
+			t.Fatalf("accepted non-canonical serialization")
+		}
+	})
+}

@@ -1,0 +1,229 @@
+package roaring
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Logical operations over the container forms. Each binary op walks the
+// two sorted key lists like a merge join; only chunks present in the
+// relevant side(s) are touched, and each result container is re-packed
+// into its minimal form, preserving the canonical invariant.
+//
+// Mixed-form pairs that lack a profitable direct path are evaluated by
+// materializing the pair into a single stack-allocated 8 KiB chunk
+// buffer — still "compressed-domain" in the roaring sense (never a
+// full-length vector), and bounded by the chunk size regardless of the
+// bitmap's logical length.
+
+// And returns a AND b. Both bitmaps must have the same length; like the
+// dense and WAH kernels, a length mismatch is a programming error and
+// panics.
+func (b *Bitmap) And(o *Bitmap) *Bitmap { return b.binop(o, opAnd) }
+
+// Or returns a OR b.
+func (b *Bitmap) Or(o *Bitmap) *Bitmap { return b.binop(o, opOr) }
+
+// Xor returns a XOR b.
+func (b *Bitmap) Xor(o *Bitmap) *Bitmap { return b.binop(o, opXor) }
+
+// AndNot returns a AND NOT b.
+func (b *Bitmap) AndNot(o *Bitmap) *Bitmap { return b.binop(o, opAndNot) }
+
+type opKind uint8
+
+const (
+	opAnd opKind = iota
+	opOr
+	opXor
+	opAndNot
+)
+
+func (b *Bitmap) binop(o *Bitmap, kind opKind) *Bitmap {
+	if b.nbits != o.nbits {
+		panic(fmt.Sprintf("roaring: length mismatch %d vs %d", b.nbits, o.nbits))
+	}
+	out := New(b.nbits)
+	i, j := 0, 0
+	for i < len(b.keys) && j < len(o.keys) {
+		switch {
+		case b.keys[i] < o.keys[j]:
+			// Chunk only on the left: AND drops it, OR/XOR/ANDNOT keep it.
+			if kind != opAnd {
+				out.appendCopy(b.keys[i], &b.containers[i])
+			}
+			i++
+		case b.keys[i] > o.keys[j]:
+			// Chunk only on the right: only OR and XOR keep it.
+			if kind == opOr || kind == opXor {
+				out.appendCopy(o.keys[j], &o.containers[j])
+			}
+			j++
+		default:
+			if c, ok := combine(&b.containers[i], &o.containers[j], kind); ok {
+				out.keys = append(out.keys, b.keys[i])
+				out.containers = append(out.containers, c)
+			}
+			i++
+			j++
+		}
+	}
+	for ; i < len(b.keys); i++ {
+		if kind != opAnd {
+			out.appendCopy(b.keys[i], &b.containers[i])
+		}
+	}
+	if kind == opOr || kind == opXor {
+		for ; j < len(o.keys); j++ {
+			out.appendCopy(o.keys[j], &o.containers[j])
+		}
+	}
+	return out
+}
+
+// appendCopy appends a deep copy of c under key. Results never alias
+// their operands, matching wah's value semantics.
+func (b *Bitmap) appendCopy(key uint16, c *container) {
+	nc := container{typ: c.typ, card: c.card}
+	switch c.typ {
+	case typeArray:
+		nc.arr = append([]uint16(nil), c.arr...)
+	case typeBitmap:
+		nc.bits = append([]uint64(nil), c.bits...)
+	default:
+		nc.runs = append([]run(nil), c.runs...)
+	}
+	b.keys = append(b.keys, key)
+	b.containers = append(b.containers, nc)
+}
+
+// combine computes a op b for two same-key containers, returning ok=false
+// when the result chunk is empty.
+func combine(a, b *container, kind opKind) (container, bool) {
+	// Direct sparse paths where they beat chunk materialization.
+	if a.typ == typeArray && b.typ == typeArray {
+		return arrayArray(a, b, kind)
+	}
+	if kind == opAnd || kind == opAndNot {
+		if a.typ == typeArray {
+			// Filter the left array against the right container.
+			want := kind == opAnd
+			arr := make([]uint16, 0, len(a.arr))
+			for _, p := range a.arr {
+				if b.get(p) == want {
+					arr = append(arr, p)
+				}
+			}
+			return containerFromArray(arr)
+		}
+	}
+	// General path: materialize into one chunk buffer.
+	var wa, wb [chunkWords]uint64
+	a.fillWords(&wa)
+	b.fillWords(&wb)
+	card := 0
+	for i := 0; i < chunkWords; i++ {
+		var w uint64
+		switch kind {
+		case opAnd:
+			w = wa[i] & wb[i]
+		case opOr:
+			w = wa[i] | wb[i]
+		case opXor:
+			w = wa[i] ^ wb[i]
+		default:
+			w = wa[i] &^ wb[i]
+		}
+		wa[i] = w
+		card += bits.OnesCount64(w)
+	}
+	if card == 0 {
+		return container{}, false
+	}
+	return packContainer(&wa, card), true
+}
+
+// fillWords expands the container into a zeroed chunk buffer.
+func (c *container) fillWords(cw *[chunkWords]uint64) {
+	for i := range cw {
+		cw[i] = 0
+	}
+	switch c.typ {
+	case typeArray:
+		for _, p := range c.arr {
+			cw[p>>6] |= 1 << (p & 63)
+		}
+	case typeBitmap:
+		copy(cw[:], c.bits)
+	default:
+		for _, r := range c.runs {
+			setWordRange(cw[:], int(r.start), int(r.last))
+		}
+	}
+}
+
+// arrayArray merges two sorted arrays directly.
+func arrayArray(a, b *container, kind opKind) (container, bool) {
+	out := make([]uint16, 0, len(a.arr)+len(b.arr))
+	i, j := 0, 0
+	for i < len(a.arr) && j < len(b.arr) {
+		switch {
+		case a.arr[i] < b.arr[j]:
+			if kind != opAnd {
+				out = append(out, a.arr[i])
+			}
+			i++
+		case a.arr[i] > b.arr[j]:
+			if kind == opOr || kind == opXor {
+				out = append(out, b.arr[j])
+			}
+			j++
+		default:
+			if kind == opAnd || kind == opOr {
+				out = append(out, a.arr[i])
+			}
+			i++
+			j++
+		}
+	}
+	if kind != opAnd {
+		out = append(out, a.arr[i:]...)
+	}
+	if kind == opOr || kind == opXor {
+		out = append(out, b.arr[j:]...)
+	}
+	return containerFromArray(out)
+}
+
+// containerFromArray packs a sorted position array into canonical form.
+func containerFromArray(arr []uint16) (container, bool) {
+	if len(arr) == 0 {
+		return container{}, false
+	}
+	if len(arr) <= arrayCutoff {
+		// Check whether a run container is smaller before settling.
+		nruns := 0
+		for i, p := range arr {
+			if i == 0 || p != arr[i-1]+1 {
+				nruns++
+			}
+		}
+		if runWins(len(arr), nruns) {
+			c := container{typ: typeRun, card: len(arr), runs: make([]run, 0, nruns)}
+			for i, p := range arr {
+				if i == 0 || p != arr[i-1]+1 {
+					c.runs = append(c.runs, run{p, p})
+				} else {
+					c.runs[len(c.runs)-1].last = p
+				}
+			}
+			return c, true
+		}
+		return container{typ: typeArray, card: len(arr), arr: arr}, true
+	}
+	var cw [chunkWords]uint64
+	for _, p := range arr {
+		cw[p>>6] |= 1 << (p & 63)
+	}
+	return packContainer(&cw, len(arr)), true
+}

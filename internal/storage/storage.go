@@ -31,7 +31,9 @@ import (
 
 	"bitmapindex/internal/bitvec"
 	"bitmapindex/internal/core"
+	"bitmapindex/internal/roaring"
 	"bitmapindex/internal/telemetry"
+	"bitmapindex/internal/wah"
 )
 
 // Scheme selects the physical layout.
@@ -73,27 +75,99 @@ func ParseScheme(s string) (Scheme, error) {
 	return 0, fmt.Errorf("storage: unknown scheme %q", s)
 }
 
+// Codec selects the compression applied to every stored file. Zlib is
+// the paper's byte-level "c" prefix; WAH and Roaring are bitmap-aware
+// codecs that encode each file's bit payload in their compressed form
+// (for CS/IS the row-major matrix is treated as one long bit string).
+type Codec uint8
+
+const (
+	// CodecRaw stores payloads uncompressed.
+	CodecRaw Codec = iota
+	// CodecZlib DEFLATE-compresses file bytes (cBS / cCS / cIS).
+	CodecZlib
+	// CodecWAH stores each file as a word-aligned-hybrid bitmap.
+	CodecWAH
+	// CodecRoaring stores each file as a roaring hybrid-container bitmap.
+	CodecRoaring
+)
+
+// String returns the codec name used in descriptors and flags.
+func (c Codec) String() string {
+	switch c {
+	case CodecRaw:
+		return "raw"
+	case CodecZlib:
+		return "zlib"
+	case CodecWAH:
+		return "wah"
+	case CodecRoaring:
+		return "roaring"
+	default:
+		return fmt.Sprintf("Codec(%d)", uint8(c))
+	}
+}
+
+// ParseCodec parses "raw", "zlib", "wah" or "roaring".
+func ParseCodec(s string) (Codec, error) {
+	switch s {
+	case "raw", "":
+		return CodecRaw, nil
+	case "zlib":
+		return CodecZlib, nil
+	case "wah":
+		return CodecWAH, nil
+	case "roaring":
+		return CodecRoaring, nil
+	}
+	return 0, fmt.Errorf("storage: unknown codec %q", s)
+}
+
 // Options selects the physical organization of a saved index.
 type Options struct {
 	Scheme   Scheme
-	Compress bool // zlib-compress every file (cBS / cCS / cIS)
+	Compress bool // zlib-compress every file (cBS / cCS / cIS); shorthand for Codec: CodecZlib
+	Codec    Codec
 }
 
-// String renders e.g. "cCS" or "BS".
-func (o Options) String() string {
-	if o.Compress {
-		return "c" + o.Scheme.String()
+// codec resolves the effective codec: an explicit Codec wins, the legacy
+// Compress flag means zlib.
+func (o Options) codec() Codec {
+	if o.Codec != CodecRaw {
+		return o.Codec
 	}
-	return o.Scheme.String()
+	if o.Compress {
+		return CodecZlib
+	}
+	return CodecRaw
+}
+
+// String renders the paper's abbreviation, with a codec prefix: "BS",
+// "cCS" (zlib), "wBS" (WAH), "rBS" (roaring).
+func (o Options) String() string {
+	switch o.codec() {
+	case CodecZlib:
+		return "c" + o.Scheme.String()
+	case CodecWAH:
+		return "w" + o.Scheme.String()
+	case CodecRoaring:
+		return "r" + o.Scheme.String()
+	default:
+		return o.Scheme.String()
+	}
 }
 
 const metaFile = "meta.json"
 
 // meta is the serialized index descriptor.
 type meta struct {
-	Version  int      `json:"version"`
-	Scheme   string   `json:"scheme"`
-	Compress bool     `json:"compress"`
+	Version  int    `json:"version"`
+	Scheme   string `json:"scheme"`
+	Compress bool   `json:"compress"`
+	// Codec names the file codec ("raw", "zlib", "wah", "roaring").
+	// Absent in descriptors written before the codec knob existed, where
+	// Compress alone distinguishes raw from zlib.
+	Codec    string   `json:"codec,omitempty"`
 	Base     []uint64 `json:"base"` // little-endian: Base[0] is b_1
 	Encoding string   `json:"encoding"`
 	Card     uint64   `json:"cardinality"`
@@ -127,6 +201,7 @@ type Metrics struct {
 type Store struct {
 	dir        string
 	meta       meta
+	codec      Codec
 	shell      *core.Index
 	valueBytes int64 // on-disk bytes of the value bitmap files
 }
@@ -139,10 +214,12 @@ func Save(ix *core.Index, dir string, opts Options) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("storage: %w", err)
 	}
+	codec := opts.codec()
 	m := meta{
 		Version:   1,
 		Scheme:    opts.Scheme.String(),
-		Compress:  opts.Compress,
+		Compress:  codec == CodecZlib,
+		Codec:     codec.String(),
 		Base:      ix.Base(),
 		Encoding:  ix.Encoding().String(),
 		Card:      ix.Cardinality(),
@@ -153,8 +230,12 @@ func Save(ix *core.Index, dir string, opts Options) (*Store, error) {
 	if _, err := ParseScheme(m.Scheme); err != nil {
 		return nil, err
 	}
-	write := func(name string, payload []byte) error {
-		if opts.Compress {
+	// write encodes one file's bit payload (nbits logical bits, byte
+	// little-endian within each byte as bitvec lays them out) with the
+	// store codec, checksums the on-disk bytes, and writes the file.
+	write := func(name string, payload []byte, nbits int) error {
+		switch codec {
+		case CodecZlib:
 			var buf bytes.Buffer
 			zw := zlib.NewWriter(&buf)
 			if _, err := zw.Write(payload); err != nil {
@@ -164,6 +245,22 @@ func Save(ix *core.Index, dir string, opts Options) (*Store, error) {
 				return fmt.Errorf("storage: compress %s: %w", name, err)
 			}
 			payload = buf.Bytes()
+		case CodecWAH, CodecRoaring:
+			var v bitvec.Vector
+			if err := v.SetPayload(nbits, payload); err != nil {
+				return fmt.Errorf("storage: encode %s: %w", name, err)
+			}
+			var enc []byte
+			var err error
+			if codec == CodecWAH {
+				enc, err = wah.Compress(&v).MarshalBinary()
+			} else {
+				enc, err = roaring.FromVector(&v).MarshalBinary()
+			}
+			if err != nil {
+				return fmt.Errorf("storage: encode %s: %w", name, err)
+			}
+			payload = enc
 		}
 		m.Checksums[name] = crc32.ChecksumIEEE(payload)
 		if err := os.WriteFile(filepath.Join(dir, name), payload, 0o644); err != nil {
@@ -171,14 +268,15 @@ func Save(ix *core.Index, dir string, opts Options) (*Store, error) {
 		}
 		return nil
 	}
-	if err := write("nn.bm", ix.NonNull().PayloadBytes()); err != nil {
+	rows := ix.Rows()
+	if err := write("nn.bm", ix.NonNull().PayloadBytes(), rows); err != nil {
 		return nil, err
 	}
 	switch opts.Scheme {
 	case BitmapLevel:
 		for i := 0; i < ix.Components(); i++ {
 			for j := 0; j < ix.ComponentBitmaps(i); j++ {
-				if err := write(bitmapFile(i, j), ix.StoredBitmap(i, j).PayloadBytes()); err != nil {
+				if err := write(bitmapFile(i, j), ix.StoredBitmap(i, j).PayloadBytes(), rows); err != nil {
 					return nil, err
 				}
 			}
@@ -187,13 +285,14 @@ func Save(ix *core.Index, dir string, opts Options) (*Store, error) {
 		for i := 0; i < ix.Components(); i++ {
 			ni := ix.ComponentBitmaps(i)
 			payload := rowMajor(ix, i, i+1, ni)
-			if err := write(componentFile(i), payload); err != nil {
+			if err := write(componentFile(i), payload, rows*ni); err != nil {
 				return nil, err
 			}
 		}
 	case IndexLevel:
-		payload := rowMajor(ix, 0, ix.Components(), totalBitmaps(ix))
-		if err := write("index.is", payload); err != nil {
+		stride := totalBitmaps(ix)
+		payload := rowMajor(ix, 0, ix.Components(), stride)
+		if err := write("index.is", payload, rows*stride); err != nil {
 			return nil, err
 		}
 	}
@@ -258,7 +357,14 @@ func Open(dir string) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Store{dir: dir, meta: m}
+	codec, err := ParseCodec(m.Codec)
+	if err != nil {
+		return nil, err
+	}
+	if codec == CodecRaw && m.Compress {
+		codec = CodecZlib // descriptor written before the codec field existed
+	}
+	s := &Store{dir: dir, meta: m, codec: codec}
 	nnPayload, _, err := s.readFile("nn.bm", nil)
 	if err != nil {
 		return nil, err
@@ -312,7 +418,7 @@ func (s *Store) Index() *core.Index { return s.shell }
 // Options returns the physical organization of the store.
 func (s *Store) Options() Options {
 	sc, _ := ParseScheme(s.meta.Scheme)
-	return Options{Scheme: sc, Compress: s.meta.Compress}
+	return Options{Scheme: sc, Compress: s.codec == CodecZlib, Codec: s.codec}
 }
 
 // ValueBytes returns the total on-disk size of the value bitmap files (the
@@ -325,12 +431,8 @@ func (s *Store) ValueBytes() int64 { return s.valueBytes }
 // and flight-recorder records carry so a retained query names the index
 // design that served it (e.g. "bitvector/zlib range-encoded base <4,3>").
 func (s *Store) Describe() string {
-	comp := "raw"
-	if s.meta.Compress {
-		comp = "zlib"
-	}
 	return fmt.Sprintf("%s/%s %s-encoded base %s",
-		s.meta.Scheme, comp, s.meta.Encoding, core.Base(s.meta.Base).String())
+		s.meta.Scheme, s.codec, s.meta.Encoding, core.Base(s.meta.Base).String())
 }
 
 // readFile reads (and if needed inflates) one file, accounting into m.
@@ -348,7 +450,8 @@ func (s *Store) readFile(name string, m *Metrics) ([]byte, int64, error) {
 		}
 	}
 	var decompNS int64
-	if s.meta.Compress {
+	switch s.codec {
+	case CodecZlib:
 		t1 := time.Now()
 		zr, err := zlib.NewReader(bytes.NewReader(raw))
 		if err != nil {
@@ -361,6 +464,22 @@ func (s *Store) readFile(name string, m *Metrics) ([]byte, int64, error) {
 		if err != nil {
 			return nil, 0, fmt.Errorf("storage: inflate %s: %w", name, err)
 		}
+		decompNS = time.Since(t1).Nanoseconds()
+	case CodecWAH:
+		t1 := time.Now()
+		var wb wah.Bitmap
+		if err := wb.UnmarshalBinary(raw); err != nil {
+			return nil, 0, fmt.Errorf("storage: decode %s: %w", name, err)
+		}
+		raw = wb.Decompress().PayloadBytes()
+		decompNS = time.Since(t1).Nanoseconds()
+	case CodecRoaring:
+		t1 := time.Now()
+		var rb roaring.Bitmap
+		if err := rb.UnmarshalBinary(raw); err != nil {
+			return nil, 0, fmt.Errorf("storage: decode %s: %w", name, err)
+		}
+		raw = rb.ToVector().PayloadBytes()
 		decompNS = time.Since(t1).Nanoseconds()
 	}
 	telemetry.StorageFilesReadTotal.Inc()

@@ -18,6 +18,9 @@ func allOptions() []Options {
 		for _, comp := range []bool{false, true} {
 			out = append(out, Options{Scheme: sc, Compress: comp})
 		}
+		for _, codec := range []Codec{CodecWAH, CodecRoaring} {
+			out = append(out, Options{Scheme: sc, Codec: codec})
+		}
 	}
 	return out
 }
@@ -69,7 +72,7 @@ func TestSaveOpenEvalAllLayouts(t *testing.T) {
 				if m.Queries == 0 || m.BytesRead == 0 {
 					t.Fatalf("%v: metrics not accumulated: %+v", opts, m)
 				}
-				if opts.Compress && m.DecompressNS == 0 {
+				if opts.codec() != CodecRaw && m.DecompressNS == 0 {
 					t.Fatalf("%v: no decompression time recorded", opts)
 				}
 			}
@@ -94,7 +97,7 @@ func TestOpenAfterReopen(t *testing.T) {
 	if !got.Equal(ix.Eval(core.Le, 10, nil)) {
 		t.Fatal("reopened store answers differently")
 	}
-	if st.Options() != (Options{Scheme: ComponentLevel, Compress: true}) {
+	if st.Options() != (Options{Scheme: ComponentLevel, Compress: true, Codec: CodecZlib}) {
 		t.Fatalf("Options = %v", st.Options())
 	}
 	if got := st.Describe(); got != "CS/zlib range-encoded base <5,6>" {

@@ -1,10 +1,126 @@
 package wah
 
 import (
+	"bytes"
+	"encoding/binary"
 	"testing"
 
 	"bitmapindex/internal/bitvec"
 )
+
+// vecFromBytes builds an n-bit dense vector from a raw payload, zero
+// padding or truncating as needed (and masking the tail).
+func vecFromBytes(n int, p []byte) *bitvec.Vector {
+	need := (n + 7) / 8
+	buf := make([]byte, need)
+	copy(buf, p)
+	if n%8 != 0 && need > 0 {
+		buf[need-1] &= byte(1<<(n%8)) - 1
+	}
+	v := bitvec.New(n)
+	if err := v.SetPayload(n, buf); err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// FuzzOpsVsDecompressed differentially checks the compressed-domain
+// operations (And/Or/Xor/AndNot, Not, Count) against the same operations
+// on Decompress()ed dense vectors. Seeds pin the zero-length bitmap, the
+// 63/64/65-bit tails either side of the group width, and long fills.
+func FuzzOpsVsDecompressed(f *testing.F) {
+	f.Add(uint32(0), []byte{}, []byte{})
+	f.Add(uint32(1), []byte{1}, []byte{0})
+	f.Add(uint32(63), bytes.Repeat([]byte{0xff}, 8), bytes.Repeat([]byte{0x55}, 8))
+	f.Add(uint32(64), bytes.Repeat([]byte{0xaa}, 8), bytes.Repeat([]byte{0xff}, 8))
+	f.Add(uint32(65), bytes.Repeat([]byte{0xff}, 9), []byte{0x01})
+	f.Add(uint32(126), bytes.Repeat([]byte{0xff}, 16), make([]byte, 16))
+	f.Add(uint32(4097), bytes.Repeat([]byte{0xff}, 513), bytes.Repeat([]byte{0x00}, 513))
+	f.Fuzz(func(t *testing.T, n32 uint32, pa, pb []byte) {
+		n := int(n32 % 5000)
+		va, vb := vecFromBytes(n, pa), vecFromBytes(n, pb)
+		wa, wb := Compress(va), Compress(vb)
+		if wa.Count() != va.Count() || wb.Count() != vb.Count() {
+			t.Fatalf("Count mismatch: wah %d/%d dense %d/%d", wa.Count(), wb.Count(), va.Count(), vb.Count())
+		}
+		check := func(name string, got *Bitmap, want *bitvec.Vector) {
+			if got.Len() != want.Len() {
+				t.Fatalf("%s: Len %d want %d", name, got.Len(), want.Len())
+			}
+			if got.Count() != want.Count() {
+				t.Fatalf("%s: Count %d want %d", name, got.Count(), want.Count())
+			}
+			if !got.Decompress().Equal(want) {
+				t.Fatalf("%s: bits differ", name)
+			}
+			// Compressed-domain results must be canonical: byte-identical
+			// to compressing the dense answer.
+			gp, _ := got.MarshalBinary()
+			wp, _ := Compress(want).MarshalBinary()
+			if !bytes.Equal(gp, wp) {
+				t.Fatalf("%s: non-canonical compressed result", name)
+			}
+		}
+		and := va.Clone()
+		and.And(vb)
+		check("and", And(wa, wb), and)
+		or := va.Clone()
+		or.Or(vb)
+		check("or", Or(wa, wb), or)
+		xor := va.Clone()
+		xor.Xor(vb)
+		check("xor", Xor(wa, wb), xor)
+		andnot := va.Clone()
+		andnot.AndNot(vb)
+		check("andnot", AndNot(wa, wb), andnot)
+		not := va.Clone()
+		not.Not()
+		check("not", wa.Not(), not)
+	})
+}
+
+// wrapPayload is the regression input for the group-count accumulator
+// overflow: a 126-bit bitmap whose five fill words claim 2^64+2 groups,
+// wrapping an unchecked int sum to exactly the 2 groups the length needs.
+// Before the bounds check it was accepted, with Count()=378 on a bitmap
+// that decompresses to all zeros.
+func wrapPayload() []byte {
+	p := make([]byte, 8+8*5)
+	binary.LittleEndian.PutUint64(p, 126)
+	for i := 0; i < 4; i++ {
+		binary.LittleEndian.PutUint64(p[8+8*i:], fillFlag|countMask)
+	}
+	binary.LittleEndian.PutUint64(p[8+8*4:], fillFlag|fillOne|6)
+	return p
+}
+
+// TestUnmarshalRejectsWrappedGroupCount pins the overflow fix
+// deterministically; the same payload is a FuzzUnmarshal seed.
+func TestUnmarshalRejectsWrappedGroupCount(t *testing.T) {
+	var b Bitmap
+	if err := b.UnmarshalBinary(wrapPayload()); err == nil {
+		t.Fatalf("payload with wrapped group count accepted: Count=%d, decompressed=%d",
+			b.Count(), b.Decompress().Count())
+	}
+}
+
+// TestAppendGroupFillSaturation exercises the fill-merge cap: a fill at
+// the maximum run count must not be incremented past countMask (which
+// would flip the fill bit); the next uniform group starts a new fill.
+func TestAppendGroupFillSaturation(t *testing.T) {
+	dst := []uint64{fillFlag | countMask}
+	dst = appendGroup(dst, 0, false)
+	want := []uint64{fillFlag | countMask, fillFlag | 1}
+	if len(dst) != 2 || dst[0] != want[0] || dst[1] != want[1] {
+		t.Fatalf("zero-fill saturation: got %x want %x", dst, want)
+	}
+	dst = []uint64{fillFlag | fillOne | countMask}
+	dst = appendGroup(dst, groupMask, false)
+	want = []uint64{fillFlag | fillOne | countMask, fillFlag | fillOne | 1}
+	if len(dst) != 2 || dst[0] != want[0] || dst[1] != want[1] {
+		t.Fatalf("ones-fill saturation: got %x want %x", dst, want)
+	}
+}
 
 // FuzzUnmarshal ensures arbitrary byte strings never panic the decoder,
 // and that well-formed payloads survive the round trip.
@@ -14,6 +130,7 @@ func FuzzUnmarshal(f *testing.F) {
 	f.Add(p)
 	f.Add([]byte{})
 	f.Add(make([]byte, 16))
+	f.Add(wrapPayload())
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var b Bitmap
 		if err := b.UnmarshalBinary(data); err != nil {

@@ -230,6 +230,11 @@ func (b *Bitmap) UnmarshalBinary(p []byte) error {
 		b.words[i] = binary.LittleEndian.Uint64(p[8+8*i:])
 	}
 	// Validate that the stream decodes to exactly the right group count.
+	// The running total is bounds-checked per word: fill counts go up to
+	// 2^62-1, so an unchecked sum wraps int64 and a crafted stream could
+	// wrap it back to exactly groups(), leaving Count (which trusts every
+	// fill's full count) disagreeing with Decompress (which stops after
+	// groups() groups).
 	got := 0
 	for _, w := range b.words {
 		if w&fillFlag == 0 {
@@ -240,6 +245,9 @@ func (b *Bitmap) UnmarshalBinary(p []byte) error {
 				return fmt.Errorf("wah: zero-length fill word")
 			}
 			got += c
+		}
+		if got > b.groups() {
+			return fmt.Errorf("wah: stream exceeds the %d groups the length needs", b.groups())
 		}
 	}
 	if got != b.groups() {
