@@ -39,7 +39,7 @@ race:
 
 bixdebug:
 	$(GO) test -tags bixdebug ./internal/invariant ./internal/bitvec ./internal/wah ./internal/roaring ./internal/core
-	$(GO) test -race -tags bixdebug ./internal/invariant ./internal/bitvec ./internal/wah ./internal/roaring ./internal/reorder ./internal/core ./internal/engine ./internal/buffer ./internal/telemetry ./internal/mutable ./internal/storage ./internal/catalog ./internal/flight
+	$(GO) test -race -tags bixdebug ./internal/invariant ./internal/bitvec ./internal/wah ./internal/roaring ./internal/reorder ./internal/core ./internal/engine ./internal/buffer ./internal/telemetry ./internal/mutable ./internal/storage ./internal/catalog ./internal/flight ./internal/workload
 
 # Whole-tree statement coverage; open with `go tool cover -html=coverage.out`.
 cover:
@@ -57,6 +57,7 @@ scaling:
 bench-baseline:
 	$(GO) run ./cmd/bixbench -suite core -rows 65536 -seed 1 -json BENCH_core.json
 	$(GO) run ./cmd/bixbench -suite compression -rows 65536 -seed 1 -json BENCH_compression.json
+	$(GO) run ./cmd/bixbench -suite advisor -rows 65536 -seed 1 -json BENCH_advisor.json
 
 # Run the suite fresh and diff it against the checked-in baseline. Exits
 # non-zero on any regression past the per-kind noise thresholds.
@@ -65,6 +66,8 @@ bench-compare:
 	$(GO) run ./cmd/bixbench -compare BENCH_core.json /tmp/bixbench-new.json
 	$(GO) run ./cmd/bixbench -suite compression -rows 65536 -seed 1 -json /tmp/bixbench-compression-new.json
 	$(GO) run ./cmd/bixbench -compare BENCH_compression.json /tmp/bixbench-compression-new.json
+	$(GO) run ./cmd/bixbench -suite advisor -rows 65536 -seed 1 -json /tmp/bixbench-advisor-new.json
+	$(GO) run ./cmd/bixbench -compare BENCH_advisor.json /tmp/bixbench-advisor-new.json
 
 # The full gate: build + vet + lint + race-enabled tests, same order as CI.
 # Equivalent to `go run ./cmd/bixlint -ci`.

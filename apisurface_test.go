@@ -41,6 +41,11 @@ var wantAPI = []string{
 	"SegConfig", "DefaultSegBits",
 	// Compression backend surface (PR 9).
 	"StoreCodec", "ParseStoreCodec", "CodecRaw", "CodecZlib", "CodecWAH", "CodecRoaring",
+	// Workload accounting and design advisor surface (PR 10).
+	"AttrDemand", "AllocateBudgetWeighted", "WorkloadAccumulator",
+	"WorkloadAttrInfo", "WorkloadEvent", "WorkloadProfile", "AttrDesign",
+	"AdvisorReport", "NewWorkloadAccumulator", "NewAttrDesign", "Advise",
+	"WorkloadOpClass", "WorkloadEq", "WorkloadRange", "WorkloadInterval",
 }
 
 // exportedDecls parses the non-test files of the root package and returns

@@ -39,6 +39,7 @@ import (
 	"bitmapindex/internal/mutable"
 	"bitmapindex/internal/storage"
 	"bitmapindex/internal/telemetry"
+	"bitmapindex/internal/workload"
 )
 
 // Core types. Aliases re-export the full method sets.
@@ -351,6 +352,80 @@ func AllocateBudget(cards []uint64, m int) (Allocation, error) {
 // AllocateBudget (steepest time-saved-per-bitmap first).
 func GreedyAllocateBudget(cards []uint64, m int) (Allocation, error) {
 	return design.GreedyAllocate(cards, m)
+}
+
+// AttrDemand is one attribute's observed demand for the weighted
+// allocator: cardinality, query weight (relative frequency) and the
+// fraction of its one-sided evaluations that are range predicates
+// (negative selects the paper's default 2/3 mix).
+type AttrDemand = design.AttrDemand
+
+// AllocateBudgetWeighted is AllocateBudget under a measured workload:
+// attribute frontiers are priced at their observed operator mixes and the
+// shared-budget DP minimizes the frequency-weighted expected scans per
+// query. With uniform demands it reproduces AllocateBudget exactly. Feed
+// it WorkloadProfile.Demands from a live accumulator.
+func AllocateBudgetWeighted(demands []AttrDemand, m int) (Allocation, error) {
+	return design.AllocateBudgetWeighted(demands, m)
+}
+
+// --- Workload accounting and the design advisor (internal/workload) ---
+
+// Workload accounting aliases: the always-on per-attribute access
+// accountant and its serializable profile. An accumulator tracks which
+// attributes a live query stream touches (by operator class, constant
+// position, selectivity and physical cost) over a fixed attribute set;
+// its snapshots feed AllocateBudgetWeighted and the design advisor.
+type (
+	// WorkloadAccumulator is the bounded atomic per-attribute accountant.
+	WorkloadAccumulator = workload.Accumulator
+	// WorkloadAttrInfo names one attribute of an accumulator's fixed set.
+	WorkloadAttrInfo = workload.AttrInfo
+	// WorkloadEvent is one observed predicate evaluation.
+	WorkloadEvent = workload.Event
+	// WorkloadProfile is a serializable point-in-time workload snapshot.
+	WorkloadProfile = workload.Profile
+	// AttrDesign describes one attribute's current physical design.
+	AttrDesign = workload.AttrDesign
+	// AdvisorReport prices a current design against the weighted optimum
+	// under an observed profile.
+	AdvisorReport = workload.Report
+)
+
+// WorkloadOpClass classifies a predicate for workload accounting:
+// equality, one-sided range, or two-sided interval.
+type WorkloadOpClass = workload.OpClass
+
+// Operator classes for WorkloadEvent.Class.
+const (
+	// WorkloadEq marks an equality or inequality predicate.
+	WorkloadEq = workload.EqClass
+	// WorkloadRange marks a one-sided range predicate.
+	WorkloadRange = workload.RangeClass
+	// WorkloadInterval marks a two-sided interval predicate.
+	WorkloadInterval = workload.IntervalClass
+)
+
+// NewWorkloadAccumulator builds an accumulator over a fixed attribute
+// set, registering the attribute-labeled bix_attr_* metric families in
+// the default telemetry registry.
+func NewWorkloadAccumulator(attrs []WorkloadAttrInfo) *WorkloadAccumulator {
+	return workload.New(attrs)
+}
+
+// NewAttrDesign fills an AttrDesign — one attribute's current physical
+// design — from typed fields, for feeding Advise.
+func NewAttrDesign(name string, card uint64, base Base, enc Encoding, codec, reorder string) AttrDesign {
+	return workload.NewAttrDesign(name, card, base, enc, codec, reorder)
+}
+
+// Advise compares a current physical design against the weighted
+// recommendation under an observed workload profile, holding the disk
+// budget fixed at the space the current design uses. The report carries
+// the workload's drift from the uniform assumption and the expected-scan
+// gain of adopting the recommendation.
+func Advise(table string, designs []AttrDesign, p WorkloadProfile) (*AdvisorReport, error) {
+	return workload.Advise(table, designs, p)
 }
 
 // --- Bitmap buffering (paper Section 10) ---

@@ -73,7 +73,7 @@ func main() {
 	flag.BoolVar(&o.Scaling, "scaling", false, "benchmark segmented (intra-query parallel) evaluation vs serial")
 	flag.IntVar(&o.SegBits, "segbits", 0, "segment width (log2 bits) for -scaling; 0 selects the library default")
 	flag.StringVar(&o.Workers, "workers", "1,2,4", "comma-separated worker counts for -scaling")
-	flag.StringVar(&o.Suite, "suite", "", "run named benchmark suite sets (\"core\", \"compression\", comma-separated) instead of experiments")
+	flag.StringVar(&o.Suite, "suite", "", "run named benchmark suite sets (\"core\", \"compression\", \"advisor\", comma-separated) instead of experiments")
 	flag.BoolVar(&o.Compare, "compare", false, "compare two -json reports (old.json new.json); non-zero exit on regression")
 	flag.Parse()
 	o.Args = flag.Args()
@@ -212,8 +212,10 @@ func realMain(o options) (err error) {
 				run = runSuites
 			case "compression":
 				run = runCompressionSuites
+			case "advisor":
+				run = runAdvisorSuites
 			default:
-				return fmt.Errorf("unknown suite %q (available: core, compression)", name)
+				return fmt.Errorf("unknown suite %q (available: core, compression, advisor)", name)
 			}
 			s, serr := run(o, w)
 			if serr != nil {

@@ -62,6 +62,8 @@ func main() {
 		err = cmdCSV(os.Args[2:])
 	case "where":
 		err = cmdWhere(os.Args[2:])
+	case "advise":
+		err = cmdAdvise(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -73,7 +75,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: bixstore {build|info|query|serve|gen|csv|where} [flags]; run a subcommand with -h for its flags")
+	fmt.Fprintln(os.Stderr, "usage: bixstore {build|info|query|serve|gen|csv|where|advise} [flags]; run a subcommand with -h for its flags")
 }
 
 func readValues(path string) (vals []uint64, nulls []bool, hasNulls bool, err error) {

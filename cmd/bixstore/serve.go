@@ -12,6 +12,7 @@ import (
 	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -19,26 +20,34 @@ import (
 	"time"
 
 	"bitmapindex"
+	"bitmapindex/internal/catalog"
 	"bitmapindex/internal/engine"
 	"bitmapindex/internal/flight"
 	"bitmapindex/internal/profile"
+	"bitmapindex/internal/telemetry"
+	"bitmapindex/internal/workload"
 )
 
-// cmdServe exposes one on-disk index over HTTP: GET /query evaluates a
-// predicate and returns JSON including the per-phase trace (with
-// allocation attribution), GET /metrics serves the telemetry registry
-// (Prometheus text, ?format=json for JSON), GET /debug/runtime a live
-// runtime snapshot including the queries currently executing, and
+// cmdServe exposes one on-disk index — or a whole catalog table, when
+// -dir holds a table descriptor — over HTTP: GET /query evaluates a
+// predicate (a conjunction in table mode) and returns JSON including the
+// per-phase trace (with allocation attribution), GET /metrics serves the
+// telemetry registry (Prometheus text, ?format=json for JSON), GET
+// /debug/runtime a live runtime snapshot including the queries currently
+// executing, GET /debug/workload the accumulated per-attribute workload
+// profile, GET /debug/advisor the design advisor's report under that
+// profile, GET /healthz and /readyz liveness/readiness probes, and
 // /debug/pprof/* the standard Go profiling endpoints — CPU samples carry
 // bix_query_id/bix_phase labels tying them to individual queries.
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	var (
-		dir     = fs.String("dir", "", "index directory (required)")
+		dir     = fs.String("dir", "", "index or table directory (required)")
 		addr    = fs.String("addr", ":8317", "listen address")
-		cache   = fs.Int("cache", 0, "bitmap cache capacity (0 = no cache)")
+		cache   = fs.Int("cache", 0, "bitmap cache capacity (0 = no cache; index mode only)")
 		slow    = fs.Duration("slow", 0, "log queries at or over this duration to stderr (0 = off)")
 		profOut = fs.String("profile", "", "write a whole-run profile on shutdown (cpu.out = CPU, heap.out/mem* = heap)")
+		wlPath  = fs.String("workload", "", "workload profile JSON: loaded at boot when present, saved on graceful shutdown")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -46,13 +55,37 @@ func cmdServe(args []string) error {
 	if *dir == "" {
 		return fmt.Errorf("serve needs -dir")
 	}
-	st, err := bitmapindex.OpenIndex(*dir)
-	if err != nil {
-		return err
-	}
-	srv, err := newQueryServer(st, *cache, *slow, os.Stderr)
-	if err != nil {
-		return err
+	var (
+		handler      http.Handler
+		saveWorkload = func() error { return nil }
+	)
+	if catalog.Exists(*dir) {
+		ts, err := newTableServer(*dir, *wlPath)
+		if err != nil {
+			return err
+		}
+		handler = ts.mux()
+		if *wlPath != "" {
+			path := *wlPath
+			saveWorkload = func() error { return ts.tbl.Workload().Snapshot().Save(path) }
+		}
+	} else {
+		st, err := bitmapindex.OpenIndex(*dir)
+		if err != nil {
+			return err
+		}
+		srv, err := newQueryServer(st, *cache, *slow, os.Stderr)
+		if err != nil {
+			return err
+		}
+		if *wlPath != "" {
+			if err := loadWorkload(srv.wl, *wlPath); err != nil {
+				return err
+			}
+			path := *wlPath
+			saveWorkload = func() error { return srv.wl.Snapshot().Save(path) }
+		}
+		handler = srv.mux()
 	}
 
 	// Feed runtime health (heap, GC pauses, goroutines, scheduler latency)
@@ -83,7 +116,28 @@ func cmdServe(args []string) error {
 		return err
 	}
 	fmt.Printf("serving %s on %s (cache=%d, slow>=%v)\n", *dir, ln.Addr(), *cache, *slow)
-	return serveLoop(&http.Server{Handler: srv.mux()}, ln, writeProfile)
+	onShutdown := func() error {
+		werr := saveWorkload()
+		if perr := writeProfile(); perr != nil {
+			return perr
+		}
+		return werr
+	}
+	return serveLoop(&http.Server{Handler: handler}, ln, onShutdown)
+}
+
+// loadWorkload replays a previously saved profile into the accumulator so
+// a restarted server does not advise from a cold uniform assumption. A
+// missing file is not an error (first boot).
+func loadWorkload(wl *workload.Accumulator, path string) error {
+	p, err := workload.LoadProfile(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	return wl.AddProfile(p)
 }
 
 // serveLoop runs the server on ln until it fails or the process receives
@@ -120,6 +174,10 @@ type queryServer struct {
 	desc string // one-line index-design summary (Store.Describe)
 	rows int
 	slow *bitmapindex.SlowQueryLog // nil when disabled
+	// wl accounts every /query against the index's single attribute
+	// ("value"); /debug/workload and /debug/advisor read it.
+	wl      *workload.Accumulator
+	designs []workload.AttrDesign
 
 	// testDelay, when set, runs at the start of every /query — test hook
 	// that holds a request in flight while a shutdown signal arrives.
@@ -127,7 +185,13 @@ type queryServer struct {
 }
 
 func newQueryServer(st *bitmapindex.Store, cache int, slow time.Duration, slowW io.Writer) (*queryServer, error) {
-	s := &queryServer{eval: st.Eval, st: st, desc: st.Describe(), rows: st.Index().Rows()}
+	ix := st.Index()
+	s := &queryServer{
+		eval: st.Eval, st: st, desc: st.Describe(), rows: ix.Rows(),
+		wl: workload.New([]workload.AttrInfo{{Name: "value", Card: ix.Cardinality()}}),
+		designs: []workload.AttrDesign{workload.NewAttrDesign("value", ix.Cardinality(),
+			ix.Base(), ix.Encoding(), st.Options().Codec.String(), "")},
+	}
 	if cache > 0 {
 		cs, err := bitmapindex.NewCachedStore(st, cache)
 		if err != nil {
@@ -141,20 +205,87 @@ func newQueryServer(st *bitmapindex.Store, cache int, slow time.Duration, slowW 
 	return s, nil
 }
 
-// mux routes /query, /metrics, /debug/runtime, /debug/queries and the
-// pprof endpoints.
+// mux routes /query, /metrics, the health probes, /debug/runtime,
+// /debug/queries, /debug/workload, /debug/advisor and the pprof
+// endpoints.
 func (s *queryServer) mux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
-	mux.Handle("/metrics", bitmapindex.MetricsHandler())
+	mux.HandleFunc("/debug/workload", serveWorkload(s.wl))
+	mux.HandleFunc("/debug/advisor", serveAdvisor("", s.designs, s.wl))
+	mux.HandleFunc("/debug/queries", handleDebugQueries)
+	addCommonRoutes(mux)
+	return mux
+}
+
+// addCommonRoutes mounts the endpoints both serve modes share: metrics
+// (with the uptime gauge refreshed per scrape), health probes, the
+// runtime snapshot and the pprof family.
+func addCommonRoutes(mux *http.ServeMux) {
+	registerBuildInfo()
+	start := time.Now()
+	uptime := telemetry.Default().Gauge("bix_uptime_seconds",
+		"Seconds since the server started.")
+	metrics := bitmapindex.MetricsHandler()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		uptime.Set(int64(time.Since(start).Seconds()))
+		metrics.ServeHTTP(w, r)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	// The store (or table) is fully opened before the listener exists, so
+	// readiness coincides with liveness; the probe still gets its own
+	// path so orchestration configs don't couple to that coincidence.
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
 	mux.Handle("/debug/runtime", profile.Handler())
-	mux.HandleFunc("/debug/queries", s.handleDebugQueries)
 	mux.HandleFunc("/debug/pprof/", httppprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
-	return mux
+}
+
+// registerBuildInfo publishes the constant-valued bix_build_info gauge:
+// value 1, labels carrying the Go version the binary was built with and
+// the compiled-in codec set. Grafana-style dashboards join it against the
+// other series to show what build is running.
+//
+//bix:attrlabel (one series per process; the label value is the build's Go version)
+func registerBuildInfo() {
+	telemetry.Default().Gauge("bix_build_info",
+		"Build information; constant 1, details in the labels.",
+		telemetry.Label{Name: "goversion", Value: runtime.Version()},
+		telemetry.Label{Name: "codecs", Value: "raw,zlib,wah,roaring"},
+	).Set(1)
+}
+
+// serveWorkload returns a handler for GET /debug/workload: the
+// accumulated per-attribute profile as JSON.
+func serveWorkload(wl *workload.Accumulator) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(wl.Snapshot())
+	}
+}
+
+// serveAdvisor returns a handler for GET /debug/advisor: the design
+// advisor's report comparing the served design against the weighted
+// recommendation under the live profile.
+func serveAdvisor(table string, designs []workload.AttrDesign, wl *workload.Accumulator) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		rep, err := workload.Advise(table, designs, wl.Snapshot())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(rep)
+	}
 }
 
 // queryResponse is the JSON body of a /query evaluation.
@@ -226,6 +357,11 @@ func (s *queryServer) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	matches := popcount(res, m.Trace)
 	elapsed := m.Trace.Finish()
+	s.wl.Observe(workload.Event{
+		Attr: "value", Class: workload.ClassOf(op), Value: v,
+		Matches: matches, Rows: s.rows,
+		Scans: m.Stats.Scans, Bytes: m.BytesRead, NS: int64(elapsed),
+	})
 	if s.slow != nil {
 		s.slow.ObserveWithPlan(q, s.desc, m.Trace)
 	}
@@ -294,7 +430,7 @@ type debugQueriesResponse struct {
 // outliers=1. Filters: plan=<substring> and min_ns=<ns> narrow the set;
 // sort=ns orders slowest-first (default is arrival order); limit=<n>
 // keeps the most recent n (or the top n under sort=ns).
-func (s *queryServer) handleDebugQueries(w http.ResponseWriter, r *http.Request) {
+func handleDebugQueries(w http.ResponseWriter, r *http.Request) {
 	rec := flight.Default()
 	q := r.URL.Query()
 	var records []flight.Record

@@ -21,6 +21,11 @@
 //	//bix:daemon (reason)  the function is an audited process-lifetime
 //	                       goroutine body or spawner; goroutinelife and
 //	                       chanprotocol's shutdown-case rule stop here
+//	//bix:attrlabel (reason) the function is an audited bounded-cardinality
+//	                       seam: metric registrations inside it may carry
+//	                       dynamic label values (telemetry-labels requires
+//	                       this for the bix_attr_* families and trusts no
+//	                       other dynamic labels)
 //
 // and through `// guarded by <mu>` comments on struct fields (lockheld,
 // gocapture, atomicfield).
@@ -91,9 +96,9 @@ type Batch struct {
 	sliceParams    map[*types.Func]*sliceParamSummary // tailmask memo
 	lockGraph      []lockOrderEdge                    // module acquisition graph
 	lockGraphBuilt bool
-	chanIndex      *chanIndex              // module channel usage (chanindex.go)
-	closeIndex     map[*types.Func][]int   // closeown: params each helper closes
-	lifeDone       bool                    // goroutinelife findings computed
+	chanIndex      *chanIndex            // module channel usage (chanindex.go)
+	closeIndex     map[*types.Func][]int // closeown: params each helper closes
+	lifeDone       bool                  // goroutinelife findings computed
 	lifeFindings   []lifeFinding
 
 	// prepared flips after the serial prepare phase; from then on every

@@ -138,7 +138,8 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{TailMask, []string{"tailmask_bad", "tailmask_good", "tailmask_xbad", "tailmask_xgood"}},
 		{HotAlloc, []string{"hotalloc_bad", "hotalloc_good"}},
 		{ErrcheckIO, []string{"errcheckio_bad", "errcheckio_good"}},
-		{TelemetryLabels, []string{"telemetrylabels_bad", "telemetrylabels_good"}},
+		{TelemetryLabels, []string{"telemetrylabels_bad", "telemetrylabels_good",
+			"telemetrylabels_attr_bad", "telemetrylabels_attr_good"}},
 		{LockHeld, []string{"lockheld_bad", "lockheld_good", "lockheld_flow"}},
 		{LockOrder, []string{"lockorder_bad", "lockorder_good"}},
 		{UnlockPath, []string{"unlockpath_bad", "unlockpath_good"}},

@@ -1,0 +1,28 @@
+// Package attrbad registers attribute-labeled metrics outside the
+// audited //bix:attrlabel seam.
+package attrbad
+
+import "bitmapindex/internal/telemetry"
+
+// RegisterAttr registers a bix_attr_* family without the directive: even
+// with a constant label value the family belongs in the audited seam.
+func RegisterAttr() {
+	telemetry.Default().Counter("bix_attr_fixture_total", "Attr family outside the seam.", // want "attrlabel"
+		telemetry.Label{Name: "attr", Value: "region"})
+}
+
+// RegisterDynamic has the dynamic-label bug the directive exists to
+// audit, without the directive: both findings fire.
+func RegisterDynamic(attr string) {
+	telemetry.Default().Counter("bix_attr_fixture_q_total", "Dynamic label outside the seam.", // want "attrlabel"
+		telemetry.Label{Name: "attr", Value: attr}) // want "constant"
+}
+
+// wrongDirective is not the attrlabel directive: the prefix must not
+// match.
+//
+//bix:attrlabelish (not the directive)
+func WrongDirective(attr string) {
+	telemetry.Default().Gauge("bix_attr_fixture_depth", "Misspelled directive.", // want "attrlabel"
+		telemetry.Label{Name: "attr", Value: attr}) // want "constant"
+}

@@ -18,6 +18,7 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"time"
 
 	"bitmapindex/internal/bitvec"
 	"bitmapindex/internal/core"
@@ -25,6 +26,7 @@ import (
 	"bitmapindex/internal/engine"
 	"bitmapindex/internal/reorder"
 	"bitmapindex/internal/storage"
+	"bitmapindex/internal/workload"
 )
 
 const (
@@ -80,6 +82,9 @@ type Table struct {
 	// nil when rows were not reordered. Stored bitmaps are positioned in
 	// sorted row space; Query maps results back through it.
 	perm []int
+	// wl is the always-on per-attribute access accountant; Query feeds it
+	// one event per predicate.
+	wl *workload.Accumulator
 }
 
 // Attr is one open attribute: its dictionary and its on-disk index.
@@ -212,6 +217,11 @@ func Open(dir string) (*Table, error) {
 		}
 		t.attrs[am.Name] = &Attr{Name: am.Name, dict: dict, store: st}
 	}
+	infos := make([]workload.AttrInfo, len(meta.Attrs))
+	for i, am := range meta.Attrs {
+		infos[i] = workload.AttrInfo{Name: am.Name, Card: t.attrs[am.Name].dict.Card()}
+	}
+	t.wl = workload.New(infos)
 	return t, nil
 }
 
@@ -260,6 +270,11 @@ func (t *Table) Query(preds []engine.Pred, m *storage.Metrics) (*bitvec.Vector, 
 	if len(preds) == 0 {
 		return nil, fmt.Errorf("catalog: empty predicate list")
 	}
+	// The workload accountant needs per-predicate scan/byte deltas even
+	// when the caller does not ask for metrics.
+	if m == nil {
+		m = &storage.Metrics{}
+	}
 	var out *bitvec.Vector
 	for _, p := range preds {
 		a, err := t.Attr(p.Col)
@@ -267,18 +282,32 @@ func (t *Table) Query(preds []engine.Pred, m *storage.Metrics) (*bitvec.Vector, 
 			return nil, err
 		}
 		rop, rank, all, none := a.dict.Translate(p.Op, p.Val)
+		scans, bytes := m.Stats.Scans, m.BytesRead
+		start := time.Now()
 		var res *bitvec.Vector
+		cls := workload.ClassOf(p.Op)
 		switch {
 		case none:
 			res = bitvec.New(t.meta.Rows)
 		case all:
 			res = bitvec.NewOnes(t.meta.Rows)
 		default:
+			cls = workload.ClassOf(rop)
 			res, err = a.store.Eval(rop, rank, m)
 			if err != nil {
 				return nil, fmt.Errorf("catalog: attribute %q: %w", p.Col, err)
 			}
 		}
+		t.wl.Observe(workload.Event{
+			Attr:    p.Col,
+			Class:   cls,
+			Value:   rank,
+			Matches: res.Count(),
+			Rows:    t.meta.Rows,
+			Scans:   m.Stats.Scans - scans,
+			Bytes:   m.BytesRead - bytes,
+			NS:      time.Since(start).Nanoseconds(),
+		})
 		if out == nil {
 			out = res
 		} else {
@@ -301,6 +330,29 @@ func (t *Table) Count(preds []engine.Pred, m *storage.Metrics) (int, error) {
 		return 0, err
 	}
 	return b.Count(), nil
+}
+
+// Workload returns the table's access accountant. It is always on; Query
+// feeds it one event per predicate.
+func (t *Table) Workload() *workload.Accumulator { return t.wl }
+
+// Designs describes the current physical design of every attribute in
+// creation order — the advisor's "what is on disk" input.
+func (t *Table) Designs() []workload.AttrDesign {
+	out := make([]workload.AttrDesign, len(t.meta.Attrs))
+	for i, am := range t.meta.Attrs {
+		a := t.attrs[am.Name]
+		ix := a.store.Index()
+		out[i] = workload.NewAttrDesign(am.Name, a.dict.Card(), ix.Base(),
+			ix.Encoding(), a.store.Options().Codec.String(), t.meta.Reorder)
+	}
+	return out
+}
+
+// Advise compares the table's current design against the weighted
+// recommendation under the accumulated workload profile.
+func (t *Table) Advise() (*workload.Report, error) {
+	return workload.Advise(t.meta.Name, t.Designs(), t.wl.Snapshot())
 }
 
 // Exists reports whether dir holds a table descriptor.

@@ -1,0 +1,101 @@
+package catalog
+
+import (
+	"testing"
+
+	"bitmapindex/internal/core"
+	"bitmapindex/internal/engine"
+)
+
+// TestQueryFeedsWorkload: Table.Query feeds the always-on accumulator one
+// event per predicate, with scans and selectivity attributed.
+func TestQueryFeedsWorkload(t *testing.T) {
+	rel := buildRelation(t, 2000, 5)
+	tbl, err := Create(t.TempDir(), rel, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		if _, err := tbl.Query([]engine.Pred{{Col: "quantity", Op: core.Le, Val: 10}}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tbl.Query([]engine.Pred{
+		{Col: "quantity", Op: core.Gt, Val: 25},
+		{Col: "price", Op: core.Eq, Val: 35},
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	p := tbl.Workload().Snapshot()
+	if got := p.Attrs[0]; got.Name != "quantity" || got.Range != 10 || got.Eq != 0 {
+		t.Errorf("quantity profile = %s %d range / %d eq, want 10/0", got.Name, got.Range, got.Eq)
+	}
+	if got := p.Attrs[1]; got.Name != "price" || got.Eq != 1 {
+		t.Errorf("price profile = %s eq=%d, want 1", got.Name, got.Eq)
+	}
+	if p.Attrs[0].Scans == 0 {
+		t.Error("no scans attributed to quantity")
+	}
+	var sel int64
+	for _, b := range p.Attrs[0].Selectivity {
+		sel += b
+	}
+	if sel != 10 {
+		t.Errorf("quantity selectivity observations = %d, want 10", sel)
+	}
+	if err := p.Validate(tbl.Workload().Attrs()); err != nil {
+		t.Errorf("live profile fails validation: %v", err)
+	}
+
+	// The profile is skewed 10:1 toward quantity; the advisor must flag
+	// drift and recommend within the current budget.
+	rep, err := tbl.Advise()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Drifted || rep.Drift == 0 {
+		t.Errorf("drift = %v (flagged %v), want flagged non-zero", rep.Drift, rep.Drifted)
+	}
+	if rep.Gain < 0 {
+		t.Errorf("gain = %v, want >= 0", rep.Gain)
+	}
+	recSpace := 0
+	for _, a := range rep.Attrs {
+		recSpace += a.RecommendedSpace
+	}
+	if recSpace > rep.Budget {
+		t.Errorf("recommendation overruns budget: %d > %d", recSpace, rep.Budget)
+	}
+}
+
+// TestDesigns: the design descriptors mirror what Create stored.
+func TestDesigns(t *testing.T) {
+	rel := buildRelation(t, 500, 3)
+	tbl, err := Create(t.TempDir(), rel, Options{Encoding: core.EqualityEncoded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := tbl.Designs()
+	if len(ds) != 2 {
+		t.Fatalf("Designs() returned %d entries", len(ds))
+	}
+	for _, d := range ds {
+		if d.Encoding != "equality" {
+			t.Errorf("%s encoding = %q, want equality", d.Name, d.Encoding)
+		}
+		if d.Codec != "raw" {
+			t.Errorf("%s codec = %q, want raw", d.Name, d.Codec)
+		}
+		a, err := tbl.Attr(d.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Card != a.Dict().Card() {
+			t.Errorf("%s card = %d, want %d", d.Name, d.Card, a.Dict().Card())
+		}
+		if !d.Base.Equal(a.Store().Index().Base()) {
+			t.Errorf("%s base = %v, want %v", d.Name, d.Base, a.Store().Index().Base())
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package cost
+
+import (
+	"bitmapindex/internal/core"
+)
+
+// Per-operator-class expectations for range-encoded indexes. TimeRange
+// averages over the paper's fixed 4:2 operator mix; an observed workload
+// rarely matches it, so the workload-aware design layer needs the two
+// class expectations separately and a mix that recombines them at the
+// measured range fraction.
+
+// DefaultRangeFraction is the fraction of range-class operators in the
+// paper's uniform query mix Q: four of the six operators (<, <=, >, >=)
+// are range predicates, two (=, !=) are equality predicates.
+const DefaultRangeFraction = 2.0 / 3.0
+
+// TimeRangeEqOps returns the expected scans of an equality-class query
+// (=, !=) against a range-encoded index under the digit-equality chain,
+// with the constant uniform over 0..C-1 (exact when C equals the base
+// product): component i reads one bitmap when the digit is 0 or b_i-1 and
+// two otherwise, giving sum_i (2 - 2/b_i).
+func TimeRangeEqOps(base core.Base) float64 {
+	var t float64
+	for _, bi := range base {
+		t += 2 - 2/float64(bi)
+	}
+	return t
+}
+
+// TimeRangeRangeOps returns the expected scans of a range-class query
+// (<, <=, >, >=) against a range-encoded index under RangeEval-Opt, exact
+// when card equals the base product. Averaging the (A <= w) core over the
+// 4*card one-sided queries: component 1 costs 1 - 1/b_1, every other
+// component 2 - 2/b_i, minus the boundary term (n-1)/(2C) — each of the
+// four operators has one zero-cost boundary constant, and the all-max-digit
+// constant skips one bitmap per component beyond the first.
+func TimeRangeRangeOps(base core.Base, card uint64) float64 {
+	n := float64(len(base))
+	t := 1 - 1/float64(base[0])
+	for _, bi := range base[1:] {
+		t += 2 - 2/float64(bi)
+	}
+	return t - (n-1)/(2*float64(card))
+}
+
+// TimeRangeMix returns the expected scans per query for a range-encoded
+// index when a fraction rangeFrac of the one-sided evaluations are
+// range-class and the rest equality-class. rangeFrac outside [0, 1]
+// selects the paper's default mix. The default mix returns TimeRange
+// itself — bit-identical, not merely algebraically equal — so designs
+// priced under an unobserved (uniform) workload agree exactly with the
+// frontier times of the design package.
+func TimeRangeMix(base core.Base, card uint64, rangeFrac float64) float64 {
+	if !(rangeFrac >= 0 && rangeFrac <= 1) || rangeFrac == DefaultRangeFraction {
+		return TimeRange(base, card)
+	}
+	return rangeFrac*TimeRangeRangeOps(base, card) + (1-rangeFrac)*TimeRangeEqOps(base)
+}

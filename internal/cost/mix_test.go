@@ -1,0 +1,88 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"bitmapindex/internal/core"
+)
+
+// enumerateClass computes the per-class expected scans by exhaustive
+// enumeration of the evaluator model: range class over the 4*card
+// one-sided queries, equality class over the 2*card point queries.
+func enumerateClass(base core.Base, card uint64, rangeClass bool) float64 {
+	ops := []core.Op{core.Eq, core.Ne}
+	if rangeClass {
+		ops = []core.Op{core.Lt, core.Le, core.Gt, core.Ge}
+	}
+	total := 0
+	for _, op := range ops {
+		for v := uint64(0); v < card; v++ {
+			total += ScansRange(base, card, op, v)
+		}
+	}
+	return float64(total) / float64(len(ops)) / float64(card)
+}
+
+// exactProductBases lists bases whose product equals their cardinality,
+// where the closed forms are exact.
+var exactProductBases = []struct {
+	base core.Base
+	card uint64
+}{
+	{core.Base{10}, 10},
+	{core.Base{10, 10}, 100},
+	{core.Base{25, 4}, 100},
+	{core.Base{5, 4, 5}, 100},
+	{core.Base{2, 2, 2, 2}, 16},
+	{core.Base{13, 2, 3}, 78},
+}
+
+func TestClassClosedFormsMatchEnumeration(t *testing.T) {
+	for _, tc := range exactProductBases {
+		if got, want := TimeRangeEqOps(tc.base), enumerateClass(tc.base, tc.card, false); math.Abs(got-want) > 1e-9 {
+			t.Errorf("TimeRangeEqOps(%v) = %v, enumeration gives %v", tc.base, got, want)
+		}
+		if got, want := TimeRangeRangeOps(tc.base, tc.card), enumerateClass(tc.base, tc.card, true); math.Abs(got-want) > 1e-9 {
+			t.Errorf("TimeRangeRangeOps(%v, %d) = %v, enumeration gives %v", tc.base, tc.card, got, want)
+		}
+	}
+}
+
+// TestDefaultMixIsTimeRange pins the bit-identity contract: at the default
+// 2/3 range fraction the mix is TimeRange itself, which the weighted
+// allocator's uniform-equals-unweighted property test relies on.
+func TestDefaultMixIsTimeRange(t *testing.T) {
+	for _, tc := range exactProductBases {
+		got := TimeRangeMix(tc.base, tc.card, DefaultRangeFraction)
+		if want := TimeRange(tc.base, tc.card); got != want {
+			t.Errorf("TimeRangeMix(%v, %d, 2/3) = %v, want TimeRange = %v (must be bit-identical)",
+				tc.base, tc.card, got, want)
+		}
+		// Out-of-range fractions select the default mix too.
+		if got := TimeRangeMix(tc.base, tc.card, -1); got != TimeRange(tc.base, tc.card) {
+			t.Errorf("TimeRangeMix(%v, %d, -1) did not fall back to TimeRange", tc.base, tc.card)
+		}
+	}
+}
+
+// TestMixInterpolates verifies the mix against per-class enumeration at
+// skewed fractions, and that recombining at 2/3 reproduces the overall
+// six-operator expectation.
+func TestMixInterpolates(t *testing.T) {
+	for _, tc := range exactProductBases {
+		for _, p := range []float64{0, 0.25, 0.8, 1} {
+			got := TimeRangeMix(tc.base, tc.card, p)
+			want := p*enumerateClass(tc.base, tc.card, true) + (1-p)*enumerateClass(tc.base, tc.card, false)
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("TimeRangeMix(%v, %d, %v) = %v, enumeration gives %v", tc.base, tc.card, p, got, want)
+			}
+		}
+		// The algebraic identity behind the default-mix shortcut.
+		recombined := DefaultRangeFraction*TimeRangeRangeOps(tc.base, tc.card) +
+			(1-DefaultRangeFraction)*TimeRangeEqOps(tc.base)
+		if want := ExactTimeRange(tc.base, tc.card); math.Abs(recombined-want) > 1e-9 {
+			t.Errorf("recombined 2/3 mix for %v = %v, ExactTimeRange = %v", tc.base, recombined, want)
+		}
+	}
+}

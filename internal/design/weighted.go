@@ -1,0 +1,207 @@
+package design
+
+import (
+	"fmt"
+	"math"
+
+	"bitmapindex/internal/core"
+	"bitmapindex/internal/cost"
+)
+
+// AttrDemand is one attribute of an observed workload: its cardinality
+// plus the measured query demand the allocator should weight it by.
+type AttrDemand struct {
+	// Card is the attribute cardinality (>= 2).
+	Card uint64
+	// Weight is the attribute's relative query frequency, on any
+	// non-negative scale (raw query counts work). All-equal weights
+	// reproduce AllocateBudget exactly.
+	Weight float64
+	// RangeFrac is the fraction of the attribute's one-sided evaluations
+	// that are range-class (<, <=, >, >=) rather than equality-class
+	// (=, !=). Values outside [0, 1] select the paper's default 2/3 mix.
+	RangeFrac float64
+}
+
+// UniformDemands converts a plain cardinality list into equal-weight,
+// default-mix demands — the workload AllocateBudget assumes.
+func UniformDemands(cards []uint64) []AttrDemand {
+	out := make([]AttrDemand, len(cards))
+	for i, c := range cards {
+		out[i] = AttrDemand{Card: c, Weight: 1, RangeFrac: -1}
+	}
+	return out
+}
+
+// AllocateBudgetWeighted divides a total disk budget of M stored bitmaps
+// across one range-encoded index per attribute so that the expected scans
+// per query under the *observed* workload is minimal: attribute i's
+// frontier times are computed at its measured operator mix
+// (cost.TimeRangeMix) and weighted by its measured query frequency. It
+// generalizes AllocateBudget, which assumes every attribute is queried
+// equally often with the paper's fixed 4:2 operator mix; with all-equal
+// weights and default mixes the two return identical allocations.
+//
+// The returned Allocation's Times are per-query expected scans of each
+// attribute's own queries (unweighted); use WeightedTime to price an
+// allocation under a frequency vector.
+func AllocateBudgetWeighted(demands []AttrDemand, m int) (Allocation, error) {
+	if len(demands) == 0 {
+		return Allocation{}, fmt.Errorf("design: no attributes")
+	}
+	minTotal := 0
+	uniform := true
+	for _, d := range demands {
+		if d.Card < 2 {
+			return Allocation{}, fmt.Errorf("design: cardinality must be >= 2, got %d", d.Card)
+		}
+		if d.Weight < 0 || math.IsNaN(d.Weight) || math.IsInf(d.Weight, 0) {
+			return Allocation{}, fmt.Errorf("design: weight must be finite and >= 0, got %v", d.Weight)
+		}
+		if d.Weight != demands[0].Weight || mixFrac(d) != mixFrac(demands[0]) {
+			uniform = false
+		}
+		minTotal += MaxComponents(d.Card)
+	}
+	if m < minTotal {
+		return Allocation{}, fmt.Errorf("%w: M = %d < %d (sum of base-2 index sizes)", ErrInfeasible, m, minTotal)
+	}
+	fronts := make([][]Point, len(demands))
+	for i, d := range demands {
+		f := mixFrontier(d.Card, mixFrac(d))
+		for len(f) > 0 && f[len(f)-1].Space > m {
+			f = f[:len(f)-1]
+		}
+		if len(f) == 0 {
+			return Allocation{}, fmt.Errorf("design: internal: empty clipped frontier for C=%d", d.Card)
+		}
+		fronts[i] = f
+	}
+	// All-equal weights scale every candidate total by the same constant,
+	// so drop them entirely: the DP then runs the exact arithmetic of
+	// AllocateBudget (the uniform-identity property the tests pin down).
+	var weights []float64
+	if !uniform {
+		weights = make([]float64, len(demands))
+		for i, d := range demands {
+			weights[i] = d.Weight
+		}
+	}
+	return allocateDP(fronts, weights, m)
+}
+
+// mixFrac resolves a demand's operator mix, defaulting out-of-range
+// fractions.
+func mixFrac(d AttrDemand) float64 {
+	if !(d.RangeFrac >= 0 && d.RangeFrac <= 1) {
+		return cost.DefaultRangeFraction
+	}
+	return d.RangeFrac
+}
+
+// mixFrontier is Frontier for a range-encoded index priced at an observed
+// operator mix. At the default mix the times (and hence the frontier) are
+// identical to Frontier(card, core.RangeEncoded).
+func mixFrontier(card uint64, rangeFrac float64) []Point {
+	var all []Point
+	EnumerateMinimal(card, MaxComponents(card), func(b core.Base) {
+		all = append(all, Point{
+			Base:  b.Clone(),
+			Space: cost.SpaceRange(b),
+			Time:  cost.TimeRangeMix(b, card, rangeFrac),
+		})
+	})
+	return paretoMin(all)
+}
+
+// allocateDP is the shared budget-division dynamic program over
+// per-attribute frontiers: best[j] is the minimal total (weighted) time
+// within budget j after the first k attributes. nil weights mean
+// unweighted accumulation — not a vector of ones, so the uniform path
+// performs the same float operations AllocateBudget always has.
+func allocateDP(fronts [][]Point, weights []float64, m int) (Allocation, error) {
+	const inf = math.MaxFloat64
+	best := make([]float64, m+1)
+	choice := make([][]int, len(fronts)) // choice[k][j] = index into fronts[k]
+	prev := append([]float64(nil), best...)
+	for k := range fronts {
+		choice[k] = make([]int, m+1)
+		for j := range best {
+			best[j] = inf
+			choice[k][j] = -1
+		}
+		for j := 0; j <= m; j++ {
+			if prev[j] == inf {
+				continue
+			}
+			for pi, p := range fronts[k] {
+				nj := j + p.Space
+				if nj > m {
+					break
+				}
+				t := p.Time
+				if weights != nil {
+					t = weights[k] * t
+				}
+				if t = prev[j] + t; t < best[nj] {
+					best[nj] = t
+					choice[k][nj] = pi
+				}
+			}
+		}
+		// best[j] should be monotone non-increasing in j for backtracking
+		// convenience: propagate prefix minima while keeping choices.
+		for j := 1; j <= m; j++ {
+			if best[j-1] < best[j] {
+				best[j] = best[j-1]
+				choice[k][j] = -2 // marker: take budget j-1's solution
+			}
+		}
+		copy(prev, best)
+	}
+	alloc := Allocation{
+		Bases:  make([]core.Base, len(fronts)),
+		Spaces: make([]int, len(fronts)),
+		Times:  make([]float64, len(fronts)),
+	}
+	j := m
+	for k := len(fronts) - 1; k >= 0; k-- {
+		for choice[k][j] == -2 {
+			j--
+		}
+		pi := choice[k][j]
+		if pi < 0 {
+			return Allocation{}, fmt.Errorf("design: internal: broken DP backtrack")
+		}
+		p := fronts[k][pi]
+		alloc.Bases[k] = p.Base.Clone()
+		alloc.Spaces[k] = p.Space
+		alloc.Times[k] = p.Time
+		j -= p.Space
+	}
+	return alloc, nil
+}
+
+// WeightedTime prices the allocation under a query-frequency vector: the
+// expected scans per query when attribute i receives a fraction
+// weights[i]/sum(weights) of the workload. Zero total weight falls back
+// to the uniform average.
+func (a Allocation) WeightedTime(weights []float64) float64 {
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	if sum <= 0 {
+		if len(a.Times) == 0 {
+			return 0
+		}
+		return a.TotalTime() / float64(len(a.Times))
+	}
+	var t float64
+	for i, w := range weights {
+		if i < len(a.Times) {
+			t += w / sum * a.Times[i]
+		}
+	}
+	return t
+}

@@ -1,0 +1,177 @@
+package design
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"bitmapindex/internal/core"
+	"bitmapindex/internal/cost"
+)
+
+// TestWeightedUniformIsAllocateBudget is the issue's identity property:
+// all-equal weights at the default operator mix must reproduce
+// AllocateBudget exactly — same bases, same spaces, bit-identical times —
+// whatever the common weight is.
+func TestWeightedUniformIsAllocateBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(4)
+		cards := make([]uint64, n)
+		demands := make([]AttrDemand, n)
+		minTotal := 0
+		w := math.Exp(rng.NormFloat64() * 3) // exercise tiny and huge scales
+		for i := range cards {
+			cards[i] = 2 + uint64(rng.Intn(400))
+			demands[i] = AttrDemand{Card: cards[i], Weight: w, RangeFrac: -1}
+			minTotal += MaxComponents(cards[i])
+		}
+		m := minTotal + rng.Intn(30)
+		want, err := AllocateBudget(cards, m)
+		if err != nil {
+			t.Fatalf("AllocateBudget(%v, %d): %v", cards, m, err)
+		}
+		got, err := AllocateBudgetWeighted(demands, m)
+		if err != nil {
+			t.Fatalf("AllocateBudgetWeighted(%v, %d): %v", demands, m, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("weight %v, cards %v, m %d:\nweighted  %+v\nuniform   %+v", w, cards, m, got, want)
+		}
+	}
+}
+
+// TestWeightedMatchesBruteForce checks the DP against exhaustive
+// enumeration of every frontier-point combination on small instances:
+// the weighted total time of the DP's allocation must equal the true
+// minimum of sum_i w_i * t_i subject to sum_i s_i <= m.
+func TestWeightedMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(4)
+		demands := make([]AttrDemand, n)
+		minTotal := 0
+		for i := range demands {
+			demands[i] = AttrDemand{
+				Card:      2 + uint64(rng.Intn(60)),
+				Weight:    rng.Float64() * 10,
+				RangeFrac: -1,
+			}
+			if rng.Intn(2) == 0 {
+				demands[i].RangeFrac = rng.Float64()
+			}
+			minTotal += MaxComponents(demands[i].Card)
+		}
+		m := minTotal + rng.Intn(12)
+		got, err := AllocateBudgetWeighted(demands, m)
+		if err != nil {
+			t.Fatalf("AllocateBudgetWeighted(%+v, %d): %v", demands, m, err)
+		}
+		if got.TotalSpace() > m {
+			t.Fatalf("allocation overruns budget: %d > %d", got.TotalSpace(), m)
+		}
+		gotCost := weightedCost(got, demands)
+
+		fronts := make([][]Point, n)
+		for i, d := range demands {
+			fronts[i] = mixFrontier(d.Card, mixFrac(d))
+		}
+		best := math.Inf(1)
+		pick := make([]int, n)
+		var rec func(k, space int, t float64)
+		rec = func(k, space int, t float64) {
+			if space > m {
+				return
+			}
+			if k == n {
+				if t < best {
+					best = t
+				}
+				return
+			}
+			for pi, p := range fronts[k] {
+				pick[k] = pi
+				rec(k+1, space+p.Space, t+demands[k].Weight*p.Time)
+			}
+		}
+		rec(0, 0, 0)
+		if math.Abs(gotCost-best) > 1e-9*(1+math.Abs(best)) {
+			t.Fatalf("demands %+v, m %d: DP weighted cost %v, brute force %v", demands, m, gotCost, best)
+		}
+	}
+}
+
+func weightedCost(a Allocation, demands []AttrDemand) float64 {
+	var t float64
+	for i, d := range demands {
+		t += d.Weight * a.Times[i]
+	}
+	return t
+}
+
+// TestWeightedSkewShiftsBudget pins the qualitative behavior the advisor
+// relies on: making one attribute hot must never worsen (and for a tight
+// budget strictly improves) the expected scans under that skew vs the
+// uniform allocation.
+func TestWeightedSkewShiftsBudget(t *testing.T) {
+	cards := []uint64{90, 25, 12}
+	m := 0
+	for _, c := range cards {
+		m += MaxComponents(c)
+	}
+	m += 6 // a little slack to fight over
+	uniform, err := AllocateBudget(cards, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demands := UniformDemands(cards)
+	demands[0].Weight = 8 // ~80% of queries hit attribute 0
+	skew, err := AllocateBudgetWeighted(demands, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wu, ws := weightedCost(uniform, demands), weightedCost(skew, demands)
+	if ws > wu {
+		t.Fatalf("weighted allocation worse under its own profile: %v > %v", ws, wu)
+	}
+	if ws == wu {
+		t.Fatalf("expected the skewed profile to strictly improve on uniform at m=%d (got %v for both)", m, ws)
+	}
+	if skew.Spaces[0] <= uniform.Spaces[0] {
+		t.Errorf("hot attribute did not gain bitmaps: %d vs uniform %d", skew.Spaces[0], uniform.Spaces[0])
+	}
+}
+
+// TestWeightedErrors covers the argument contract.
+func TestWeightedErrors(t *testing.T) {
+	if _, err := AllocateBudgetWeighted(nil, 10); err == nil {
+		t.Error("no attributes: want error")
+	}
+	if _, err := AllocateBudgetWeighted([]AttrDemand{{Card: 1, Weight: 1}}, 10); err == nil {
+		t.Error("cardinality 1: want error")
+	}
+	if _, err := AllocateBudgetWeighted([]AttrDemand{{Card: 10, Weight: -1}}, 10); err == nil {
+		t.Error("negative weight: want error")
+	}
+	if _, err := AllocateBudgetWeighted([]AttrDemand{{Card: 10, Weight: math.NaN()}}, 10); err == nil {
+		t.Error("NaN weight: want error")
+	}
+	_, err := AllocateBudgetWeighted([]AttrDemand{{Card: 1 << 20, Weight: 1}}, 3)
+	if !errors.Is(err, ErrInfeasible) {
+		t.Errorf("tight budget: want ErrInfeasible, got %v", err)
+	}
+}
+
+// TestMixFrontierDefaultEqualsFrontier: the weighted allocator's frontier
+// at the default mix is the design package's canonical frontier.
+func TestMixFrontierDefaultEqualsFrontier(t *testing.T) {
+	for _, card := range []uint64{2, 7, 25, 100, 1000} {
+		got := mixFrontier(card, cost.DefaultRangeFraction)
+		want := Frontier(card, core.RangeEncoded)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("C=%d: mixFrontier default != Frontier", card)
+		}
+	}
+}

@@ -2,7 +2,6 @@ package design
 
 import (
 	"fmt"
-	"math"
 
 	"bitmapindex/internal/core"
 )
@@ -61,11 +60,9 @@ func AllocateBudget(cards []uint64, m int) (Allocation, error) {
 		return Allocation{}, fmt.Errorf("%w: M = %d < %d (sum of base-2 index sizes)", ErrInfeasible, m, minTotal)
 	}
 	// Per attribute: frontier of (space, best time at that space), as a
-	// step function over 0..m.
-	type frontier struct {
-		points []Point // increasing space, decreasing time
-	}
-	fronts := make([]frontier, len(cards))
+	// step function over 0..m, then the shared budget-division DP
+	// (allocateDP, unweighted).
+	fronts := make([][]Point, len(cards))
 	for i, c := range cards {
 		f := Frontier(c, core.RangeEncoded)
 		// Clip to the budget; at least the first point fits by the check
@@ -76,70 +73,9 @@ func AllocateBudget(cards []uint64, m int) (Allocation, error) {
 		if len(f) == 0 {
 			return Allocation{}, fmt.Errorf("design: internal: empty clipped frontier for C=%d", c)
 		}
-		fronts[i].points = f
+		fronts[i] = f
 	}
-	// DP over attributes: best[j] = minimal total time using exactly the
-	// first k attributes within budget j, plus choice tracking.
-	const inf = math.MaxFloat64
-	best := make([]float64, m+1)
-	choice := make([][]int, len(cards)) // choice[k][j] = index into fronts[k].points
-	for j := range best {
-		best[j] = 0
-	}
-	prev := append([]float64(nil), best...)
-	for k := range fronts {
-		choice[k] = make([]int, m+1)
-		for j := range best {
-			best[j] = inf
-			choice[k][j] = -1
-		}
-		for j := 0; j <= m; j++ {
-			if prev[j] == inf {
-				continue
-			}
-			for pi, p := range fronts[k].points {
-				nj := j + p.Space
-				if nj > m {
-					break
-				}
-				if t := prev[j] + p.Time; t < best[nj] {
-					best[nj] = t
-					choice[k][nj] = pi
-				}
-			}
-		}
-		// best[j] should be monotone non-increasing in j for backtracking
-		// convenience: propagate prefix minima while keeping choices.
-		for j := 1; j <= m; j++ {
-			if best[j-1] < best[j] {
-				best[j] = best[j-1]
-				choice[k][j] = -2 // marker: take budget j-1's solution
-			}
-		}
-		copy(prev, best)
-	}
-	// Backtrack.
-	alloc := Allocation{
-		Bases:  make([]core.Base, len(cards)),
-		Spaces: make([]int, len(cards)),
-		Times:  make([]float64, len(cards)),
-	}
-	j := m
-	for k := len(cards) - 1; k >= 0; k-- {
-		for choice[k][j] == -2 {
-			j--
-		}
-		pi := choice[k][j]
-		if pi < 0 {
-			return Allocation{}, fmt.Errorf("design: internal: broken DP backtrack")
-		}
-		p := fronts[k].points[pi]
-		alloc.Bases[k] = p.Base.Clone()
-		alloc.Spaces[k] = p.Space
-		alloc.Times[k] = p.Time
-		j -= p.Space
-	}
-	return alloc, nil
+	return allocateDP(fronts, nil, m)
 }
 
 // GreedyAllocate is the simple alternative: start every attribute at its

@@ -11,6 +11,7 @@ import (
 	"bitmapindex/internal/cost"
 	"bitmapindex/internal/flight"
 	"bitmapindex/internal/telemetry"
+	"bitmapindex/internal/workload"
 )
 
 // Method selects a query evaluation plan for a conjunctive selection.
@@ -98,6 +99,13 @@ type SelectOptions struct {
 	// SegBits overrides the segment width when Parallel is set (0 selects
 	// the core default).
 	SegBits int
+
+	// Workload, when non-nil, receives one event per bitmap predicate
+	// evaluated by the bitmap-merge plans: the attribute name, operator
+	// class, rank-space constant and measured scan/latency cost. Result
+	// cardinalities are not counted per predicate (the plans fuse the
+	// final AND with the popcount), so events carry Matches: -1.
+	Workload *workload.Accumulator
 
 	// perPred, when non-nil, receives one predActual per bitmap predicate
 	// evaluated by the bitmap-merge plans, in predicate order: the measured
@@ -438,16 +446,36 @@ func (r *Relation) evalBitmapPred(p Pred, opt *SelectOptions, st *core.Stats) (*
 	if err != nil {
 		return nil, err
 	}
+	var t0 time.Time
+	scans0 := st.Scans
+	if opt.Workload != nil {
+		t0 = time.Now()
+	}
+	var res *bitvec.Vector
+	cls := workload.ClassOf(p.Op)
 	switch {
 	case none:
-		return bitvec.New(r.Rows()), nil
+		res = bitvec.New(r.Rows())
 	case all:
-		return bitvec.NewOnes(r.Rows()), nil
+		res = bitvec.NewOnes(r.Rows())
 	case opt.Parallel:
-		return c.bitmap.SegmentedEval(rop, rank, &core.EvalOptions{Stats: st, Trace: opt.Trace}, opt.segConfig()), nil
+		cls = workload.ClassOf(rop)
+		res = c.bitmap.SegmentedEval(rop, rank, &core.EvalOptions{Stats: st, Trace: opt.Trace}, opt.segConfig())
 	default:
-		return c.bitmap.Eval(rop, rank, &core.EvalOptions{Stats: st, Trace: opt.Trace}), nil
+		cls = workload.ClassOf(rop)
+		res = c.bitmap.Eval(rop, rank, &core.EvalOptions{Stats: st, Trace: opt.Trace})
 	}
+	if opt.Workload != nil {
+		opt.Workload.Observe(workload.Event{
+			Attr:    p.Col,
+			Class:   cls,
+			Value:   rank,
+			Matches: -1,
+			Scans:   st.Scans - scans0,
+			NS:      time.Since(t0).Nanoseconds(),
+		})
+	}
+	return res, nil
 }
 
 func (r *Relation) bitmapMerge(preds []Pred, opt *SelectOptions) (*bitvec.Vector, Cost, error) {
@@ -753,19 +781,26 @@ func (r *Relation) countBitmapMerge(preds []Pred, opt *SelectOptions) (int, Cost
 		}
 		t0 := time.Now()
 		var n int
+		cls := workload.ClassOf(p.Op)
 		switch {
 		case none:
 			n = 0
 		case all:
 			n = r.Rows()
 		case opt.Parallel:
+			cls = workload.ClassOf(rop)
 			n = c.bitmap.SegmentedCount(rop, rank, &core.EvalOptions{Stats: &st, Trace: tr}, opt.segConfig())
 		default:
+			cls = workload.ClassOf(rop)
 			n = popcount(c.bitmap.Eval(rop, rank, &core.EvalOptions{Stats: &st, Trace: tr}), tr)
 		}
 		if opt.perPred != nil {
 			*opt.perPred = append(*opt.perPred,
 				predActual{Scans: st.Scans, NS: time.Since(t0).Nanoseconds()})
+		}
+		if opt.Workload != nil {
+			opt.Workload.Observe(workload.Event{Attr: p.Col, Class: cls, Value: rank,
+				Matches: n, Rows: r.Rows(), Scans: st.Scans, NS: time.Since(t0).Nanoseconds()})
 		}
 		bytes := int64(st.Scans) * bitmapBytes
 		return n, Cost{Method: BitmapMerge, BytesRead: bytes, Rows: n, Stats: st}, nil
